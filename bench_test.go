@@ -1,0 +1,178 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (see DESIGN.md §3 for the experiment index). Each
+// benchmark runs the corresponding experiment driver end to end and reports
+// the headline quantity of that table/figure as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. Benchmarks use the quick configuration
+// by default; set HYBRIDPDE_FULL=1 to run at full paper scale.
+package main
+
+import (
+	"os"
+	"testing"
+
+	"hybridpde/internal/exp"
+)
+
+func benchCfg() exp.Config {
+	return exp.Config{Quick: os.Getenv("HYBRIDPDE_FULL") == "", Seed: 1}
+}
+
+// BenchmarkTable1WorkloadProfile reproduces Table 1: the share of PDE
+// solver runtime spent in the equation-solving kernel.
+func BenchmarkTable1WorkloadProfile(b *testing.B) {
+	var last exp.Table1Result
+	for i := 0; i < b.N; i++ {
+		last = exp.Table1(benchCfg())
+	}
+	b.ReportMetric(100*last.Rows[0].Report.KernelFraction, "bwaves-kernel-%")
+	b.ReportMetric(100*last.Rows[3].Report.KernelFraction, "cook-kernel-%")
+}
+
+// BenchmarkTable2Character reproduces Table 2: PDE character vs Reynolds
+// number.
+func BenchmarkTable2Character(b *testing.B) {
+	var last exp.Table2Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Table2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	hyperbolic := 0
+	for _, c := range last.Rows {
+		if c.Nonlinearity == "quasilinear" {
+			hyperbolic++
+		}
+	}
+	b.ReportMetric(float64(hyperbolic), "hyperbolic-rows")
+}
+
+// BenchmarkTable3Budget reproduces Table 3: the per-variable analog
+// component budget.
+func BenchmarkTable3Budget(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Table3(benchCfg())
+		area = r.Budget.Totals().AreaMM2
+	}
+	b.ReportMetric(area, "mm2-per-variable")
+}
+
+// BenchmarkTable4Scale reproduces Table 4: scaled-up accelerator area and
+// power.
+func BenchmarkTable4Scale(b *testing.B) {
+	var r exp.Table4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Table4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Rows[4].AreaMM2, "mm2-16x16")
+	b.ReportMetric(r.Rows[4].PowerMW, "mW-16x16")
+}
+
+// BenchmarkFig2Basins reproduces Figure 2: continuous-Newton basins on the
+// chip vs fractal classical-Newton basins.
+func BenchmarkFig2Basins(b *testing.B) {
+	var r exp.Fig2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Fig2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AnalogBoundary, "chip-boundary-frac")
+	b.ReportMetric(r.DigitalBoundary, "digital-boundary-frac")
+}
+
+// BenchmarkFig3Homotopy reproduces Figure 3: homotopy continuation basins.
+func BenchmarkFig3Homotopy(b *testing.B) {
+	var r exp.Fig3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Fig3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := float64(r.Pixels * r.Pixels)
+	b.ReportMetric(100*float64(r.PlainWrong)/total, "plain-wrong-%")
+	b.ReportMetric(100*float64(r.HomotopyWrong)/total, "homotopy-wrong-%")
+}
+
+// BenchmarkFig6ErrorDistribution reproduces Figure 6: the analog solution
+// error distribution (paper: 5.38 % total RMS).
+func BenchmarkFig6ErrorDistribution(b *testing.B) {
+	var r exp.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.TotalRMSPct, "total-RMS-%")
+}
+
+// BenchmarkFig7Scaling reproduces Figure 7: equal-accuracy solution time vs
+// Reynolds number and grid size.
+func BenchmarkFig7Scaling(b *testing.B) {
+	var r exp.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Headline: the largest-grid speedup observed (paper: ≈100×).
+	best := 0.0
+	for _, p := range r.Points {
+		if p.AnalogMeanS > 0 {
+			if s := p.DigitalMeanS / p.AnalogMeanS; s > best {
+				best = s
+			}
+		}
+	}
+	b.ReportMetric(best, "max-analog-speedup")
+}
+
+// BenchmarkFig8Seeding reproduces Figure 8: baseline vs analog-seeded
+// solution time across the Reynolds sweep.
+func BenchmarkFig8Seeding(b *testing.B) {
+	var r exp.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Fig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.SeededMeanS > 0 {
+		b.ReportMetric(last.BaselineMeanS/last.SeededMeanS, "speedup-at-topRe")
+	}
+}
+
+// BenchmarkFig9GPU reproduces Figure 9: GPU-scale time and energy
+// reductions (paper: 5.7× time, 11.6× energy at 32×32).
+func BenchmarkFig9GPU(b *testing.B) {
+	var r exp.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Fig9(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	big := r.Sizes[len(r.Sizes)-1]
+	b.ReportMetric(big.TimeReduction, "time-reduction-x")
+	b.ReportMetric(big.EnergyReduction, "energy-reduction-x")
+}

@@ -1,0 +1,47 @@
+// Command fractal renders the basin-of-attraction figures: Figure 2 (the
+// cubic z³ = 1 solved by continuous Newton on the chip model, versus the
+// fractal basins of classical digital Newton) and, with -homotopy, Figure 3
+// (the coupled quadratic system with and without homotopy continuation).
+//
+// Images are written as binary PPM files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridpde/internal/exp"
+)
+
+func main() {
+	var (
+		homotopy = flag.Bool("homotopy", false, "render Figure 3 (homotopy basins) instead of Figure 2")
+		quick    = flag.Bool("quick", false, "small image for a fast run")
+		seed     = flag.Int64("seed", 1, "chip mismatch seed")
+		out      = flag.String("out", ".", "output directory for PPM images")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed, OutDir: *out}
+	if *homotopy {
+		res, err := exp.Fig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.String())
+		return
+	}
+	res, err := exp.Fig2(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fractal:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command hybridpde regenerates the tables and figures of the paper's
+// evaluation. One experiment per -exp value; -quick shrinks problem sizes
+// and trial counts for a fast smoke run.
+//
+// Usage:
+//
+//	hybridpde -exp table1|table2|table3|table4|fig2|fig3|fig6|fig7|fig8|fig9|all
+//	          [-quick] [-seed N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridpde/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment to run: table1..table4, fig2, fig3, fig6..fig9, ablate, or all")
+		quick = flag.Bool("quick", false, "reduced problem sizes and trial counts")
+		seed  = flag.Int64("seed", 1, "random seed for problem generation and chip mismatch")
+		out   = flag.String("out", "", "directory for image artifacts (PPM basin plots)")
+	)
+	flag.Parse()
+	cfg := exp.Config{Quick: *quick, Seed: *seed, OutDir: *out}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	runners := map[string]func(exp.Config) (fmt.Stringer, error){
+		"table1": func(c exp.Config) (fmt.Stringer, error) { return exp.Table1(c), nil },
+		"table2": func(c exp.Config) (fmt.Stringer, error) { return exp.Table2(c) },
+		"table3": func(c exp.Config) (fmt.Stringer, error) { return exp.Table3(c), nil },
+		"table4": func(c exp.Config) (fmt.Stringer, error) { return exp.Table4(c) },
+		"fig2":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig2(c) },
+		"fig3":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig3(c) },
+		"fig6":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig6(c) },
+		"fig7":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig7(c) },
+		"fig8":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig8(c) },
+		"fig9":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig9(c) },
+		"ablate": func(c exp.Config) (fmt.Stringer, error) { return exp.Ablations(c) },
+	}
+	order := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "ablate"}
+
+	if *which == "all" {
+		for _, name := range order {
+			run(runners[name], cfg, name)
+		}
+		return
+	}
+	r, ok := runners[*which]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (want one of %v or all)", *which, order))
+	}
+	run(r, cfg, *which)
+}
+
+func run(r func(exp.Config) (fmt.Stringer, error), cfg exp.Config, name string) {
+	res, err := r(cfg)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	fmt.Println(res.String())
+	if cfg.OutDir != "" {
+		if c, ok := res.(exp.CSVExporter); ok {
+			path, err := exp.WriteCSV(cfg.OutDir, name, c)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hybridpde:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Burgers-sim: a time-dependent 2-D viscous Burgers' simulation that
+// advances the fields through several implicit Crank–Nicolson steps, each
+// solved with the hybrid analog-digital pipeline. A decaying vortex-like
+// initial condition diffuses over time; the example prints per-step kinetic
+// energy and the cost split between the analog and digital stages.
+//
+// Run with: go run ./examples/burgers-sim
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/core"
+	"hybridpde/internal/pde"
+)
+
+const (
+	gridN = 4   // 4×4 interior grid: decomposes onto the 2×2-capacity board
+	re    = 0.8 // mildly nonlinear regime
+	steps = 5
+)
+
+func main() {
+	problem, err := pde.NewBurgers(gridN, re)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Vortex-like initial condition.
+	for i := 0; i < gridN; i++ {
+		for j := 0; j < gridN; j++ {
+			x := (float64(i) + 0.5) / gridN
+			y := (float64(j) + 0.5) / gridN
+			problem.UPrev[i*gridN+j] = math.Sin(2*math.Pi*x) * math.Cos(2*math.Pi*y)
+			problem.VPrev[i*gridN+j] = -math.Cos(2*math.Pi*x) * math.Sin(2*math.Pi*y)
+		}
+	}
+
+	accel := analog.NewPrototype(1) // 8 variables: each 4×4 step decomposes
+	solver := core.New(accel)
+
+	energy := func() float64 {
+		s := 0.0
+		for k := range problem.UPrev {
+			s += problem.UPrev[k]*problem.UPrev[k] + problem.VPrev[k]*problem.VPrev[k]
+		}
+		return s / 2
+	}
+
+	fmt.Printf("step  kinetic-energy  analog-s     digital-iters  subdomains\n")
+	fmt.Printf("   0  %14.6f\n", energy())
+	for s := 1; s <= steps; s++ {
+		rep, err := solver.SolveBurgers(problem, core.Options{})
+		if err != nil {
+			log.Fatalf("step %d: %v", s, err)
+		}
+		if err := problem.Advance(rep.U); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d  %14.6f  %10.3g  %13d  %10d\n",
+			s, energy(), rep.AnalogSeconds, rep.Digital.Iterations, rep.Subproblems)
+	}
+	fmt.Println("\nkinetic energy decays monotonically: the viscous term damps the")
+	fmt.Println("vortex while the hybrid solver handles each implicit step.")
+}

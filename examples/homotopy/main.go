@@ -1,0 +1,52 @@
+// Homotopy walkthrough: solve the paper's coupled quadratic system
+// (Equation 2) by dragging the trivially-known roots of S(ρ)ᵢ = ρᵢ² − 1
+// (Equation 3) to the roots of the hard system — first with the digital
+// predictor–corrector tracker, then on the analog chip model, which ramps
+// the blend λ(t) in continuous time (§3.2, Figure 3).
+//
+// Run with: go run ./examples/homotopy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/nonlin"
+	"hybridpde/internal/pde"
+)
+
+func main() {
+	hard := pde.Equation2(1.0, -1.0) // ρ₀²+ρ₀+ρ₁ = 1, ρ₁²+ρ₁−ρ₀ = −1
+	simple := nonlin.SquareRootsSimple(2)
+	starts := [][]float64{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+
+	fmt.Println("digital homotopy continuation (predictor-corrector):")
+	for _, s := range starts {
+		res, err := nonlin.Homotopy(simple, hard, s, nonlin.HomotopyOptions{Steps: 80})
+		if err != nil {
+			fmt.Printf("  start (%+.0f,%+.0f): %v\n", s[0], s[1], err)
+			continue
+		}
+		fmt.Printf("  start (%+.0f,%+.0f) → root (%+.6f, %+.6f), %d λ-steps, %d Newton iters, %d fold hops\n",
+			s[0], s[1], res.U[0], res.U[1], res.LambdaSteps, res.NewtonIters, res.FoldHops)
+	}
+
+	fmt.Println("\nanalog chip homotopy (continuous λ ramp):")
+	accel := analog.NewPrototype(1)
+	for _, s := range starts {
+		sol, err := accel.SolveHomotopy(
+			analog.PolySystem{Degree: 2, System: simple},
+			analog.PolySystem{Degree: 2, System: hard},
+			s,
+			analog.HomotopyOptions{Solve: analog.SolveOptions{DynamicRange: 3, TMaxTau: 600}},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  start (%+.0f,%+.0f) → (%+.4f, %+.4f), settled in %.0f τ (%.3g s), residual %.3g\n",
+			s[0], s[1], sol.U[0], sol.U[1], sol.SettleTau, sol.SettleSeconds, sol.Residual)
+	}
+	fmt.Println("\nevery start lands on a genuine root — compare with plain Newton,")
+	fmt.Println("whose basins leave whole regions of initial conditions stranded (Figure 3).")
+}

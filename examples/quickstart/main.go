@@ -1,0 +1,55 @@
+// Quickstart: solve one Crank–Nicolson step of the 2-D viscous Burgers'
+// equation with the hybrid analog-digital pipeline.
+//
+// The flow mirrors the paper's programming sample (Figure 4): bring up the
+// analog fabric, calibrate it, load a problem, let the continuous Newton
+// circuit settle, and polish the approximate analog answer with a digital
+// Newton solver.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/core"
+	"hybridpde/internal/pde"
+)
+
+func main() {
+	// A 2×2 Burgers step problem — exactly what the physical two-chip
+	// prototype board can hold (one scalar variable per tile).
+	rng := rand.New(rand.NewSource(7))
+	problem, err := pde.RandomBurgers(2, 1.0, 3.0, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Power up and calibrate the analog accelerator model
+	// (fabric := analog.NewFabric(...); fabric.Calibrate() underneath).
+	accel := analog.NewPrototype(1)
+	fmt.Printf("analog board: %d scalar variables, %.2f mm², %.2f mW peak\n",
+		accel.Capacity(), accel.AreaMM2(), 1e3*accel.PeakPowerWatts(accel.Capacity()))
+
+	// Hybrid solve: analog seed → digital Newton polish.
+	solver := core.New(accel)
+	report, err := solver.SolveBurgers(problem, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nanalog stage:  %.3g s, %.3g J, seed residual ‖F‖ = %.3g\n",
+		report.AnalogSeconds, report.AnalogEnergyJ, report.SeedResidual)
+	fmt.Printf("digital stage: %d Newton iterations at damping %.2f, final ‖F‖ = %.3g\n",
+		report.Digital.Iterations, report.Digital.DampingUsed, report.FinalResidual)
+	fmt.Printf("\nsolution fields (u, v per node):\n")
+	for i := 0; i < problem.N; i++ {
+		for j := 0; j < problem.N; j++ {
+			k := 2 * (i*problem.N + j)
+			fmt.Printf("  node (%d,%d): u = %+.6f  v = %+.6f\n", i, j, report.U[k], report.U[k+1])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module hybridpde
+
+go 1.22

@@ -1,0 +1,414 @@
+package analog
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridpde/internal/la"
+	"hybridpde/internal/nonlin"
+	"hybridpde/internal/ode"
+)
+
+// TimeConstantSeconds converts the dimensionless integration time of the
+// continuous-Newton ODE into wall-clock seconds. It is the single timing
+// normalisation the paper performs: "the predicted solution time of the 2×2
+// analog accelerator is normalized to match the measured solution time of
+// the physical analog accelerator" (§6.1). With settle times of ≈20 time
+// constants this puts the prototype's solves at the ~2×10⁻⁵ s the measured
+// points of Figure 7 show.
+const TimeConstantSeconds = 1e-6
+
+// QuotientLoopEpsilon is the finite-gain regularisation of the continuous
+// gradient-descent quotient loop (the shaded block of Figure 1, explored in
+// the group's linear-algebra papers). The hardware loop computes
+// δ ≈ J⁻¹F by descending ‖Jδ − F‖²; with finite loop gain the fixed point
+// is δ = (JᵀJ + εI)⁻¹JᵀF. The regularisation keeps the dynamics defined
+// across singular Jacobians (homotopy folds) without moving any true root:
+// δ = 0 ⟺ JᵀF = 0.
+const QuotientLoopEpsilon = 1e-3
+
+// SolveOptions configures one accelerator run.
+type SolveOptions struct {
+	// DynamicRange is the bound s on |u| used to scale the problem into
+	// hardware range (§5.3). Default 1.
+	DynamicRange float64
+	// TMaxTau bounds the settle horizon in integrator time constants.
+	// Default 200.
+	TMaxTau float64
+	// SettleDerivTol declares steady state when ‖dw/dt‖ drops below this
+	// (normalised units per τ). The analog board detects settling at the
+	// resolution of its ADCs, so the default is coarse: 1e-4.
+	SettleDerivTol float64
+	// MaxSteps bounds the simulation cost: the number of accepted
+	// integrator steps spent emulating the circuit. A run that exhausts
+	// the budget is reported as not converged (the physical chip would
+	// simply still be slewing when the host's deadline passes).
+	// Convergent trajectories settle within a few hundred steps; the
+	// default of 800 leaves generous headroom while keeping chattering
+	// (non-convergent) trajectories from burning minutes of simulation.
+	MaxSteps int
+	// DisableNoise turns off every hardware non-ideality; used by tests to
+	// separate algorithmic behaviour from noise effects, and equivalent to
+	// a hypothetical perfect chip.
+	DisableNoise bool
+}
+
+func (o *SolveOptions) defaults() {
+	if o.DynamicRange <= 0 {
+		o.DynamicRange = 1
+	}
+	if o.TMaxTau <= 0 {
+		o.TMaxTau = 200
+	}
+	if o.SettleDerivTol <= 0 {
+		o.SettleDerivTol = 1e-4
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 800
+	}
+}
+
+// Solution is the result of an analog solve.
+type Solution struct {
+	// U is the readout in problem coordinates (ADC-quantised).
+	U []float64
+	// W is the normalised hardware state before rescaling.
+	W []float64
+	// Converged reports whether the circuit settled before TMaxTau.
+	Converged bool
+	// SettleTau is the settle time in integrator time constants.
+	SettleTau float64
+	// SettleSeconds is SettleTau converted by TimeConstantSeconds.
+	SettleSeconds float64
+	// EnergyJoules charges peak board power for the settle duration — an
+	// upper bound, since activity decays as the circuit converges.
+	EnergyJoules float64
+	// Residual is ‖F(U)‖₂ of the original (unscaled) system at readout.
+	Residual float64
+}
+
+// Accelerator couples a Fabric with the solve pipeline: scaling,
+// allocation, continuous-time evolution, and readout.
+type Accelerator struct {
+	Fabric *Fabric
+}
+
+// NewAccelerator builds a calibrated accelerator with the given config.
+func NewAccelerator(cfg Config) *Accelerator {
+	f := NewFabric(cfg)
+	f.Calibrate()
+	return &Accelerator{Fabric: f}
+}
+
+// NewPrototype returns the model of the physical two-chip board (capacity:
+// 8 scalar variables = one 2×2 Burgers grid).
+func NewPrototype(seed int64) *Accelerator {
+	return NewAccelerator(Config{Seed: seed})
+}
+
+// NewScaled returns the model of a scaled-up accelerator able to solve an
+// n×n 2-D Burgers problem directly (Table 4). It errs beyond the paper's
+// 16×16 practicality limit.
+func NewScaled(gridN int, seed int64) (*Accelerator, error) {
+	if gridN < 1 || gridN > MaxPracticalGrid {
+		return nil, fmt.Errorf("analog: grid %d×%d outside practical range 1..%d (Table 4)", gridN, gridN, MaxPracticalGrid)
+	}
+	vars := VariablesForGrid(gridN)
+	chips := (vars + PrototypeChip.Tiles - 1) / PrototypeChip.Tiles
+	return NewAccelerator(Config{Chips: chips, Seed: seed}), nil
+}
+
+// Capacity reports the number of scalar variables the accelerator hosts.
+func (a *Accelerator) Capacity() int { return a.Fabric.Capacity() }
+
+// PeakPowerWatts returns the board's peak power for a given active variable
+// count, from the Table 4 per-variable model.
+func (a *Accelerator) PeakPowerWatts(vars int) float64 {
+	return PowerPerVariableMW * float64(vars) * 1e-3
+}
+
+// AreaMM2 returns total board silicon area.
+func (a *Accelerator) AreaMM2() float64 {
+	return AreaPerVariableMM2 * float64(a.Capacity())
+}
+
+// Solve runs the continuous Newton method on the fabric for F(u) = 0 from
+// the initial guess u0 (|u| expected within opts.DynamicRange).
+func (a *Accelerator) Solve(sys nonlin.System, u0 []float64, opts SolveOptions) (Solution, error) {
+	opts.defaults()
+	n := sys.Dim()
+	if len(u0) != n {
+		return Solution{}, errors.New("analog: initial guess has wrong dimension")
+	}
+	ss, err := newScaledSystem(sys, opts.DynamicRange)
+	if err != nil {
+		return Solution{}, err
+	}
+	cells, err := a.Fabric.AllocateCells(n)
+	if err != nil {
+		return Solution{}, err
+	}
+	defer a.Fabric.FreeAll()
+
+	// DAC-quantised initial conditions in normalised units.
+	w0 := make([]float64, n)
+	for i, v := range u0 {
+		w0[i] = quantize(clamp(v/ss.s, 1), a.Fabric.Config.DACBits)
+	}
+
+	flow := a.hardwareFlow(ss, cells, opts, nil)
+	sr, err := ode.IntegrateToSteadyState(flow, w0, ode.SteadyStateOptions{
+		TMax:     opts.TMaxTau,
+		DerivTol: opts.SettleDerivTol,
+		Adaptive: ode.AdaptiveOptions{AbsTol: 1e-6, RelTol: 1e-5, MaxSteps: opts.MaxSteps, MaxEvals: 6 * opts.MaxSteps},
+	})
+	if errors.Is(err, ode.ErrTooManySteps) {
+		// Budget exhausted without settling: report the state as a
+		// non-converged measurement, like a chip read out before settling.
+		err = nil
+		sr.Settled = false
+	}
+	if err != nil {
+		return Solution{}, fmt.Errorf("analog: circuit evolution failed: %w", err)
+	}
+	return a.readout(sys, ss, sr, opts)
+}
+
+// hardwareFlow builds the ODE the board physically evolves: the continuous
+// Newton flow of the scaled system, filtered through the cells' gain and
+// offset errors, the finite-gain quotient loop, slew limiting and
+// saturation. lambda, when non-nil, blends a homotopy (SolveHomotopy).
+func (a *Accelerator) hardwareFlow(ss *scaledSystem, cells []*NewtonCell, opts SolveOptions, blend *homotopyBlend) ode.System {
+	n := ss.Dim()
+	g := make([]float64, n)
+	wsat := make([]float64, n)
+	jac := la.NewDense(n, n)
+	jtj := la.NewDense(n, n)
+	jtf := make([]float64, n)
+	sat := a.Fabric.Config.SaturationLimit
+	slew := a.Fabric.Config.SlewLimit
+	noisy := !opts.DisableNoise
+	return func(t float64, w, dwdt []float64) error {
+		// The datapath sees the saturated state; the integrator's own
+		// state is left untouched.
+		for i := range w {
+			wsat[i] = clamp(w[i], sat)
+		}
+		if blend != nil {
+			if err := blend.eval(t, wsat, g, jac); err != nil {
+				return err
+			}
+		} else {
+			if err := ss.Eval(wsat, g); err != nil {
+				return err
+			}
+			if err := ss.Jacobian(wsat, jac); err != nil {
+				return err
+			}
+		}
+		if noisy {
+			for i := 0; i < n; i++ {
+				c := cells[i]
+				g[i] = (1+c.FuncGain)*g[i] + c.FuncOffset
+				row := jac.Row(i)
+				for j := range row {
+					row[j] *= 1 + c.JacGain
+				}
+			}
+		}
+		// Finite-gain gradient-descent quotient loop:
+		// δ = (JᵀJ + εI)⁻¹ Jᵀ g.
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += jac.At(k, i) * jac.At(k, j)
+				}
+				jtj.Set(i, j, s)
+				jtj.Set(j, i, s)
+			}
+			jtj.Add(i, i, QuotientLoopEpsilon)
+		}
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += jac.At(k, i) * g[k]
+			}
+			jtf[i] = s
+		}
+		lu, err := la.FactorLU(jtj)
+		if err != nil {
+			return fmt.Errorf("analog: quotient loop failed: %w", err)
+		}
+		if err := lu.Solve(dwdt, jtf); err != nil {
+			return err
+		}
+		for i := range dwdt {
+			d := -dwdt[i]
+			if noisy {
+				d += cells[i].IntOffset
+			}
+			dwdt[i] = softClamp(d, slew)
+		}
+		return nil
+	}
+}
+
+func (a *Accelerator) readout(sys nonlin.System, ss *scaledSystem, sr ode.SteadyResult, opts SolveOptions) (Solution, error) {
+	n := ss.Dim()
+	sol := Solution{W: la.Copy(sr.Y)}
+	// ADC readout with quantisation.
+	wq := make([]float64, n)
+	for i, v := range sr.Y {
+		q := v
+		if !opts.DisableNoise {
+			q = quantize(clamp(v, 1), a.Fabric.Config.ADCBits)
+		}
+		wq[i] = q
+	}
+	sol.U = ss.toProblem(wq)
+	f := make([]float64, n)
+	if err := sys.Eval(sol.U, f); err != nil {
+		return sol, err
+	}
+	sol.Residual = la.Norm2(f)
+	sol.Converged = sr.Settled
+	if sr.Settled {
+		sol.SettleTau = sr.SettleTime
+	} else {
+		sol.SettleTau = sr.T
+	}
+	sol.SettleSeconds = sol.SettleTau * TimeConstantSeconds
+	sol.EnergyJoules = a.PeakPowerWatts(n) * sol.SettleSeconds
+	return sol, nil
+}
+
+// homotopyBlend evaluates G(w, λ(t)) = (1−λ)S(w) + λH(w) with λ ramping
+// from 0 to 1 over RampTau time constants — the chip's homotopy mode
+// (§3.2, Figure 3).
+type homotopyBlend struct {
+	simple, hard *scaledSystem
+	rampTau      float64
+	fs, fh       []float64
+	js, jh       *la.Dense
+}
+
+func (b *homotopyBlend) lambda(t float64) float64 {
+	if t >= b.rampTau {
+		return 1
+	}
+	return t / b.rampTau
+}
+
+func (b *homotopyBlend) eval(t float64, w, g []float64, jac *la.Dense) error {
+	l := b.lambda(t)
+	if err := b.simple.Eval(w, b.fs); err != nil {
+		return err
+	}
+	if err := b.hard.Eval(w, b.fh); err != nil {
+		return err
+	}
+	for i := range g {
+		g[i] = (1-l)*b.fs[i] + l*b.fh[i]
+	}
+	if err := b.simple.Jacobian(w, b.js); err != nil {
+		return err
+	}
+	if err := b.hard.Jacobian(w, b.jh); err != nil {
+		return err
+	}
+	n := len(g)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			jac.Set(i, j, (1-l)*b.js.At(i, j)+l*b.jh.At(i, j))
+		}
+	}
+	return nil
+}
+
+// HomotopyOptions configures SolveHomotopy.
+type HomotopyOptions struct {
+	Solve SolveOptions
+	// RampTau is the λ ramp duration in time constants. Default 50.
+	RampTau float64
+}
+
+// SolveHomotopy runs the chip's homotopy-continuation mode: the state
+// starts at a root of the simple system and the fabric smoothly morphs the
+// programmed equations from simple to hard while the Newton dynamics keep
+// the state on a root (§3.2). Unlike digital path tracking, folds need no
+// special casing — the slew-limited dynamics slide into another basin, so
+// "all choices of initial conditions lead to one correct solution or
+// another" (Figure 3).
+func (a *Accelerator) SolveHomotopy(simple, hard nonlin.System, start []float64, opts HomotopyOptions) (Solution, error) {
+	if opts.Solve.MaxSteps <= 0 {
+		// The λ ramp keeps the state off equilibrium for its whole
+		// duration, so homotopy runs need a larger step budget than
+		// plain solves.
+		opts.Solve.MaxSteps = 6000
+	}
+	opts.Solve.defaults()
+	if opts.RampTau <= 0 {
+		opts.RampTau = 50
+	}
+	if simple.Dim() != hard.Dim() {
+		return Solution{}, fmt.Errorf("analog: homotopy dimension mismatch %d vs %d", simple.Dim(), hard.Dim())
+	}
+	n := hard.Dim()
+	if len(start) != n {
+		return Solution{}, errors.New("analog: homotopy start has wrong dimension")
+	}
+	ssS, err := newScaledSystem(simple, opts.Solve.DynamicRange)
+	if err != nil {
+		return Solution{}, err
+	}
+	ssH, err := newScaledSystem(hard, opts.Solve.DynamicRange)
+	if err != nil {
+		return Solution{}, err
+	}
+	cells, err := a.Fabric.AllocateCells(n)
+	if err != nil {
+		return Solution{}, err
+	}
+	defer a.Fabric.FreeAll()
+
+	blend := &homotopyBlend{
+		simple: ssS, hard: ssH, rampTau: opts.RampTau,
+		fs: make([]float64, n), fh: make([]float64, n),
+		js: la.NewDense(n, n), jh: la.NewDense(n, n),
+	}
+	w0 := make([]float64, n)
+	for i, v := range start {
+		w0[i] = quantize(clamp(v/ssH.s, 1), a.Fabric.Config.DACBits)
+	}
+	if opts.Solve.TMaxTau <= opts.RampTau {
+		opts.Solve.TMaxTau = opts.RampTau * 4
+	}
+	flow := a.hardwareFlow(ssH, cells, opts.Solve, blend)
+	// The state is intentionally away from equilibrium during the ramp, so
+	// only check for settling after λ reaches 1.
+	sr, err := ode.IntegrateToSteadyState(flow, w0, ode.SteadyStateOptions{
+		TMax:     opts.Solve.TMaxTau,
+		DerivTol: opts.Solve.SettleDerivTol,
+		MinHold:  5,
+		MinTime:  opts.RampTau,
+		Adaptive: ode.AdaptiveOptions{AbsTol: 1e-6, RelTol: 1e-5, MaxSteps: opts.Solve.MaxSteps, MaxEvals: 6 * opts.Solve.MaxSteps},
+	})
+	if errors.Is(err, ode.ErrTooManySteps) {
+		err = nil
+		sr.Settled = false
+	}
+	if err != nil {
+		return Solution{}, fmt.Errorf("analog: homotopy evolution failed: %w", err)
+	}
+	sol, err := a.readout(hard, ssH, sr, opts.Solve)
+	if err != nil {
+		return sol, err
+	}
+	// A settle during the ramp at λ<1 does not count as convergence.
+	if sol.SettleTau < opts.RampTau {
+		sol.SettleTau = opts.RampTau
+		sol.SettleSeconds = sol.SettleTau * TimeConstantSeconds
+	}
+	return sol, nil
+}

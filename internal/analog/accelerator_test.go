@@ -1,0 +1,407 @@
+package analog
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hybridpde/internal/la"
+	"hybridpde/internal/nonlin"
+	"hybridpde/internal/ode"
+	"hybridpde/internal/pde"
+)
+
+// cubic returns z³ − 1 = 0 as a 2-D real system, degree 3.
+func cubic() nonlin.System {
+	return PolySystem{
+		Degree: 3,
+		System: nonlin.FuncSystem{
+			N: 2,
+			F: func(u, f []float64) error {
+				re, im := u[0], u[1]
+				f[0] = re*re*re - 3*re*im*im - 1
+				f[1] = 3*re*re*im - im*im*im
+				return nil
+			},
+			J: func(u []float64, jac *la.Dense) error {
+				re, im := u[0], u[1]
+				a := 3 * (re*re - im*im)
+				b := 6 * re * im
+				jac.Set(0, 0, a)
+				jac.Set(0, 1, -b)
+				jac.Set(1, 0, b)
+				jac.Set(1, 1, a)
+				return nil
+			},
+		},
+	}
+}
+
+// quadPair is Equation 2 with the given right-hand sides (degree 2).
+func quadPair(r0, r1 float64) nonlin.System {
+	return nonlin.FuncSystem{
+		N: 2,
+		F: func(u, f []float64) error {
+			f[0] = u[0]*u[0] + u[0] + u[1] - r0
+			f[1] = u[1]*u[1] + u[1] - u[0] - r1
+			return nil
+		},
+		J: func(u []float64, jac *la.Dense) error {
+			jac.Set(0, 0, 2*u[0]+1)
+			jac.Set(0, 1, 1)
+			jac.Set(1, 0, -1)
+			jac.Set(1, 1, 2*u[1]+1)
+			return nil
+		},
+	}
+}
+
+func TestSolveCubicNoiseless(t *testing.T) {
+	acc := NewPrototype(1)
+	sol, err := acc.Solve(cubic(), []float64{1.8, 0.3}, SolveOptions{DynamicRange: 2, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Fatal("noiseless chip should settle")
+	}
+	if math.Hypot(sol.U[0]-1, sol.U[1]) > 1e-2 {
+		t.Fatalf("noiseless solution %v, want ≈ (1, 0)", sol.U)
+	}
+	if sol.SettleTau <= 0 || sol.SettleSeconds != sol.SettleTau*TimeConstantSeconds {
+		t.Fatalf("settle bookkeeping wrong: %+v", sol)
+	}
+}
+
+func TestSolveCubicWithHardwareNoise(t *testing.T) {
+	acc := NewPrototype(2)
+	sol, err := acc.Solve(cubic(), []float64{1.8, 0.3}, SolveOptions{DynamicRange: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Fatal("chip should settle")
+	}
+	errDist := math.Hypot(sol.U[0]-1, sol.U[1])
+	if errDist > 0.35 {
+		t.Fatalf("noisy solution too far from root: %v (dist %.3f)", sol.U, errDist)
+	}
+	if errDist == 0 {
+		t.Fatal("hardware noise should perturb the solution at least by ADC quantisation")
+	}
+}
+
+func TestSolveErrorIsApproximatelyPaperRMS(t *testing.T) {
+	// Mini version of Figure 6: random quadratic pairs, constants within
+	// ±3, RMS error between analog and exact digital solutions in
+	// normalised units should land near the measured 5.38 %.
+	const trials = 60
+	acc := NewPrototype(3)
+	sumSq, count := 0.0, 0
+	for k := 0; k < trials; k++ {
+		// Plant a root inside the dynamic range and derive the RHS from
+		// it, so every trial has a guaranteed real solution.
+		p0 := -1 + 2*float64(k%10)/9
+		p1 := -1 + 2*float64(k/10)/5
+		r0 := p0*p0 + p0 + p1
+		r1 := p1*p1 + p1 - p0
+		sys := quadPair(r0, r1)
+		root := []float64{p0, p1}
+		sol, err := acc.Solve(sys, root, SolveOptions{DynamicRange: 3})
+		if err != nil || !sol.Converged {
+			continue
+		}
+		// The digital reference is the exact root nearest the analog
+		// result; polish from the analog answer.
+		dig, err := nonlin.Newton(sys, sol.U, nonlin.NewtonOptions{Tol: 1e-12, AutoDamp: true, MaxIter: 400})
+		if err != nil {
+			continue
+		}
+		for i := range sol.U {
+			d := (sol.U[i] - dig.U[i]) / 3 // normalised to dynamic range
+			sumSq += d * d
+			count++
+		}
+	}
+	if count < 3*trials/2 {
+		t.Fatalf("too few successful trials: %d of %d components", count, 2*trials)
+	}
+	rms := 100 * math.Sqrt(sumSq/float64(count))
+	if rms < 1.0 || rms > 10.0 {
+		t.Fatalf("analog RMS error %.2f%%, want in [1,10] bracketing the paper's 5.38%%", rms)
+	}
+}
+
+func TestSolveRejectsTranscendental(t *testing.T) {
+	sys := PolySystem{
+		Degree: -1,
+		System: nonlin.FuncSystem{
+			N: 1,
+			F: func(u, f []float64) error { f[0] = math.Exp(u[0]) - 2; return nil },
+		},
+	}
+	acc := NewPrototype(4)
+	_, err := acc.Solve(sys, []float64{0}, SolveOptions{})
+	if !errors.Is(err, ErrTranscendental) {
+		t.Fatalf("expected ErrTranscendental, got %v", err)
+	}
+}
+
+func TestSolveCapacityExceeded(t *testing.T) {
+	big := nonlin.FuncSystem{
+		N: 9,
+		F: func(u, f []float64) error {
+			for i := range f {
+				f[i] = u[i] - 1
+			}
+			return nil
+		},
+		J: func(u []float64, jac *la.Dense) error {
+			for i := range u {
+				jac.Set(i, i, 1)
+			}
+			return nil
+		},
+	}
+	acc := NewPrototype(5)
+	_, err := acc.Solve(big, make([]float64, 9), SolveOptions{})
+	if !errors.Is(err, ErrInsufficientHardware) {
+		t.Fatalf("expected ErrInsufficientHardware, got %v", err)
+	}
+}
+
+func TestHomotopyOnChipAllStartsLand(t *testing.T) {
+	// Figure 3 far right: every (±1, ±1) start of the simple system must
+	// end on a genuine root of the hard system.
+	hard := quadPair(1, -1)
+	simple := nonlin.SquareRootsSimple(2)
+	acc := NewPrototype(6)
+	f := make([]float64, 2)
+	for _, s := range [][]float64{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}} {
+		sol, err := acc.SolveHomotopy(simple, hard, s, HomotopyOptions{
+			Solve: SolveOptions{DynamicRange: 3, DisableNoise: true, TMaxTau: 600},
+		})
+		if err != nil {
+			t.Fatalf("start %v: %v", s, err)
+		}
+		if !sol.Converged {
+			t.Fatalf("start %v: chip homotopy did not settle", s)
+		}
+		if err := hard.Eval(sol.U, f); err != nil {
+			t.Fatal(err)
+		}
+		if la.Norm2(f) > 5e-2 {
+			t.Fatalf("start %v: endpoint %v is not a root (‖F‖=%.3g)", s, sol.U, la.Norm2(f))
+		}
+		if sol.SettleTau < 50 {
+			t.Fatalf("start %v: settle time %.1f cannot precede the λ ramp", s, sol.SettleTau)
+		}
+	}
+}
+
+func TestSolveSparseMatchesDenseNoiseless(t *testing.T) {
+	// The banded fast path must agree with the dense faithful path when
+	// noise is off and the problem is the same.
+	sys := &tridiagonalQuadratic{n: 6}
+	u0 := make([]float64, 6)
+	for i := range u0 {
+		u0[i] = 0.4
+	}
+	acc := NewPrototype(7)
+	dense, err := acc.Solve(nonlin.DenseAdapter{S: sys}, u0, SolveOptions{DynamicRange: 2, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := acc.SolveSparse(sys, u0, SolveOptions{DynamicRange: 2, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dense.U {
+		if math.Abs(dense.U[i]-sparse.U[i]) > 5e-3 {
+			t.Fatalf("dense/sparse mismatch at %d: %g vs %g", i, dense.U[i], sparse.U[i])
+		}
+	}
+}
+
+func TestSolveSparseWithNoiseSettles(t *testing.T) {
+	sys := &tridiagonalQuadratic{n: 8}
+	u0 := make([]float64, 8)
+	acc := NewPrototype(8)
+	sol, err := acc.SolveSparse(sys, u0, SolveOptions{DynamicRange: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Fatal("sparse noisy solve should settle")
+	}
+	f := make([]float64, 8)
+	if err := sys.Eval(sol.U, f); err != nil {
+		t.Fatal(err)
+	}
+	if la.Norm2(f) > 0.6 {
+		t.Fatalf("sparse noisy residual too large: %g", la.Norm2(f))
+	}
+}
+
+// tridiagonalQuadratic: F_i = u_i² + 2u_i − 1 + 0.2(u_{i−1}+u_{i+1}).
+type tridiagonalQuadratic struct{ n int }
+
+func (s *tridiagonalQuadratic) Dim() int { return s.n }
+
+func (s *tridiagonalQuadratic) Eval(u, f []float64) error {
+	for i := 0; i < s.n; i++ {
+		f[i] = u[i]*u[i] + 2*u[i] - 1
+		if i > 0 {
+			f[i] += 0.2 * u[i-1]
+		}
+		if i < s.n-1 {
+			f[i] += 0.2 * u[i+1]
+		}
+	}
+	return nil
+}
+
+func (s *tridiagonalQuadratic) JacobianCSR(u []float64) (*la.CSR, error) {
+	b := la.NewCOO(s.n, s.n)
+	for i := 0; i < s.n; i++ {
+		b.Append(i, i, 2*u[i]+2)
+		if i > 0 {
+			b.Append(i, i-1, 0.2)
+		}
+		if i < s.n-1 {
+			b.Append(i, i+1, 0.2)
+		}
+	}
+	return b.ToCSR(), nil
+}
+
+func TestQuantize(t *testing.T) {
+	if q := quantize(0.5, 8); math.Abs(q-0.5) > 1.0/256 {
+		t.Fatalf("quantize(0.5, 8) = %g", q)
+	}
+	if q := quantize(1.7, 8); q != 1 {
+		t.Fatalf("quantize should clip to +1, got %g", q)
+	}
+	if q := quantize(-1.7, 8); q != -1 {
+		t.Fatalf("quantize should clip to −1, got %g", q)
+	}
+	if q := quantize(0.123456, 0); q != 0.123456 {
+		t.Fatal("bits ≤ 0 must bypass quantisation")
+	}
+	// 8-bit grid spacing is 1/128.
+	if q := quantize(1.0/256+1e-9, 8); math.Abs(q-1.0/128) > 1e-12 && q != 0 {
+		t.Fatalf("unexpected grid: %g", q)
+	}
+}
+
+func TestScaledSystemPreservesRoots(t *testing.T) {
+	sys := quadPair(1, -1)
+	ss, err := newScaledSystem(sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1, −1) is an exact root of the hard system; w = u/3.
+	g := make([]float64, 2)
+	if err := ss.Eval([]float64{1.0 / 3, -1.0 / 3}, g); err != nil {
+		t.Fatal(err)
+	}
+	if la.Norm2(g) > 1e-12 {
+		t.Fatalf("scaled system should vanish at the scaled root, got %g", la.Norm2(g))
+	}
+	// Jacobian consistency with finite differences in w-space.
+	jac := la.NewDense(2, 2)
+	if err := ss.Jacobian([]float64{0.2, -0.1}, jac); err != nil {
+		t.Fatal(err)
+	}
+	fd := la.NewDense(2, 2)
+	if err := nonlin.FiniteDifferenceJacobian(ss, []float64{0.2, -0.1}, fd); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(jac.At(i, j)-fd.At(i, j)) > 1e-5 {
+				t.Fatalf("scaled Jacobian mismatch at (%d,%d): %g vs %g", i, j, jac.At(i, j), fd.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMethodOfLinesDiffusionDecay(t *testing.T) {
+	// A diffusion-dominated semi-discrete Burgers system integrated in the
+	// classic hybrid-computer mode must decay toward zero and roughly
+	// track a digital reference integration.
+	b := newMOLProblem(t)
+	acc := NewPrototype(9)
+	u0 := b.InitialGuess()
+	mol, err := acc.IntegrateODE(wrapODE(b.SemiDiscreteRHS()), b.Dim(), u0, MOLOptions{
+		DynamicRange: 1.5,
+		THorizon:     2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ode.RK4(wrapODE(b.SemiDiscreteRHS()), u0, 0, 2.0, ode.FixedOptions{Dt: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Norm2(mol.U) >= la.Norm2(u0) {
+		t.Fatalf("diffusive MOL run should decay: ‖u0‖=%g, ‖u(T)‖=%g", la.Norm2(u0), la.Norm2(mol.U))
+	}
+	for i := range mol.U {
+		if math.Abs(mol.U[i]-ref.Y[i]) > 0.25 {
+			t.Fatalf("MOL state %d = %g deviates from digital reference %g beyond hardware error",
+				i, mol.U[i], ref.Y[i])
+		}
+	}
+	if mol.WallSeconds != mol.TauReached*TimeConstantSeconds {
+		t.Fatal("analog time bookkeeping wrong")
+	}
+}
+
+func TestMethodOfLinesObserverAndCapacity(t *testing.T) {
+	b := newMOLProblem(t)
+	acc := NewPrototype(10)
+	var samples int
+	_, err := acc.IntegrateODE(wrapODE(b.SemiDiscreteRHS()), b.Dim(), b.InitialGuess(), MOLOptions{
+		DynamicRange: 1.5,
+		THorizon:     1.0,
+		Observer:     func(tau float64, u []float64) { samples++ },
+		DisableNoise: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples == 0 {
+		t.Fatal("observer never sampled the trajectory")
+	}
+	// Capacity: 9 variables exceed the prototype's 8 tiles.
+	big := func(tm float64, y, dydt []float64) error {
+		for i := range dydt {
+			dydt[i] = -y[i]
+		}
+		return nil
+	}
+	if _, err := acc.IntegrateODE(big, 9, make([]float64, 9), MOLOptions{THorizon: 1}); !errors.Is(err, ErrInsufficientHardware) {
+		t.Fatalf("expected ErrInsufficientHardware, got %v", err)
+	}
+	if _, err := acc.IntegrateODE(big, 8, make([]float64, 8), MOLOptions{}); err == nil {
+		t.Fatal("expected error for missing THorizon")
+	}
+}
+
+// newMOLProblem builds a small diffusion-dominated Burgers instance.
+func newMOLProblem(t *testing.T) *pde.Burgers {
+	t.Helper()
+	b, err := pde.NewBurgers(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.UPrev[0], b.UPrev[3] = 0.8, -0.6
+	b.VPrev[1], b.VPrev[2] = -0.7, 0.5
+	return b
+}
+
+// wrapODE adapts the pde closure to ode.System.
+func wrapODE(f func(t float64, w, dwdt []float64) error) ode.System {
+	return func(t float64, y, dydt []float64) error { return f(t, y, dydt) }
+}

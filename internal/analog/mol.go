@@ -1,0 +1,124 @@
+package analog
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridpde/internal/ode"
+)
+
+// MOLOptions configures IntegrateODE (method-of-lines mode).
+type MOLOptions struct {
+	// DynamicRange is the bound on |u| for range scaling. Default 1.
+	DynamicRange float64
+	// THorizon is the integration horizon in integrator time constants.
+	// Required.
+	THorizon float64
+	// Observer, when set, sees the (rescaled, noiseless-readout) state
+	// after every accepted simulation step.
+	Observer func(tau float64, u []float64)
+	// MaxSteps bounds simulation cost, as in SolveOptions. Default 4000.
+	MaxSteps int
+	// DisableNoise turns off hardware non-idealities.
+	DisableNoise bool
+}
+
+// MOLResult reports a method-of-lines integration.
+type MOLResult struct {
+	U            []float64 // final state, problem coordinates, ADC-quantised
+	TauReached   float64
+	WallSeconds  float64 // analog time: THorizon × TimeConstantSeconds
+	EnergyJoules float64
+}
+
+// IntegrateODE runs the accelerator in the classic hybrid-computer mode the
+// paper's §4.3 describes (and §8 traces to the 1960s machines): the
+// space-discretised PDE du/dt = L(u) is mapped directly onto the
+// integrators and evolved in continuous time, instead of being driven
+// through the continuous-Newton root-finding circuit. The paper argues
+// against this partitioning for modern solvers — it needs high-rate,
+// high-precision waveform ADCs — but it remains the natural mode for
+// explicitly time-dependent problems, so the model supports it.
+//
+// f is the semi-discretised right-hand side with dim state variables; each
+// variable occupies one tile (same capacity rule as Solve).
+func (a *Accelerator) IntegrateODE(f ode.System, dim int, u0 []float64, opts MOLOptions) (MOLResult, error) {
+	if opts.THorizon <= 0 {
+		return MOLResult{}, fmt.Errorf("analog: IntegrateODE requires THorizon > 0")
+	}
+	if len(u0) != dim {
+		return MOLResult{}, errors.New("analog: initial state has wrong dimension")
+	}
+	if opts.DynamicRange <= 0 {
+		opts.DynamicRange = 1
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 4000
+	}
+	cells, err := a.Fabric.AllocateCells(dim)
+	if err != nil {
+		return MOLResult{}, err
+	}
+	defer a.Fabric.FreeAll()
+
+	s := opts.DynamicRange
+	sat := a.Fabric.Config.SaturationLimit
+	slew := a.Fabric.Config.SlewLimit
+	noisy := !opts.DisableNoise
+
+	w0 := make([]float64, dim)
+	for i, v := range u0 {
+		w0[i] = quantize(clamp(v/s, 1), a.Fabric.Config.DACBits)
+	}
+	uBuf := make([]float64, dim)
+	flow := func(t float64, w, dwdt []float64) error {
+		for i := range w {
+			uBuf[i] = s * clamp(w[i], sat)
+		}
+		if err := f(t, uBuf, dwdt); err != nil {
+			return err
+		}
+		for i := range dwdt {
+			d := dwdt[i] / s // back to normalised units
+			if noisy {
+				c := cells[i]
+				d = (1+c.FuncGain)*d + c.FuncOffset + c.IntOffset
+			}
+			dwdt[i] = softClamp(d, slew)
+		}
+		return nil
+	}
+	var obs ode.Observer
+	if opts.Observer != nil {
+		outer := opts.Observer
+		u := make([]float64, dim)
+		obs = func(t float64, w []float64) bool {
+			for i, v := range w {
+				u[i] = s * v
+			}
+			outer(t, u)
+			return true
+		}
+	}
+	res, err := ode.DormandPrince(flow, w0, 0, opts.THorizon, ode.AdaptiveOptions{
+		AbsTol: 1e-6, RelTol: 1e-5,
+		MaxSteps: opts.MaxSteps, MaxEvals: 6 * opts.MaxSteps,
+		Observer: obs,
+	})
+	out := MOLResult{TauReached: res.T}
+	if err != nil && !errors.Is(err, ode.ErrTooManySteps) {
+		return out, fmt.Errorf("analog: method-of-lines evolution failed: %w", err)
+	}
+	u := make([]float64, dim)
+	for i, v := range res.Y {
+		q := v
+		if noisy {
+			q = quantize(clamp(v, 1), a.Fabric.Config.ADCBits)
+		}
+		u[i] = s * q
+	}
+	out.U = u
+	out.WallSeconds = out.TauReached * TimeConstantSeconds
+	out.EnergyJoules = a.PeakPowerWatts(dim) * out.WallSeconds
+	return out, nil
+}

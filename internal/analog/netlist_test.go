@@ -1,0 +1,149 @@
+package analog
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// allocOne claims one component of the given kind from tile t.
+func allocOne(t *testing.T, tile *Tile, kind string) *Component {
+	t.Helper()
+	cs, err := tile.alloc(kind, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs[0]
+}
+
+func TestNetlistIntraTileWiring(t *testing.T) {
+	f := NewFabric(Config{Seed: 30})
+	f.Calibrate()
+	nl := f.NewNetlist()
+	tiles := f.Tiles()
+	mul := allocOne(t, tiles[0], KindMultiplier)
+	integ := allocOne(t, tiles[0], KindIntegrator)
+	out, err := nl.PortOf(0, mul, "mul.out", PortOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := nl.PortOf(0, integ, "int.in", PortIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Connect(out, in); err != nil {
+		t.Fatalf("intra-tile wiring must always route: %v", err)
+	}
+	if len(nl.Connections()) != 1 {
+		t.Fatal("connection not recorded")
+	}
+}
+
+func TestNetlistNeighbourOnlyAcrossTiles(t *testing.T) {
+	f := NewFabric(Config{Seed: 31})
+	f.Calibrate()
+	nl := f.NewNetlist()
+	tiles := f.Tiles()
+	m0 := allocOne(t, tiles[0], KindMultiplier)
+	i1 := allocOne(t, tiles[1], KindIntegrator)
+	i5 := allocOne(t, tiles[5], KindIntegrator)
+
+	out, _ := nl.PortOf(0, m0, "m0.out", PortOut)
+	inNear, _ := nl.PortOf(1, i1, "i1.in", PortIn)
+	inFar, _ := nl.PortOf(5, i5, "i5.in", PortIn)
+	if err := nl.Connect(out, inNear); err != nil {
+		t.Fatalf("neighbouring tiles must route: %v", err)
+	}
+	if err := nl.Connect(out, inFar); !errors.Is(err, ErrRouting) {
+		t.Fatalf("distant tiles must be rejected, got %v", err)
+	}
+}
+
+func TestNetlistFanoutBudget(t *testing.T) {
+	f := NewFabric(Config{Seed: 32})
+	f.Calibrate()
+	nl := f.NewNetlist()
+	tiles := f.Tiles()
+	mul := allocOne(t, tiles[0], KindMultiplier)
+	out, _ := nl.PortOf(0, mul, "out", PortOut)
+	// First sink free; each additional sink consumes one of the tile's 8
+	// fanouts; the 10th sink (9 fanouts needed) must fail.
+	var lastErr error
+	connected := 0
+	for k := 0; k < 10; k++ {
+		in, _ := nl.PortOf(0, mul, "in", PortIn) // sink identity does not matter for the budget
+		lastErr = nl.Connect(out, in)
+		if lastErr == nil {
+			connected++
+		}
+	}
+	if connected != 9 { // 1 free + 8 fanouts
+		t.Fatalf("expected 9 routable sinks (1 direct + 8 fanouts), got %d (last err %v)", connected, lastErr)
+	}
+	if !errors.Is(lastErr, ErrRouting) {
+		t.Fatalf("exhausted fanouts should report ErrRouting, got %v", lastErr)
+	}
+}
+
+func TestNetlistLifecycle(t *testing.T) {
+	f := NewFabric(Config{Seed: 33})
+	nl := f.NewNetlist()
+	if err := nl.CfgCommit(); err == nil {
+		t.Fatal("commit before calibration must fail")
+	}
+	f.Calibrate()
+	if err := nl.ExecStart(); !errors.Is(err, ErrNotCommitted) {
+		t.Fatalf("exec before commit must fail with ErrNotCommitted, got %v", err)
+	}
+	if err := nl.CfgCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.CfgCommit(); err == nil {
+		t.Fatal("double commit must fail")
+	}
+	if err := nl.ExecStart(); err != nil {
+		t.Fatal(err)
+	}
+	if !nl.Running() {
+		t.Fatal("should be running")
+	}
+	if err := nl.ExecStart(); err == nil {
+		t.Fatal("double start must fail")
+	}
+	if err := nl.ExecStop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.ExecStop(); err == nil {
+		t.Fatal("double stop must fail")
+	}
+	// Wiring after commit is rejected.
+	tiles := f.Tiles()
+	mul := allocOne(t, tiles[0], KindMultiplier)
+	out, _ := nl.PortOf(0, mul, "out", PortOut)
+	in, _ := nl.PortOf(0, mul, "in", PortIn)
+	if err := nl.Connect(out, in); err == nil {
+		t.Fatal("wiring a committed configuration must fail")
+	}
+}
+
+func TestSetDACQuantisesAndOffsets(t *testing.T) {
+	f := NewFabric(Config{Seed: 34})
+	f.Calibrate()
+	nl := f.NewNetlist()
+	dac := allocOne(t, f.Tiles()[0], KindDAC)
+	got, err := nl.SetDAC(dac, 0.123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := quantize(0.123456, f.Config.DACBits) + dac.Offset
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("DAC output %g, want %g", got, want)
+	}
+	if _, err := nl.SetDAC(dac, 1.5); err == nil {
+		t.Fatal("out-of-range DAC code must be rejected")
+	}
+	mul := allocOne(t, f.Tiles()[0], KindMultiplier)
+	if _, err := nl.SetDAC(mul, 0.5); err == nil {
+		t.Fatal("SetDAC on a multiplier must be rejected")
+	}
+}

@@ -1,0 +1,150 @@
+// Package analog is a behavioural model of the paper's physically
+// prototyped analog accelerator: a board of 65 nm chips, each with four
+// tiles of integrators, multipliers, fanouts (current copiers), DACs and
+// ADCs joined by a programmable crossbar (Figure 5). The model reproduces
+// the architecture's externally visible behaviour:
+//
+//   - capacity: one scalar PDE variable per tile, with the per-variable
+//     component budget of Table 3;
+//   - programming model: a Fabric/Chip/Tile object hierarchy mirroring the
+//     paper's object-oriented C++ interface (Figure 4);
+//   - physics: continuous-time evolution of the continuous-Newton ODE with
+//     per-component gain/offset mismatch, 8-bit DAC/DAC quantisation,
+//     dynamic-range saturation and slew limiting, which together produce
+//     the measured ≈5.38 % RMS solution error (Figure 6);
+//   - cost: the area/power scaling model of Table 4 and settle-time
+//     normalisation against the measured 2×2 prototype.
+//
+// This is the documented hardware substitution: the paper itself models its
+// scaled-up accelerators exactly this way (§6.1), pinning solution time to
+// the measured chip and solution error to the measured RMS.
+package analog
+
+import "fmt"
+
+// Component kinds allocated from a tile (Figure 5, right).
+const (
+	KindIntegrator = "integrator"
+	KindMultiplier = "multiplier"
+	KindFanout     = "fanout"
+	KindDAC        = "dac"
+	KindADC        = "adc"
+)
+
+// TileSpec is the per-tile component inventory of the prototype chip
+// (Figure 5): 4 integrators, 8 multipliers/gain blocks, 8 current copiers
+// (fanouts), per-slice DACs and continuous-time ADCs.
+type TileSpec struct {
+	Integrators int
+	Multipliers int
+	Fanouts     int
+	DACs        int
+	ADCs        int
+}
+
+// PrototypeTile is the tile configuration of the fabricated chip.
+var PrototypeTile = TileSpec{
+	Integrators: 4,
+	Multipliers: 8,
+	Fanouts:     8,
+	DACs:        4,
+	ADCs:        2,
+}
+
+// ChipSpec describes one accelerator die.
+type ChipSpec struct {
+	Tiles int
+	Tile  TileSpec
+}
+
+// PrototypeChip is the fabricated 3.7 mm × 3.9 mm die with four tiles.
+var PrototypeChip = ChipSpec{Tiles: 4, Tile: PrototypeTile}
+
+// BlockBudget gives the component counts one PDE variable consumes in one
+// functional block of the continuous-Newton circuit (Table 3 columns).
+type BlockBudget struct {
+	Integrator int
+	Fanout     int
+	Multiplier int
+	DAC        int
+	TileInput  int
+	TileOutput int
+	AreaMM2    float64 // total block area per variable, mm² (Table 3)
+	PowerUW    float64 // total block power per variable, µW (Table 3)
+}
+
+// ComponentBudget reproduces Table 3: per-variable component use of the
+// four circuit blocks of Figure 1.
+type ComponentBudget struct {
+	NonlinearFunction BlockBudget
+	JacobianMatrix    BlockBudget
+	QuotientLoop      BlockBudget
+	NewtonLoop        BlockBudget
+}
+
+// PrototypeBudget is Table 3 of the paper, with area and power from the
+// component models of the group's prior silicon.
+var PrototypeBudget = ComponentBudget{
+	NonlinearFunction: BlockBudget{Integrator: 0, Fanout: 2, Multiplier: 4, DAC: 3, TileInput: 4, TileOutput: 4, AreaMM2: 0.30, PowerUW: 284},
+	JacobianMatrix:    BlockBudget{Integrator: 0, Fanout: 0, Multiplier: 3, DAC: 1, TileInput: 4, TileOutput: 0, AreaMM2: 0.17, PowerUW: 152},
+	QuotientLoop:      BlockBudget{Integrator: 1, Fanout: 3, Multiplier: 1, DAC: 0, TileInput: 0, TileOutput: 4, AreaMM2: 0.14, PowerUW: 188},
+	NewtonLoop:        BlockBudget{Integrator: 1, Fanout: 3, Multiplier: 0, DAC: 0, TileInput: 0, TileOutput: 3, AreaMM2: 0.09, PowerUW: 139},
+}
+
+// Totals sums the four blocks.
+func (b ComponentBudget) Totals() BlockBudget {
+	blocks := []BlockBudget{b.NonlinearFunction, b.JacobianMatrix, b.QuotientLoop, b.NewtonLoop}
+	var t BlockBudget
+	for _, blk := range blocks {
+		t.Integrator += blk.Integrator
+		t.Fanout += blk.Fanout
+		t.Multiplier += blk.Multiplier
+		t.DAC += blk.DAC
+		t.TileInput += blk.TileInput
+		t.TileOutput += blk.TileOutput
+		t.AreaMM2 += blk.AreaMM2
+		t.PowerUW += blk.PowerUW
+	}
+	return t
+}
+
+// Per-variable silicon cost implied by the Table 4 ladder (352.36 mm² and
+// 390.66 mW for the 16×16 = 512-variable design). Table 3's block totals
+// round to 0.70 mm²/763 µW; Table 4's ladder divides exactly to the values
+// below, so the ladder constants are authoritative for scaling.
+const (
+	AreaPerVariableMM2 = 352.36 / 512.0 // ≈ 0.6882 mm²
+	PowerPerVariableMW = 390.66 / 512.0 // ≈ 0.7630 mW
+)
+
+// VariablesForGrid returns the number of scalar PDE variables a solver for
+// an n×n 2-D Burgers grid holds: one u and one v per grid point (§5.2).
+func VariablesForGrid(n int) int { return 2 * n * n }
+
+// ScaleModel reproduces one row of Table 4.
+type ScaleModel struct {
+	GridN     int
+	Variables int
+	AreaMM2   float64
+	PowerMW   float64
+}
+
+// ScaleModelFor returns the area/power model of a Burgers solver for an
+// n×n grid (Table 4 rows for n ∈ {1, 2, 4, 8, 16}).
+func ScaleModelFor(n int) (ScaleModel, error) {
+	if n < 1 {
+		return ScaleModel{}, fmt.Errorf("analog: invalid grid size %d", n)
+	}
+	v := VariablesForGrid(n)
+	return ScaleModel{
+		GridN:     n,
+		Variables: v,
+		AreaMM2:   AreaPerVariableMM2 * float64(v),
+		PowerMW:   PowerPerVariableMW * float64(v),
+	}, nil
+}
+
+// MaxPracticalGrid is the largest Burgers grid the paper considers
+// implementable: 16×16, about the area of a CPU die (§6.1: "for now we
+// limit ourselves to 16×16 problems").
+const MaxPracticalGrid = 16

@@ -1,0 +1,95 @@
+package analog
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable3TotalsFitOneTile(t *testing.T) {
+	// One PDE variable per tile: the summed component budget of Table 3
+	// must fit the prototype tile inventory exactly.
+	tot := PrototypeBudget.Totals()
+	if tot.Integrator > PrototypeTile.Integrators {
+		t.Fatalf("budget needs %d integrators, tile has %d", tot.Integrator, PrototypeTile.Integrators)
+	}
+	if tot.Multiplier > PrototypeTile.Multipliers {
+		t.Fatalf("budget needs %d multipliers, tile has %d", tot.Multiplier, PrototypeTile.Multipliers)
+	}
+	if tot.Fanout > PrototypeTile.Fanouts {
+		t.Fatalf("budget needs %d fanouts, tile has %d", tot.Fanout, PrototypeTile.Fanouts)
+	}
+	if tot.DAC > PrototypeTile.DACs {
+		t.Fatalf("budget needs %d DACs, tile has %d", tot.DAC, PrototypeTile.DACs)
+	}
+}
+
+func TestTable3PaperValues(t *testing.T) {
+	// Spot-check the encoded Table 3 against the paper.
+	b := PrototypeBudget
+	if b.NonlinearFunction.Multiplier != 4 || b.JacobianMatrix.Multiplier != 3 || b.QuotientLoop.Multiplier != 1 || b.NewtonLoop.Multiplier != 0 {
+		t.Fatal("multiplier row does not match Table 3")
+	}
+	if b.NonlinearFunction.DAC != 3 || b.JacobianMatrix.DAC != 1 {
+		t.Fatal("DAC row does not match Table 3")
+	}
+	tot := b.Totals()
+	if math.Abs(tot.AreaMM2-0.70) > 1e-9 {
+		t.Fatalf("per-variable area sum %.3f, want 0.70 (Table 3)", tot.AreaMM2)
+	}
+	if math.Abs(tot.PowerUW-763) > 1e-9 {
+		t.Fatalf("per-variable power sum %.0f µW, want 763 (Table 3)", tot.PowerUW)
+	}
+}
+
+func TestTable4Ladder(t *testing.T) {
+	want := []struct {
+		n       int
+		areaMM2 float64
+		powerMW float64
+	}{
+		{1, 1.38, 1.53},
+		{2, 5.50, 6.10},
+		{4, 22.02, 24.42},
+		{8, 88.06, 97.66},
+		{16, 352.36, 390.66},
+	}
+	for _, w := range want {
+		m, err := ScaleModelFor(w.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's ladder is rounded to 0.01 per row, so allow 0.05.
+		if math.Abs(m.AreaMM2-w.areaMM2) > 0.05 {
+			t.Fatalf("grid %d: area %.3f mm², paper %.2f", w.n, m.AreaMM2, w.areaMM2)
+		}
+		if math.Abs(m.PowerMW-w.powerMW) > 0.05 {
+			t.Fatalf("grid %d: power %.3f mW, paper %.2f", w.n, m.PowerMW, w.powerMW)
+		}
+	}
+	if _, err := ScaleModelFor(0); err == nil {
+		t.Fatal("expected error for grid 0")
+	}
+}
+
+func TestVariablesForGrid(t *testing.T) {
+	if VariablesForGrid(2) != 8 {
+		t.Fatalf("2×2 grid should need 8 variables (u and v per node), got %d", VariablesForGrid(2))
+	}
+	if VariablesForGrid(16) != 512 {
+		t.Fatalf("16×16 grid should need 512 variables, got %d", VariablesForGrid(16))
+	}
+}
+
+func TestPowerDensityFarBelowCPU(t *testing.T) {
+	// §6.1: "power density is about 400× lower" than a CPU die. Our model:
+	// 390.66 mW over 352.36 mm² ≈ 1.1 mW/mm² vs a CPU's ~0.5 W/mm².
+	m, err := ScaleModelFor(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := m.PowerMW / m.AreaMM2 // mW/mm²
+	const cpuDensity = 500.0         // mW/mm², order of magnitude
+	if cpuDensity/density < 100 {
+		t.Fatalf("analog power density should be ≫100× below CPU, ratio %.0f", cpuDensity/density)
+	}
+}

@@ -1,0 +1,251 @@
+// Package core implements the paper's primary contribution: the hybrid
+// analog-digital solution of nonlinear PDEs. The digital host discretises
+// the PDE (internal/pde), the analog accelerator model produces a fast
+// approximate solution with the continuous Newton method (internal/analog),
+// and that approximation seeds a high-precision digital Newton solve which
+// then starts inside its quadratic-convergence region (§3.3, §6.2).
+//
+// Problems larger than the accelerator's capacity are decomposed with
+// red-black nonlinear Gauss-Seidel (§6.3): the grid is split into subdomain
+// tiles, tiles of one colour are relaxed while their neighbours are frozen,
+// and the accelerator solves each tile's restricted nonlinear system.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/la"
+	"hybridpde/internal/nonlin"
+	"hybridpde/internal/pde"
+	"hybridpde/internal/perfmodel"
+)
+
+// PerfTarget selects which digital baseline prices the polish solve.
+type PerfTarget int
+
+// Digital baselines of the evaluation.
+const (
+	// PerfCPU is the dual-Xeon damped-Newton baseline of Figures 7 and 8.
+	PerfCPU PerfTarget = iota
+	// PerfGPU is the cuSolver sparse-QR baseline of Figure 9.
+	PerfGPU
+)
+
+// Options configures a hybrid solve.
+type Options struct {
+	// Newton tunes the digital polish stage. Tol defaults to 1e-12
+	// (≈ double-precision epsilon scale for O(1) fields, the paper's
+	// "smallest value representable" stop).
+	Newton nonlin.NewtonOptions
+	// Analog tunes the accelerator stage.
+	Analog analog.SolveOptions
+	// GSMaxSweeps bounds the red-black Gauss-Seidel outer loop. Default 8.
+	GSMaxSweeps int
+	// GSTol stops Gauss-Seidel when the full residual falls below
+	// GSTol·(1+‖F(w₀)‖). The seed only needs analog-level accuracy;
+	// default 0.08.
+	GSTol float64
+	// Perf selects the digital cost model. Default PerfCPU.
+	Perf PerfTarget
+	// SkipAnalog disables seeding (pure digital baseline) — the ablation
+	// switch used throughout the evaluation.
+	SkipAnalog bool
+	// InitialGuess overrides the default warm start (the previous time
+	// level). The evaluation uses random cold starts here, per §6.1.
+	InitialGuess []float64
+}
+
+func (o *Options) defaults() {
+	if o.Newton.Tol <= 0 {
+		o.Newton.Tol = 1e-12
+	}
+	if o.Newton.MaxIter <= 0 {
+		o.Newton.MaxIter = 400
+	}
+	o.Newton.AutoDamp = true
+	if o.GSMaxSweeps <= 0 {
+		o.GSMaxSweeps = 8
+	}
+	if o.GSTol <= 0 {
+		o.GSTol = 0.08
+	}
+}
+
+// Report is the full account of a hybrid solve.
+type Report struct {
+	U []float64
+	// Analog stage.
+	AnalogUsed    bool
+	AnalogSeconds float64
+	AnalogEnergyJ float64
+	SeedResidual  float64 // ‖F(seed)‖₂
+	// Decomposition stage (only for oversize problems).
+	Decomposed  bool
+	Subproblems int
+	GSSweeps    int
+	// Digital polish stage.
+	Digital        nonlin.Result
+	DigitalSeconds float64
+	DigitalEnergyJ float64
+	FinalResidual  float64
+	// Totals.
+	TotalSeconds float64
+	TotalEnergyJ float64
+}
+
+// Hybrid binds an accelerator model to the solve pipeline.
+type Hybrid struct {
+	Accel *analog.Accelerator
+}
+
+// New returns a hybrid solver around the given accelerator.
+func New(acc *analog.Accelerator) *Hybrid {
+	return &Hybrid{Accel: acc}
+}
+
+// SolveBurgers solves one Crank–Nicolson step of the 2-D Burgers problem:
+// analog seed (direct or decomposed, depending on capacity), then digital
+// polish to opts.Newton.Tol.
+func (h *Hybrid) SolveBurgers(b *pde.Burgers, opts Options) (Report, error) {
+	opts.defaults()
+	var rep Report
+	dim := b.Dim()
+	seed := b.InitialGuess()
+	if opts.InitialGuess != nil {
+		if len(opts.InitialGuess) != dim {
+			return rep, errors.New("core: initial guess has wrong dimension")
+		}
+		seed = la.Copy(opts.InitialGuess)
+	}
+
+	if !opts.SkipAnalog {
+		if opts.Analog.DynamicRange <= 0 {
+			// Quadratic stencils keep the solution within the range of
+			// the fields and constants; leave headroom for transients.
+			opts.Analog.DynamicRange = math.Max(1, 1.5*b.MaxField())
+		}
+		if dim <= h.Accel.Capacity() {
+			sol, err := h.Accel.SolveSparse(b, seed, opts.Analog)
+			if err != nil {
+				return rep, fmt.Errorf("core: analog stage failed: %w", err)
+			}
+			rep.AnalogUsed = true
+			rep.AnalogSeconds = sol.SettleSeconds
+			rep.AnalogEnergyJ = sol.EnergyJoules
+			seed = sol.U
+		} else {
+			if err := h.gaussSeidelSeed(b, seed, opts, &rep); err != nil {
+				return rep, err
+			}
+			rep.AnalogUsed = true
+			rep.Decomposed = true
+		}
+		f := make([]float64, dim)
+		if err := b.Eval(seed, f); err != nil {
+			return rep, err
+		}
+		rep.SeedResidual = la.Norm2(f)
+	}
+
+	res, err := nonlin.NewtonSparse(b, seed, opts.Newton)
+	rep.Digital = res
+	rep.U = res.U
+	rep.FinalResidual = res.Residual
+	switch opts.Perf {
+	case PerfGPU:
+		rep.DigitalSeconds = perfmodel.GPUTime(res, dim)
+		rep.DigitalEnergyJ = perfmodel.GPUEnergy(res, dim)
+	default:
+		rep.DigitalSeconds = perfmodel.CPUTime(res, dim)
+		rep.DigitalEnergyJ = perfmodel.CPUEnergy(res, dim)
+	}
+	rep.TotalSeconds = rep.AnalogSeconds + rep.DigitalSeconds
+	rep.TotalEnergyJ = rep.AnalogEnergyJ + rep.DigitalEnergyJ
+	if err != nil {
+		return rep, fmt.Errorf("core: digital polish failed: %w", err)
+	}
+	return rep, nil
+}
+
+// gaussSeidelSeed produces an analog-quality seed for a problem larger than
+// the accelerator by red-black nonlinear Gauss-Seidel over subdomain tiles
+// (§6.3). seed is updated in place.
+func (h *Hybrid) gaussSeidelSeed(b *pde.Burgers, seed []float64, opts Options, rep *Report) error {
+	capVars := h.Accel.Capacity()
+	tileN := int(math.Sqrt(float64(capVars / 2)))
+	if tileN < 1 {
+		return errors.New("core: accelerator too small for any subdomain")
+	}
+	if b.N%tileN != 0 {
+		// Shrink the tile until it divides the grid.
+		for tileN > 1 && b.N%tileN != 0 {
+			tileN--
+		}
+	}
+	tiles := decompose(b.N, tileN)
+	rep.Subproblems = len(tiles)
+
+	f := make([]float64, b.Dim())
+	if err := b.Eval(seed, f); err != nil {
+		return err
+	}
+	r0 := la.Norm2(f)
+	target := opts.GSTol * (1 + r0)
+
+	for sweep := 0; sweep < opts.GSMaxSweeps; sweep++ {
+		rep.GSSweeps = sweep + 1
+		for _, colour := range []int{0, 1} { // red then black
+			for _, tl := range tiles {
+				if tl.colour != colour {
+					continue
+				}
+				sub := newSubProblem(b, tl.unknowns, seed)
+				u0 := sub.restrict(seed)
+				sol, err := h.Accel.SolveSparse(sub, u0, opts.Analog)
+				if err != nil {
+					return fmt.Errorf("core: subdomain solve failed: %w", err)
+				}
+				rep.AnalogSeconds += sol.SettleSeconds
+				rep.AnalogEnergyJ += sol.EnergyJoules
+				sub.scatter(sol.U, seed)
+			}
+		}
+		if err := b.Eval(seed, f); err != nil {
+			return err
+		}
+		if la.Norm2(f) <= target {
+			return nil
+		}
+	}
+	// Gauss-Seidel not fully converged is acceptable: the seed is only a
+	// warm start; the digital polish handles the rest.
+	return nil
+}
+
+// tile is one subdomain of the red-black decomposition.
+type tile struct {
+	colour   int
+	unknowns []int // global unknown indices owned by the tile
+}
+
+// decompose splits an n×n grid into tileN×tileN subdomains coloured like a
+// checkerboard. Unknowns are the interleaved (u, v) pairs of each node.
+func decompose(n, tileN int) []tile {
+	var tiles []tile
+	for ti := 0; ti < n; ti += tileN {
+		for tj := 0; tj < n; tj += tileN {
+			t := tile{colour: ((ti / tileN) + (tj / tileN)) % 2}
+			for i := ti; i < ti+tileN && i < n; i++ {
+				for j := tj; j < tj+tileN && j < n; j++ {
+					base := 2 * (i*n + j)
+					t.unknowns = append(t.unknowns, base, base+1)
+				}
+			}
+			tiles = append(tiles, t)
+		}
+	}
+	return tiles
+}

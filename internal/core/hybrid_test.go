@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/la"
+	"hybridpde/internal/pde"
+)
+
+func mustRandomBurgers(t *testing.T, n int, re float64, seed int64) *pde.Burgers {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := pde.RandomBurgers(n, re, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDecomposeCoversAllUnknownsOnce(t *testing.T) {
+	tiles := decompose(4, 2)
+	if len(tiles) != 4 {
+		t.Fatalf("4×4 grid with 2×2 tiles should give 4 tiles, got %d", len(tiles))
+	}
+	seen := map[int]int{}
+	colours := map[int]int{}
+	for _, tl := range tiles {
+		colours[tl.colour]++
+		for _, g := range tl.unknowns {
+			seen[g]++
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("expected 32 unknowns covered, got %d", len(seen))
+	}
+	for g, c := range seen {
+		if c != 1 {
+			t.Fatalf("unknown %d covered %d times", g, c)
+		}
+	}
+	if colours[0] != 2 || colours[1] != 2 {
+		t.Fatalf("checkerboard colouring wrong: %v", colours)
+	}
+}
+
+func TestSubProblemConsistentWithFull(t *testing.T) {
+	b := mustRandomBurgers(t, 4, 1.0, 60)
+	global := b.InitialGuess()
+	tiles := decompose(4, 2)
+	sub := newSubProblem(b, tiles[1].unknowns, global)
+
+	u := sub.restrict(global)
+	fSub := make([]float64, sub.Dim())
+	if err := sub.Eval(u, fSub); err != nil {
+		t.Fatal(err)
+	}
+	fFull := make([]float64, b.Dim())
+	if err := b.Eval(global, fFull); err != nil {
+		t.Fatal(err)
+	}
+	for k, g := range tiles[1].unknowns {
+		if math.Abs(fSub[k]-fFull[g]) > 1e-14 {
+			t.Fatalf("subproblem residual row %d differs from full row %d", k, g)
+		}
+	}
+
+	jSub, err := sub.JacobianCSR(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jFull, err := b.JacobianCSR(global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, gr := range tiles[1].unknowns {
+		for c, gc := range tiles[1].unknowns {
+			if math.Abs(jSub.At(k, c)-jFull.At(gr, gc)) > 1e-14 {
+				t.Fatalf("subproblem Jacobian (%d,%d) differs from full (%d,%d)", k, c, gr, gc)
+			}
+		}
+	}
+	if sub.PolynomialDegree() != 2 {
+		t.Fatal("subproblem must inherit quadratic degree")
+	}
+}
+
+func TestHybridDirectPath(t *testing.T) {
+	b := mustRandomBurgers(t, 2, 0.5, 61)
+	h := New(analog.NewPrototype(10))
+	rep, err := h.SolveBurgers(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AnalogUsed || rep.Decomposed {
+		t.Fatalf("2×2 problem must use the direct analog path: %+v", rep)
+	}
+	if rep.FinalResidual > 1e-10 {
+		t.Fatalf("polish residual %g too large", rep.FinalResidual)
+	}
+	if rep.AnalogSeconds <= 0 || rep.AnalogEnergyJ <= 0 {
+		t.Fatal("analog stage cost not recorded")
+	}
+	if rep.TotalSeconds < rep.DigitalSeconds {
+		t.Fatal("total time must include both stages")
+	}
+	// The analog stage is orders of magnitude cheaper than the digital.
+	if rep.AnalogSeconds > rep.DigitalSeconds {
+		t.Fatalf("analog stage (%g s) should be negligible next to digital (%g s)",
+			rep.AnalogSeconds, rep.DigitalSeconds)
+	}
+}
+
+func TestHybridDecomposedPath(t *testing.T) {
+	// 4×4 grid = 32 unknowns > prototype capacity 8 → red-black NLGS over
+	// 2×2 subdomains.
+	b := mustRandomBurgers(t, 4, 0.5, 62)
+	h := New(analog.NewPrototype(11))
+	rep, err := h.SolveBurgers(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Decomposed {
+		t.Fatal("oversize problem must decompose")
+	}
+	if rep.Subproblems != 4 {
+		t.Fatalf("expected 4 subdomains, got %d", rep.Subproblems)
+	}
+	if rep.GSSweeps < 1 {
+		t.Fatal("Gauss-Seidel sweeps not recorded")
+	}
+	if rep.FinalResidual > 1e-10 {
+		t.Fatalf("polish residual %g too large", rep.FinalResidual)
+	}
+}
+
+func TestSeedImprovesOverColdStart(t *testing.T) {
+	// At an uncomfortable Reynolds number the analog seed should land the
+	// digital solver closer to the root than the cold start.
+	b := mustRandomBurgers(t, 2, 2.0, 63)
+	h := New(analog.NewPrototype(12))
+	seeded, err := h.SolveBurgers(b, Options{})
+	if err != nil {
+		t.Skipf("seeded solve did not converge for this draw: %v", err)
+	}
+	cold, err := h.SolveBurgers(b, Options{SkipAnalog: true})
+	if err != nil {
+		t.Skipf("cold solve did not converge for this draw: %v", err)
+	}
+	f := make([]float64, b.Dim())
+	if err := b.Eval(b.InitialGuess(), f); err != nil {
+		t.Fatal(err)
+	}
+	coldResidual := la.Norm2(f)
+	if seeded.SeedResidual >= coldResidual {
+		t.Fatalf("analog seed residual %g should beat cold-start residual %g",
+			seeded.SeedResidual, coldResidual)
+	}
+	if seeded.Digital.Iterations > cold.Digital.Iterations {
+		t.Fatalf("seeded polish took %d iterations, cold took %d — seeding should not hurt",
+			seeded.Digital.Iterations, cold.Digital.Iterations)
+	}
+}
+
+func TestGoldenSolveCertifies(t *testing.T) {
+	b := mustRandomBurgers(t, 3, 0.5, 64)
+	u, err := GoldenSolve(b, b.InitialGuess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := make([]float64, b.Dim())
+	if err := b.Eval(u, f); err != nil {
+		t.Fatal(err)
+	}
+	if la.Norm2(f) > 1e-9 {
+		t.Fatalf("golden solution not certified: ‖F‖ = %g", la.Norm2(f))
+	}
+}
+
+func TestDigitalToAccuracyStopsAtTarget(t *testing.T) {
+	b := mustRandomBurgers(t, 3, 0.5, 65)
+	golden, err := GoldenSolve(b, b.InitialGuess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the start, then demand the paper's 5.38 % accuracy.
+	u0 := la.Copy(b.InitialGuess())
+	for i := range u0 {
+		u0[i] += 0.3
+	}
+	res, err := DigitalToAccuracy(b, u0, golden, 0.0538, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMS > 0.0538 {
+		t.Fatalf("stopped at RMS %g, above target", res.RMS)
+	}
+	// A tighter target must need at least as many iterations.
+	res2, err := DigitalToAccuracy(b, u0, golden, 1e-6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations < res.Iterations {
+		t.Fatalf("tighter target took fewer iterations: %d < %d", res2.Iterations, res.Iterations)
+	}
+}
+
+func TestDigitalToAccuracyAlreadyThere(t *testing.T) {
+	b := mustRandomBurgers(t, 2, 0.5, 66)
+	golden, err := GoldenSolve(b, b.InitialGuess())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DigitalToAccuracy(b, golden, golden, 0.0538, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("starting at the golden solution should need 0 iterations, took %d", res.Iterations)
+	}
+}
+
+func TestDecomposeNonDividingTileShrinks(t *testing.T) {
+	// A 6×6 grid with a capacity suggesting 4×4 tiles must shrink to a
+	// divisor (3×3), still covering all unknowns exactly once.
+	tiles := decompose(6, 3)
+	if len(tiles) != 4 {
+		t.Fatalf("6×6 grid with 3×3 tiles should give 4 tiles, got %d", len(tiles))
+	}
+	seen := map[int]bool{}
+	for _, tl := range tiles {
+		for _, g := range tl.unknowns {
+			if seen[g] {
+				t.Fatalf("unknown %d covered twice", g)
+			}
+			seen[g] = true
+		}
+	}
+	if len(seen) != 72 {
+		t.Fatalf("expected 72 unknowns, got %d", len(seen))
+	}
+}
+
+func TestHybridInitialGuessValidation(t *testing.T) {
+	b := mustRandomBurgers(t, 2, 0.5, 67)
+	h := New(analog.NewPrototype(13))
+	if _, err := h.SolveBurgers(b, Options{InitialGuess: make([]float64, 3)}); err == nil {
+		t.Fatal("wrong-length initial guess must be rejected")
+	}
+}
+
+func TestHybridSkipAnalogReportsNoAnalogCost(t *testing.T) {
+	b := mustRandomBurgers(t, 2, 0.5, 68)
+	h := New(analog.NewPrototype(14))
+	rep, err := h.SolveBurgers(b, Options{SkipAnalog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnalogUsed || rep.AnalogSeconds != 0 || rep.AnalogEnergyJ != 0 {
+		t.Fatalf("cold solve must report zero analog cost: %+v", rep)
+	}
+	if rep.TotalSeconds != rep.DigitalSeconds {
+		t.Fatal("totals must equal the digital stage when analog is skipped")
+	}
+}
+
+func TestHybridGPUPerfTargetPricing(t *testing.T) {
+	b := mustRandomBurgers(t, 2, 0.5, 69)
+	h := New(analog.NewPrototype(15))
+	repCPU, err := h.SolveBurgers(b, Options{SkipAnalog: true, Perf: PerfCPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repGPU, err := h.SolveBurgers(b, Options{SkipAnalog: true, Perf: PerfGPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repCPU.Digital.Iterations != repGPU.Digital.Iterations {
+		t.Fatal("pricing target must not change the algorithm")
+	}
+	if repCPU.DigitalSeconds == repGPU.DigitalSeconds {
+		t.Fatal("CPU and GPU pricing should differ")
+	}
+	// For a tiny 8-unknown problem, GPU launch latency dominates: the GPU
+	// must be priced slower than the CPU (the paper offloads only large
+	// problems to the GPU).
+	if repGPU.DigitalSeconds < repCPU.DigitalSeconds {
+		t.Fatalf("tiny problems should be slower on the GPU model: GPU %g s vs CPU %g s",
+			repGPU.DigitalSeconds, repCPU.DigitalSeconds)
+	}
+}
+
+func TestSubProblemScatterRestrictRoundTrip(t *testing.T) {
+	b := mustRandomBurgers(t, 4, 1.0, 70)
+	global := b.InitialGuess()
+	tiles := decompose(4, 2)
+	sub := newSubProblem(b, tiles[2].unknowns, global)
+	u := sub.restrict(global)
+	for i := range u {
+		u[i] += 1.5
+	}
+	sub.scatter(u, global)
+	got := sub.restrict(global)
+	for i := range got {
+		if got[i] != u[i] {
+			t.Fatalf("scatter/restrict round trip failed at %d", i)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"hybridpde/internal/la"
+	"hybridpde/internal/nonlin"
+)
+
+// subProblem restricts a full nonlinear stencil system to a subset of its
+// unknowns, freezing the rest at the current global iterate — the
+// subproblem shape nonlinear Gauss-Seidel generates (§6.3). It implements
+// nonlin.SparseSystem so the accelerator and the digital solvers can both
+// consume it.
+type subProblem struct {
+	full     nonlin.SparseSystem
+	unknowns []int     // global indices owned by this subproblem
+	global   []float64 // working copy of the global iterate
+	fFull    []float64
+}
+
+func newSubProblem(full nonlin.SparseSystem, unknowns []int, globalState []float64) *subProblem {
+	return &subProblem{
+		full:     full,
+		unknowns: unknowns,
+		global:   la.Copy(globalState),
+		fFull:    make([]float64, full.Dim()),
+	}
+}
+
+// Dim returns the number of owned unknowns.
+func (s *subProblem) Dim() int { return len(s.unknowns) }
+
+// PolynomialDegree propagates the full system's degree (for the analog
+// dynamic-range scaler); stencils default to quadratic.
+func (s *subProblem) PolynomialDegree() int {
+	if d, ok := s.full.(interface{ PolynomialDegree() int }); ok {
+		return d.PolynomialDegree()
+	}
+	return 2
+}
+
+// restrict extracts this subproblem's unknowns from a global vector.
+func (s *subProblem) restrict(global []float64) []float64 {
+	out := make([]float64, len(s.unknowns))
+	for k, g := range s.unknowns {
+		out[k] = global[g]
+	}
+	return out
+}
+
+// scatter writes owned values back into a global vector.
+func (s *subProblem) scatter(sub, global []float64) {
+	for k, g := range s.unknowns {
+		global[g] = sub[k]
+	}
+}
+
+// Eval computes the owned residual rows with frozen neighbours.
+func (s *subProblem) Eval(u, f []float64) error {
+	if len(u) != len(s.unknowns) || len(f) != len(s.unknowns) {
+		return fmt.Errorf("core: subproblem Eval dimension mismatch")
+	}
+	s.scatter(u, s.global)
+	if err := s.full.Eval(s.global, s.fFull); err != nil {
+		return err
+	}
+	for k, g := range s.unknowns {
+		f[k] = s.fFull[g]
+	}
+	return nil
+}
+
+// JacobianCSR extracts the owned block of the full Jacobian.
+func (s *subProblem) JacobianCSR(u []float64) (*la.CSR, error) {
+	s.scatter(u, s.global)
+	j, err := s.full.JacobianCSR(s.global)
+	if err != nil {
+		return nil, err
+	}
+	return j.ExtractSubmatrix(s.unknowns), nil
+}
+
+var _ nonlin.SparseSystem = (*subProblem)(nil)

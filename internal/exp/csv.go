@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSV renders the Figure 7 series as comma-separated rows for plotting.
+func (r Fig7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("grid,re,trials,solved,digital_seconds,analog_seconds\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%d,%g,%d,%d,%g,%g\n",
+			p.GridN, p.Re, p.Trials, p.Solved, p.DigitalMeanS, p.AnalogMeanS)
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 8 series.
+func (r Fig8Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("re,trials,solved,baseline_seconds,baseline_std,seeded_seconds,seeded_std,baseline_damping\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%g,%d,%d,%g,%g,%g,%g,%g\n",
+			p.Re, p.Trials, p.Solved, p.BaselineMeanS, p.BaselineStdS,
+			p.SeededMeanS, p.SeededStdS, p.BaselineDamping)
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 9 bars.
+func (r Fig9Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("grid,decomposed,baseline_seconds,baseline_joules,analog_seconds,analog_joules,seeded_seconds,seeded_joules,time_reduction,energy_reduction\n")
+	for _, s := range r.Sizes {
+		fmt.Fprintf(&b, "%d,%v,%g,%g,%g,%g,%g,%g,%g,%g\n",
+			s.GridN, s.Decomposed, s.BaselineMeanS, s.BaselineMeanJ,
+			s.AnalogMeanS, s.AnalogMeanJ, s.SeededMeanS, s.SeededMeanJ,
+			s.TimeReduction, s.EnergyReduction)
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 6 histogram.
+func (r Fig6Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("bin_center_pct,count\n")
+	for k, c := range r.Histogram.Counts {
+		fmt.Fprintf(&b, "%g,%d\n", r.Histogram.BinCenter(k), c)
+	}
+	fmt.Fprintf(&b, "# total_rms_pct,%g\n", r.TotalRMSPct)
+	return b.String()
+}
+
+// CSVExporter is implemented by results with a tabular series form.
+type CSVExporter interface{ CSV() string }
+
+// WriteCSV saves a result's CSV form under dir as <name>.csv.
+func WriteCSV(dir, name string, r CSVExporter) (string, error) {
+	path := filepath.Join(dir, name+".csv")
+	if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,40 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation. Each driver runs the real solvers and the analog accelerator
+// model, gathers the measurements, and renders the same rows or series the
+// paper reports. DESIGN.md carries the per-experiment index; EXPERIMENTS.md
+// records paper-vs-measured numbers produced by these drivers.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks grids and trial counts so the full suite runs in
+	// seconds (used by tests); the default full scale matches the paper.
+	Quick bool
+	// Seed fixes all random draws.
+	Seed int64
+	// OutDir, when non-empty, is where image artifacts (PPM basin plots)
+	// are written.
+	OutDir string
+}
+
+func (c Config) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + salt))
+}
+
+// pick returns quick when Quick is set, full otherwise.
+func pick[T any](c Config, full, quick T) T {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// header renders a section banner for driver output.
+func header(title string) string {
+	return fmt.Sprintf("=== %s ===\n", title)
+}

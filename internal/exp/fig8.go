@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/core"
+	"hybridpde/internal/stats"
+)
+
+// Fig8Point is one Reynolds-number cell of Figure 8.
+type Fig8Point struct {
+	Re     float64
+	Trials int
+	Solved int
+	// Baseline damped-Newton digital solver (CPU model), to full
+	// double-precision accuracy.
+	BaselineMeanS float64
+	BaselineStdS  float64
+	// Analog-seeded digital solver.
+	SeededMeanS float64
+	SeededStdS  float64
+	// Mean damping parameter the baseline ended up needing.
+	BaselineDamping float64
+}
+
+// Fig8Result reproduces Figure 8: solution time vs Reynolds number for the
+// baseline and analog-seeded digital solvers at full precision. The paper's
+// shape: the baseline is flat (~0.07–0.15 s) until Re approaches 2.0, where
+// forced damping spikes it to 0.81 s with large variance, while the seeded
+// solver stays flat (~0.05–0.08 s) throughout.
+type Fig8Result struct {
+	GridN  int
+	Points []Fig8Point
+}
+
+// Fig8 runs the Reynolds sweep on the 16×16 problem (8×8 in quick mode).
+func Fig8(cfg Config) (Fig8Result, error) {
+	n := pick(cfg, 16, 4)
+	trials := pick(cfg, 16, 2)
+	reValues := pick(cfg,
+		[]float64{0.01, 0.02, 0.03, 0.06, 0.13, 0.25, 0.50, 1.00, 2.00},
+		[]float64{0.25, 2.00})
+	res := Fig8Result{GridN: n}
+	acc, err := analog.NewScaled(n, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	h := core.New(acc)
+	// Field amplitude calibration: the unit-coefficient stencil (Δt = Δx
+	// = Δy eliminated, §4.4) has a stronger effective nonlinearity per
+	// unit Re than the paper's discretisation. ±2.1 places the Re = 2.0
+	// endpoint in the same marginal-convergence regime the paper
+	// describes there ("Newton's method may have poor convergence"):
+	// the cold baseline needs damping ≈ 0.25–0.5 while the analog-seeded
+	// solver still converges undamped.
+	const bound = 2.1
+	for _, re := range reValues {
+		pt := Fig8Point{Re: re, Trials: trials}
+		var base, seeded, damps []float64
+		for t := 0; t < trials; t++ {
+			rng := cfg.rng(int64(8000 + t))
+			rng2 := rand.New(rand.NewSource(rng.Int63() + int64(1e6*re)))
+			b, _, u0, err := plantedBurgers(n, re, bound, rng2)
+			if err != nil {
+				return res, err
+			}
+			opts := core.Options{Perf: core.PerfCPU, InitialGuess: u0}
+			opts.Analog.DynamicRange = 1.5 * bound
+			repSeeded, errS := h.SolveBurgers(b, opts)
+			optsCold := opts
+			optsCold.SkipAnalog = true
+			repCold, errC := h.SolveBurgers(b, optsCold)
+			if errS != nil || errC != nil {
+				continue // count only mutually solvable draws, like the paper's 16 trials
+			}
+			base = append(base, repCold.DigitalSeconds)
+			seeded = append(seeded, repSeeded.TotalSeconds)
+			damps = append(damps, repCold.Digital.DampingUsed)
+			pt.Solved++
+		}
+		pt.BaselineMeanS = stats.Mean(base)
+		pt.BaselineStdS = stats.StdDev(base)
+		pt.SeededMeanS = stats.Mean(seeded)
+		pt.SeededStdS = stats.StdDev(seeded)
+		pt.BaselineDamping = stats.Mean(damps)
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// String renders the series.
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 8: solution time vs Reynolds number, baseline vs analog-seeded digital"))
+	fmt.Fprintf(&b, "grid %d×%d, full double-precision accuracy, CPU baseline pricing\n", r.GridN, r.GridN)
+	fmt.Fprintf(&b, "%-8s %8s %12s %12s %12s %12s %10s %9s\n",
+		"Re", "solved", "baseline s", "±σ", "seeded s", "±σ", "damping", "speedup")
+	for _, p := range r.Points {
+		speed := 0.0
+		if p.SeededMeanS > 0 {
+			speed = p.BaselineMeanS / p.SeededMeanS
+		}
+		fmt.Fprintf(&b, "%-8.2f %5d/%-2d %12.4f %12.4f %12.4f %12.4f %10.3f %8.1f×\n",
+			p.Re, p.Solved, p.Trials, p.BaselineMeanS, p.BaselineStdS,
+			p.SeededMeanS, p.SeededStdS, p.BaselineDamping, speed)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/core"
+	"hybridpde/internal/stats"
+)
+
+// Fig9Size is one problem-size column of Figure 9.
+type Fig9Size struct {
+	GridN  int
+	Trials int
+	Solved int
+	// Baseline: damped Newton offloading to the GPU sparse-QR kernel.
+	BaselineMeanS float64
+	BaselineMeanJ float64
+	// Analog seeding stage (direct or via red-black nonlinear
+	// Gauss-Seidel decomposition for the oversize problem).
+	AnalogMeanS float64
+	AnalogMeanJ float64
+	Decomposed  bool
+	// Seeded digital polish on the GPU.
+	SeededMeanS float64
+	SeededMeanJ float64
+	// Ratios the paper headlines.
+	TimeReduction   float64
+	EnergyReduction float64
+}
+
+// Fig9Result reproduces Figure 9: time and energy at Re = 2.0 for the GPU
+// baseline versus the analog-seeded GPU solver, at 16×16 and 32×32 (the
+// latter decomposed onto the 16×16 accelerator with red-black nonlinear
+// Gauss-Seidel). Paper headline: 5.7× time and 11.6× energy reduction at
+// 32×32.
+type Fig9Result struct {
+	Re    float64
+	Sizes []Fig9Size
+}
+
+// Fig9 runs the GPU-scale comparison.
+func Fig9(cfg Config) (Fig9Result, error) {
+	res := Fig9Result{Re: 2.0}
+	sizes := pick(cfg, []int{16, 32}, []int{4, 8})
+	accGrid := pick(cfg, 16, 4) // accelerator capacity grid (Table 4 limit)
+	trials := pick(cfg, 4, 2)
+	// Same amplitude calibration as Figure 8 (see fig8.go): Re = 2.0 with
+	// ±2.1 fields reproduces the paper's marginal-convergence regime.
+	const bound = 2.1
+	acc, err := analog.NewScaled(accGrid, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	h := core.New(acc)
+	for _, n := range sizes {
+		sz := Fig9Size{GridN: n, Trials: trials, Decomposed: n > accGrid}
+		var bt, bj, at, aj, st, sj []float64
+		for t := 0; t < trials; t++ {
+			rng := cfg.rng(int64(9000 + 10*n + t))
+			rng2 := rand.New(rand.NewSource(rng.Int63()))
+			b, _, u0, err := plantedBurgers(n, res.Re, bound, rng2)
+			if err != nil {
+				return res, err
+			}
+			opts := core.Options{Perf: core.PerfGPU, InitialGuess: u0}
+			opts.Analog.DynamicRange = 1.5 * bound
+			seeded, errS := h.SolveBurgers(b, opts)
+			optsCold := opts
+			optsCold.SkipAnalog = true
+			cold, errC := h.SolveBurgers(b, optsCold)
+			if errS != nil || errC != nil {
+				continue
+			}
+			bt = append(bt, cold.DigitalSeconds)
+			bj = append(bj, cold.DigitalEnergyJ)
+			at = append(at, seeded.AnalogSeconds)
+			aj = append(aj, seeded.AnalogEnergyJ)
+			st = append(st, seeded.DigitalSeconds)
+			sj = append(sj, seeded.DigitalEnergyJ)
+			sz.Solved++
+		}
+		sz.BaselineMeanS = stats.Mean(bt)
+		sz.BaselineMeanJ = stats.Mean(bj)
+		sz.AnalogMeanS = stats.Mean(at)
+		sz.AnalogMeanJ = stats.Mean(aj)
+		sz.SeededMeanS = stats.Mean(st)
+		sz.SeededMeanJ = stats.Mean(sj)
+		if tot := sz.AnalogMeanS + sz.SeededMeanS; tot > 0 {
+			sz.TimeReduction = sz.BaselineMeanS / tot
+		}
+		if tot := sz.AnalogMeanJ + sz.SeededMeanJ; tot > 0 {
+			sz.EnergyReduction = sz.BaselineMeanJ / tot
+		}
+		res.Sizes = append(res.Sizes, sz)
+	}
+	return res, nil
+}
+
+// String renders both panels of Figure 9.
+func (r Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 9: time and energy at GPU scale (Re = 2.0)"))
+	fmt.Fprintf(&b, "%-8s %8s %6s %14s %14s %14s %11s\n",
+		"size", "solved", "decomp", "baseline", "analog seed", "seeded digital", "reduction")
+	for _, s := range r.Sizes {
+		fmt.Fprintf(&b, "%2d×%-5d %5d/%-2d %6v %12.4f s %12.3g s %12.4f s %9.1f×\n",
+			s.GridN, s.GridN, s.Solved, s.Trials, s.Decomposed,
+			s.BaselineMeanS, s.AnalogMeanS, s.SeededMeanS, s.TimeReduction)
+		fmt.Fprintf(&b, "%-8s %8s %6s %12.4f J %12.3g J %12.4f J %9.1f×\n",
+			"", "", "", s.BaselineMeanJ, s.AnalogMeanJ, s.SeededMeanJ, s.EnergyReduction)
+	}
+	b.WriteString("paper (32×32): baseline 2.75 s / 194.2 J, seeded 0.48 s / 16.7 J → 5.7× time, 11.6× energy\n")
+	return b.String()
+}

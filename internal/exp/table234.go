@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/pde"
+)
+
+// Table2Result reproduces Table 2: the effect of the Reynolds number on the
+// character of the Burgers/Navier-Stokes equations, measured on actual
+// operator magnitudes instead of asserted qualitatively.
+type Table2Result struct {
+	Rows []pde.Character
+}
+
+// Table2 measures operator balance across a Reynolds sweep on a reference
+// random field.
+func Table2(cfg Config) (Table2Result, error) {
+	var out Table2Result
+	n := pick(cfg, 8, 4)
+	for _, re := range []float64{0.001, 0.01, 0.1, 1, 10, 100} {
+		rng := cfg.rng(2)
+		b, err := pde.RandomBurgers(n, re, 2.0, rng)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, pde.CharacterFor(b))
+	}
+	return out, nil
+}
+
+// String renders the table.
+func (r Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Table 2: effect of Reynolds number on PDE character"))
+	fmt.Fprintf(&b, "%-10s %-10s %-10s %-12s %-12s %-44s %s\n",
+		"Re", "|advect|", "|diffuse|", "viscosity", "diffusion", "dominant character", "nonlinearity")
+	for _, c := range r.Rows {
+		fmt.Fprintf(&b, "%-10.3g %-10.3g %-10.3g %-12s %-12s %-44s %s\n",
+			c.Re, c.AdvectiveMagnitude, c.DiffusiveMagnitude,
+			c.ViscosityLabel, c.DiffusionLabel, c.Dominant, c.Nonlinearity)
+	}
+	return b.String()
+}
+
+// Table3Result reproduces Table 3: per-variable analog component budget.
+type Table3Result struct {
+	Budget analog.ComponentBudget
+}
+
+// Table3 returns the encoded component budget (static data validated
+// against the tile inventory by the analog package's tests).
+func Table3(Config) Table3Result {
+	return Table3Result{Budget: analog.PrototypeBudget}
+}
+
+// String renders the component-use table.
+func (r Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Table 3: analog chip component use per PDE variable"))
+	blocks := []struct {
+		name string
+		blk  analog.BlockBudget
+	}{
+		{"nonlinear function", r.Budget.NonlinearFunction},
+		{"Jacobian matrix", r.Budget.JacobianMatrix},
+		{"quotient feedback loop", r.Budget.QuotientLoop},
+		{"Newton method feedback loop", r.Budget.NewtonLoop},
+		{"total", r.Budget.Totals()},
+	}
+	fmt.Fprintf(&b, "%-28s %10s %7s %10s %5s %10s %11s %10s %10s\n",
+		"block", "integrator", "fanout", "multiplier", "DAC", "tile input", "tile output", "area mm²", "power µW")
+	for _, blk := range blocks {
+		fmt.Fprintf(&b, "%-28s %10d %7d %10d %5d %10d %11d %10.2f %10.0f\n",
+			blk.name, blk.blk.Integrator, blk.blk.Fanout, blk.blk.Multiplier,
+			blk.blk.DAC, blk.blk.TileInput, blk.blk.TileOutput, blk.blk.AreaMM2, blk.blk.PowerUW)
+	}
+	return b.String()
+}
+
+// Table4Result reproduces Table 4: the area/power ladder of scaled-up
+// accelerators.
+type Table4Result struct {
+	Rows []analog.ScaleModel
+}
+
+// Table4 evaluates the scaling model at the paper's design points.
+func Table4(Config) (Table4Result, error) {
+	var out Table4Result
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		m, err := analog.ScaleModelFor(n)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	return out, nil
+}
+
+// String renders the ladder with the paper's reference values.
+func (r Table4Result) String() string {
+	paper := map[int][2]float64{
+		1: {1.38, 1.53}, 2: {5.50, 6.10}, 4: {22.02, 24.42},
+		8: {88.06, 97.66}, 16: {352.36, 390.66},
+	}
+	var b strings.Builder
+	b.WriteString(header("Table 4: area and power of scaled-up analog accelerators"))
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %14s %14s\n",
+		"solver size", "variables", "area mm²", "power mW", "paper area", "paper power")
+	for _, m := range r.Rows {
+		ref := paper[m.GridN]
+		fmt.Fprintf(&b, "%2d × %-7d %10d %12.2f %12.2f %14.2f %14.2f\n",
+			m.GridN, m.GridN, m.Variables, m.AreaMM2, m.PowerMW, ref[0], ref[1])
+	}
+	return b.String()
+}

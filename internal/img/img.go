@@ -1,0 +1,118 @@
+// Package img writes the basin-of-attraction images of Figures 2 and 3 as
+// binary PPM files (a zero-dependency raster format readable by any image
+// viewer or converter).
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Color is an 8-bit RGB triple.
+type Color struct{ R, G, B uint8 }
+
+// The palette used by the basin plots: one colour per root, plus the
+// paper's "pink" wrong-result region and black for no convergence.
+var (
+	Root0      = Color{230, 57, 70}   // red — root 0
+	Root1      = Color{69, 123, 157}  // blue — root 1
+	Root2      = Color{244, 211, 94}  // yellow — root 2
+	Root3      = Color{82, 183, 136}  // green — root 3
+	WrongPink  = Color{255, 175, 204} // settled on a non-root (Figure 3 pink)
+	NoConverge = Color{20, 20, 20}    // never settled
+)
+
+// RootPalette returns the colour for root index k (cycling past 4).
+func RootPalette(k int) Color {
+	switch k % 4 {
+	case 0:
+		return Root0
+	case 1:
+		return Root1
+	case 2:
+		return Root2
+	default:
+		return Root3
+	}
+}
+
+// Image is a simple RGB raster.
+type Image struct {
+	W, H int
+	pix  []Color
+}
+
+// New allocates a W×H image initialised to black.
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %d×%d", w, h))
+	}
+	return &Image{W: w, H: h, pix: make([]Color, w*h)}
+}
+
+// Set colours pixel (x, y); (0,0) is top-left.
+func (m *Image) Set(x, y int, c Color) {
+	if x < 0 || x >= m.W || y < 0 || y >= m.H {
+		panic(fmt.Sprintf("img: pixel (%d,%d) out of bounds %d×%d", x, y, m.W, m.H))
+	}
+	m.pix[y*m.W+x] = c
+}
+
+// At returns the pixel colour.
+func (m *Image) At(x, y int) Color { return m.pix[y*m.W+x] }
+
+// EncodePPM writes the image in binary PPM (P6) format.
+func (m *Image) EncodePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", m.W, m.H); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 3*m.W)
+	for y := 0; y < m.H; y++ {
+		buf = buf[:0]
+		for x := 0; x < m.W; x++ {
+			c := m.pix[y*m.W+x]
+			buf = append(buf, c.R, c.G, c.B)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePPM saves the image to a file.
+func (m *Image) WritePPM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.EncodePPM(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// BoundaryFraction measures basin fragmentation: the share of pixels whose
+// right or bottom neighbour has a different colour. Contiguous basins
+// (continuous Newton, Figure 2) score low; fractal basins (classical
+// Newton) score high.
+func (m *Image) BoundaryFraction() float64 {
+	if m.W < 2 || m.H < 2 {
+		return 0
+	}
+	edges, total := 0, 0
+	for y := 0; y < m.H-1; y++ {
+		for x := 0; x < m.W-1; x++ {
+			c := m.At(x, y)
+			if c != m.At(x+1, y) || c != m.At(x, y+1) {
+				edges++
+			}
+			total++
+		}
+	}
+	return float64(edges) / float64(total)
+}

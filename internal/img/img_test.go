@@ -1,0 +1,122 @@
+package img
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := New(4, 3)
+	c := Color{10, 20, 30}
+	m.Set(3, 2, c)
+	if m.At(3, 2) != c {
+		t.Fatal("Set/At round trip failed")
+	}
+	if m.At(0, 0) != (Color{}) {
+		t.Fatal("fresh pixels should be black")
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds pixel")
+		}
+	}()
+	New(2, 2).Set(2, 0, Color{})
+}
+
+func TestInvalidDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-sized image")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestEncodePPM(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, Color{255, 0, 0})
+	m.Set(1, 1, Color{0, 0, 255})
+	var buf bytes.Buffer
+	if err := m.EncodePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.Bytes()
+	if !strings.HasPrefix(string(s), "P6\n2 2\n255\n") {
+		t.Fatalf("bad PPM header: %q", s[:12])
+	}
+	body := s[len("P6\n2 2\n255\n"):]
+	if len(body) != 12 {
+		t.Fatalf("PPM body length %d, want 12", len(body))
+	}
+	if body[0] != 255 || body[1] != 0 || body[2] != 0 {
+		t.Fatal("pixel (0,0) not encoded as red")
+	}
+	if body[9] != 0 || body[10] != 0 || body[11] != 255 {
+		t.Fatal("pixel (1,1) not encoded as blue")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.ppm")
+	m := New(3, 3)
+	if err := m.WritePPM(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len("P6\n3 3\n255\n")+27 {
+		t.Fatalf("file size %d unexpected", len(data))
+	}
+}
+
+func TestBoundaryFraction(t *testing.T) {
+	// Uniform image: no boundaries.
+	m := New(8, 8)
+	if f := m.BoundaryFraction(); f != 0 {
+		t.Fatalf("uniform image boundary fraction %g, want 0", f)
+	}
+	// Vertical split: boundary only along one column.
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			m.Set(x, y, Color{255, 255, 255})
+		}
+	}
+	split := m.BoundaryFraction()
+	if split <= 0 || split > 0.3 {
+		t.Fatalf("split image fraction %g out of range", split)
+	}
+	// Checkerboard: maximal fragmentation.
+	cb := New(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if (x+y)%2 == 0 {
+				cb.Set(x, y, Color{255, 255, 255})
+			}
+		}
+	}
+	if cbf := cb.BoundaryFraction(); cbf <= split {
+		t.Fatalf("checkerboard (%g) must be more fragmented than split (%g)", cbf, split)
+	}
+}
+
+func TestRootPalette(t *testing.T) {
+	seen := map[Color]bool{}
+	for k := 0; k < 4; k++ {
+		seen[RootPalette(k)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("palette should have 4 distinct colours, got %d", len(seen))
+	}
+	if RootPalette(5) != RootPalette(1) {
+		t.Fatal("palette should cycle")
+	}
+}

@@ -1,0 +1,260 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// BandLU is an LU factorization with partial pivoting of a banded matrix,
+// the workhorse direct solver for the stencil Jacobians produced by the PDE
+// discretizations. With nodes interleaved (u,v per grid point) the 2-D
+// Burgers Jacobian has bandwidth O(grid width), so the factorization costs
+// O(n·b²) instead of O(n³) — this plays the role of the sparse direct
+// (cuSolver QR) kernel of the paper's GPU baseline.
+//
+// Storage is row-contiguous: working row i holds matrix columns
+// i−kl … i+ku+kl at data[i*w : (i+1)*w], w = 2·kl+ku+1; entry (i, j) sits
+// at offset j−i+kl. The extra kl columns per row absorb fill from row
+// interchanges, and every elimination update is unit-stride.
+type BandLU struct {
+	n, kl, ku int
+	w         int // row width = 2·kl+ku+1
+	data      []float64
+	piv       []int
+	// FactorOps counts the floating-point multiply-adds performed, so the
+	// performance models can price the solve.
+	FactorOps int64
+}
+
+// Bandwidths returns the lower and upper bandwidths of a sparse matrix.
+func Bandwidths(a *CSR) (kl, ku int) {
+	for i := 0; i < a.Rows(); i++ {
+		cols, _ := a.RowNNZ(i)
+		for _, j := range cols {
+			if d := i - j; d > kl {
+				kl = d
+			}
+			if d := j - i; d > ku {
+				ku = d
+			}
+		}
+	}
+	return kl, ku
+}
+
+// NewBandLUWorkspace preallocates a factorization workspace for repeated
+// factorizations of same-shaped matrices (the analog circuit simulation
+// factors one Jacobian per derivative evaluation).
+func NewBandLUWorkspace(n, kl, ku int) *BandLU {
+	w := 2*kl + ku + 1
+	return &BandLU{n: n, kl: kl, ku: ku, w: w, data: make([]float64, n*w), piv: make([]int, n)}
+}
+
+// FactorBandLU factors the banded matrix a (square CSR) with partial
+// pivoting, allocating a fresh workspace.
+func FactorBandLU(a *CSR) (*BandLU, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("la: band LU of non-square %d×%d matrix", a.Rows(), a.Cols())
+	}
+	kl, ku := Bandwidths(a)
+	f := NewBandLUWorkspace(a.Rows(), kl, ku)
+	return f, f.FactorFrom(a)
+}
+
+// FactorFrom loads a into the workspace and factors it. a's dimensions and
+// bandwidths must fit the workspace.
+func (f *BandLU) FactorFrom(a *CSR) error {
+	if a.Rows() != f.n || a.Cols() != f.n {
+		return fmt.Errorf("la: band workspace is %d×%d, matrix is %d×%d", f.n, f.n, a.Rows(), a.Cols())
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.FactorOps = 0
+	for i := 0; i < f.n; i++ {
+		cols, vals := a.RowNNZ(i)
+		row := f.data[i*f.w : (i+1)*f.w]
+		for k, j := range cols {
+			off := j - i + f.kl
+			if off < 0 || off > f.kl+f.ku {
+				// The entry lies outside the declared band (only possible
+				// when the workspace was sized for a narrower matrix).
+				return fmt.Errorf("la: entry (%d,%d) outside band kl=%d ku=%d", i, j, f.kl, f.ku)
+			}
+			row[off] = vals[k]
+		}
+	}
+	return f.factor()
+}
+
+func (f *BandLU) factor() error {
+	n, kl, ku, w := f.n, f.kl, f.ku, f.w
+	data := f.data
+	var ops int64
+	for k := 0; k < n; k++ {
+		// Partial pivot among rows k..min(k+kl, n-1); element (i, k) is
+		// at data[i*w + k-i+kl].
+		iHi := min(k+kl, n-1)
+		iMax := k
+		vMax := math.Abs(data[k*w+kl])
+		for i := k + 1; i <= iHi; i++ {
+			if v := math.Abs(data[i*w+k-i+kl]); v > vMax {
+				iMax, vMax = i, v
+			}
+		}
+		if vMax == 0 {
+			return ErrSingular
+		}
+		f.piv[k] = iMax
+		jHi := min(k+ku+kl, n-1) // swaps and updates touch the fill region
+		span := jHi - k + 1
+		rowK := data[k*w+kl : k*w+kl+span] // columns k..jHi of row k
+		if iMax != k {
+			rowM := data[iMax*w+k-iMax+kl : iMax*w+k-iMax+kl+span]
+			for t := 0; t < span; t++ {
+				rowK[t], rowM[t] = rowM[t], rowK[t]
+			}
+		}
+		pivot := rowK[0]
+		for i := k + 1; i <= iHi; i++ {
+			base := i*w + k - i + kl
+			m := data[base] / pivot
+			data[base] = m
+			if m == 0 {
+				continue
+			}
+			rowI := data[base : base+span]
+			for t := 1; t < span; t++ {
+				rowI[t] -= m * rowK[t]
+			}
+			ops += int64(span - 1)
+		}
+	}
+	f.FactorOps = ops
+	return nil
+}
+
+// Solve solves A·x = b into dst. dst and b may alias.
+func (f *BandLU) Solve(dst, b []float64) error {
+	if len(b) != f.n || len(dst) != f.n {
+		return fmt.Errorf("la: band solve length mismatch: n=%d len(b)=%d len(dst)=%d", f.n, len(b), len(dst))
+	}
+	n, kl, ku, w := f.n, f.kl, f.ku, f.w
+	data := f.data
+	x := Copy(b)
+	// Forward substitution applying the recorded row swaps.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+		xk := x[k]
+		if xk == 0 {
+			continue
+		}
+		iHi := min(k+kl, n-1)
+		for i := k + 1; i <= iHi; i++ {
+			x[i] -= data[i*w+k-i+kl] * xk
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := data[i*w : (i+1)*w]
+		s := x[i]
+		jHi := min(i+ku+kl, n-1)
+		for j := i + 1; j <= jHi; j++ {
+			s -= row[j-i+kl] * x[j]
+		}
+		d := row[kl]
+		if d == 0 {
+			return ErrSingular
+		}
+		x[i] = s / d
+	}
+	copy(dst, x)
+	return nil
+}
+
+// SolveInto is Solve without the defensive copy: b is consumed as scratch.
+func (f *BandLU) SolveInto(x []float64) error {
+	if len(x) != f.n {
+		return fmt.Errorf("la: band SolveInto length mismatch: n=%d len(x)=%d", f.n, len(x))
+	}
+	return f.Solve(x, x)
+}
+
+// SolveSparse factors and solves a sparse system in one call, choosing the
+// banded direct solver. It returns the solution and the factorization (for
+// op accounting).
+func SolveSparse(a *CSR, b []float64) ([]float64, *BandLU, error) {
+	f, err := FactorBandLU(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := make([]float64, len(b))
+	if err := f.Solve(x, b); err != nil {
+		return nil, f, err
+	}
+	return x, f, nil
+}
+
+// FactorNormalFrom loads the regularised normal equations AᵀA + εI into the
+// workspace and factors them. If A has bandwidths (klA, kuA), AᵀA has
+// bandwidth klA+kuA on both sides, which the workspace must accommodate.
+//
+// This is the smooth (Levenberg–Marquardt-like) form of the analog quotient
+// loop: unlike a shifted direct solve, (AᵀA+εI)⁻¹Aᵀg stays bounded and
+// continuous as singular values of A cross zero, exactly like the physical
+// finite-gain gradient-descent circuit it models.
+func (f *BandLU) FactorNormalFrom(a *CSR, eps float64) error {
+	if a.Rows() != f.n || a.Cols() != f.n {
+		return fmt.Errorf("la: band workspace is %d×%d, matrix is %d×%d", f.n, f.n, a.Rows(), a.Cols())
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.FactorOps = 0
+	w, kl := f.w, f.kl
+	// (AᵀA)ij = Σ_k A[k][i]·A[k][j]: accumulate over the nnz pairs of each
+	// row of A.
+	for k := 0; k < f.n; k++ {
+		cols, vals := a.RowNNZ(k)
+		for p, i := range cols {
+			vi := vals[p]
+			if vi == 0 {
+				continue
+			}
+			base := i*w - i + kl
+			for q, j := range cols {
+				off := j - i
+				if off < -f.kl || off > f.ku {
+					return fmt.Errorf("la: normal-equation entry (%d,%d) outside band kl=%d ku=%d", i, j, f.kl, f.ku)
+				}
+				f.data[base+j] += vi * vals[q]
+			}
+		}
+	}
+	for i := 0; i < f.n; i++ {
+		f.data[i*w+kl] += eps
+	}
+	return f.factor()
+}
+
+// MulTransVec computes dst = Aᵀ·x.
+func (m *CSR) MulTransVec(dst, x []float64) {
+	if len(x) != m.rows || len(dst) != m.cols {
+		panic(fmt.Sprintf("la: MulTransVec mismatch: %d×%d with %d into %d", m.rows, m.cols, len(x), len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for k := 0; k < m.rows; k++ {
+		xk := x[k]
+		if xk == 0 {
+			continue
+		}
+		lo, hi := m.rowPtr[k], m.rowPtr[k+1]
+		for t := lo; t < hi; t++ {
+			dst[m.colIdx[t]] += m.vals[t] * xk
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package la
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestBandwidths(t *testing.T) {
+	a := laplacian1D(6)
+	kl, ku := Bandwidths(a)
+	if kl != 1 || ku != 1 {
+		t.Fatalf("bandwidths = (%d,%d), want (1,1)", kl, ku)
+	}
+	b := laplacian2D(4, 4)
+	kl, ku = Bandwidths(b)
+	if kl != 4 || ku != 4 {
+		t.Fatalf("2-D bandwidths = (%d,%d), want (4,4)", kl, ku)
+	}
+}
+
+func TestBandLUTridiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := laplacian1D(40)
+	want := randomVec(rng, 40)
+	b := make([]float64, 40)
+	a.MulVec(b, want)
+	x, _, err := SolveSparse(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecAlmostEq(t, x, want, 1e-10)
+}
+
+func TestBandLUMatchesDenseLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(25)
+		kl := 1 + rng.Intn(3)
+		ku := 1 + rng.Intn(3)
+		bld := NewCOO(n, n)
+		dn := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := max(0, i-kl); j <= min(n-1, i+ku); j++ {
+				v := rng.NormFloat64()
+				if i == j {
+					v += float64(kl+ku) + 2 // diagonally dominant
+				}
+				bld.Append(i, j, v)
+				dn.Set(i, j, v)
+			}
+		}
+		a := bld.ToCSR()
+		rhs := randomVec(rng, n)
+		xBand, _, err := SolveSparse(a, rhs)
+		if err != nil {
+			t.Fatalf("trial %d band: %v", trial, err)
+		}
+		xDense, err := SolveDense(dn, rhs)
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		vecAlmostEq(t, xBand, xDense, 1e-9)
+	}
+}
+
+func TestBandLUNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row interchange.
+	bld := NewCOO(3, 3)
+	bld.Append(0, 0, 0)
+	bld.Append(0, 1, 1)
+	bld.Append(1, 0, 1)
+	bld.Append(1, 1, 1)
+	bld.Append(1, 2, 1)
+	bld.Append(2, 1, 1)
+	bld.Append(2, 2, 2)
+	a := bld.ToCSR()
+	want := []float64{1, 2, 3}
+	b := make([]float64, 3)
+	a.MulVec(b, want)
+	x, _, err := SolveSparse(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecAlmostEq(t, x, want, 1e-12)
+}
+
+func TestBandLUSingular(t *testing.T) {
+	bld := NewCOO(2, 2)
+	bld.Append(0, 0, 1)
+	bld.Append(0, 1, 2)
+	bld.Append(1, 0, 2)
+	bld.Append(1, 1, 4)
+	_, _, err := SolveSparse(bld.ToCSR(), []float64{1, 2})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestBandLUPoisson2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := laplacian2D(12, 12)
+	want := randomVec(rng, 144)
+	b := make([]float64, 144)
+	a.MulVec(b, want)
+	x, f, err := SolveSparse(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecAlmostEq(t, x, want, 1e-9)
+	if f.FactorOps <= 0 {
+		t.Fatal("FactorOps should count elimination work")
+	}
+}
+
+func TestFactorNormalFromMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(20)
+		// Random banded matrix, possibly singular — normal equations must
+		// still factor thanks to the εI shift.
+		bld := NewCOO(n, n)
+		dn := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := max(0, i-2); j <= min(n-1, i+1); j++ {
+				v := rng.NormFloat64()
+				bld.Append(i, j, v)
+				dn.Set(i, j, v)
+			}
+		}
+		a := bld.ToCSR()
+		const eps = 1e-3
+		ws := NewBandLUWorkspace(n, 3, 3)
+		if err := ws.FactorNormalFrom(a, eps); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Dense reference: (AᵀA + εI)·x = Aᵀ·g.
+		at := dn.Transpose()
+		ata := Mul(at, dn)
+		for i := 0; i < n; i++ {
+			ata.Add(i, i, eps)
+		}
+		g := randomVec(rng, n)
+		atg := make([]float64, n)
+		a.MulTransVec(atg, g)
+		// Cross-check MulTransVec against the dense transpose.
+		atgDense := make([]float64, n)
+		at.MulVec(atgDense, g)
+		vecAlmostEq(t, atg, atgDense, 1e-12)
+
+		want, err := SolveDense(ata, atg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Copy(atg)
+		if err := ws.SolveInto(got); err != nil {
+			t.Fatal(err)
+		}
+		vecAlmostEq(t, got, want, 1e-8)
+	}
+}
+
+func TestFactorNormalFromSingularMatrix(t *testing.T) {
+	// An exactly singular matrix: the shifted normal equations still
+	// factor and the solve direction vanishes along the null space input.
+	bld := NewCOO(2, 2)
+	bld.Append(0, 0, 1)
+	bld.Append(0, 1, 1)
+	bld.Append(1, 0, 1)
+	bld.Append(1, 1, 1)
+	a := bld.ToCSR()
+	ws := NewBandLUWorkspace(2, 2, 2)
+	if err := ws.FactorNormalFrom(a, 1e-3); err != nil {
+		t.Fatalf("shifted normal equations must factor a singular matrix: %v", err)
+	}
+}
+
+func TestBandWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a1 := laplacian1D(10)
+	ws := NewBandLUWorkspace(10, 1, 1)
+	if err := ws.FactorFrom(a1); err != nil {
+		t.Fatal(err)
+	}
+	want := randomVec(rng, 10)
+	b := make([]float64, 10)
+	a1.MulVec(b, want)
+	x := make([]float64, 10)
+	if err := ws.Solve(x, b); err != nil {
+		t.Fatal(err)
+	}
+	vecAlmostEq(t, x, want, 1e-10)
+	// Refactor different values in the same workspace.
+	a2 := a1.Clone()
+	a2.Scale(2)
+	if err := ws.FactorFrom(a2); err != nil {
+		t.Fatal(err)
+	}
+	a2.MulVec(b, want)
+	if err := ws.Solve(x, b); err != nil {
+		t.Fatal(err)
+	}
+	vecAlmostEq(t, x, want, 1e-10)
+}

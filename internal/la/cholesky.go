@@ -1,0 +1,85 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky is the LLᵀ factorization of a symmetric positive-definite dense
+// matrix — the natural factorization for the normal-equation systems the
+// analog quotient loop's fixed point corresponds to, and for the SPD
+// stencil matrices of the elliptic workloads.
+type Cholesky struct {
+	n int
+	l *Dense
+}
+
+// ErrNotSPD is returned when the matrix is not (numerically) symmetric
+// positive definite.
+var ErrNotSPD = fmt.Errorf("la: matrix is not positive definite: %w", ErrSingular)
+
+// FactorCholesky computes the lower-triangular factor of a. Only the lower
+// triangle of a is read; a is not modified.
+func FactorCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("la: Cholesky of non-square %d×%d matrix", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	f := &Cholesky{n: n, l: NewDense(n, n)}
+	l := f.l
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b into dst. dst and b may alias.
+func (f *Cholesky) Solve(dst, b []float64) error {
+	if len(b) != f.n || len(dst) != f.n {
+		return fmt.Errorf("la: Cholesky solve length mismatch")
+	}
+	l := f.l
+	y := Copy(b)
+	// Forward: L·y = b.
+	for i := 0; i < f.n; i++ {
+		s := y[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	for i := f.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < f.n; k++ {
+			s -= l.At(k, i) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	copy(dst, y)
+	return nil
+}
+
+// LogDet returns log(det A) = 2·Σ log L_ii, useful for diagnostics.
+func (f *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < f.n; i++ {
+		s += math.Log(f.l.At(i, i))
+	}
+	return 2 * s
+}

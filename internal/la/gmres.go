@@ -1,0 +1,155 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// GMRESOptions configures the restarted GMRES solver.
+type GMRESOptions struct {
+	Tol     float64        // relative residual target; default 1e-10
+	Restart int            // Krylov subspace size before restart; default 30
+	MaxIter int            // total iteration budget; default 10·n
+	M       Preconditioner // left preconditioner; default identity
+}
+
+func (o *GMRESOptions) defaults(n int) {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Restart <= 0 {
+		o.Restart = 30
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10 * n
+	}
+	if o.M == nil {
+		o.M = IdentityPreconditioner{}
+	}
+}
+
+// GMRES solves the general system A·x = b with restarted GMRES(m), the
+// other workhorse Krylov method for the nonsymmetric systems implicit PDE
+// solvers produce. Arnoldi orthogonalisation uses modified Gram-Schmidt;
+// the least-squares problem is solved with Givens rotations.
+func GMRES(a *CSR, x, b []float64, opts GMRESOptions) (IterStats, error) {
+	n := len(b)
+	if a.Rows() != n || a.Cols() != n || len(x) != n {
+		return IterStats{}, fmt.Errorf("la: GMRES dimension mismatch")
+	}
+	opts.defaults(n)
+	m := opts.Restart
+	if m > n {
+		m = n
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	// Workspace: Krylov basis V, Hessenberg H, Givens rotations.
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := NewDense(m+1, m)
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	w := make([]float64, n)
+
+	var st IterStats
+	for st.Iterations < opts.MaxIter {
+		// Restart cycle: r = M⁻¹(b − A·x).
+		a.Residual(r, b, x)
+		opts.M.Apply(z, r)
+		beta := Norm2(z)
+		st.Residual = Norm2(r)
+		if st.Residual <= opts.Tol*bnorm {
+			st.Converged = true
+			return st, nil
+		}
+		if beta == 0 {
+			return st, ErrBreakdown
+		}
+		for i := range z {
+			v[0][i] = z[i] / beta
+		}
+		Fill(g, 0)
+		g[0] = beta
+		h.Zero()
+
+		k := 0
+		for ; k < m && st.Iterations < opts.MaxIter; k++ {
+			st.Iterations++
+			// w = M⁻¹·A·v_k.
+			a.MulVec(r, v[k])
+			opts.M.Apply(w, r)
+			// Modified Gram-Schmidt against v_0..v_k.
+			for i := 0; i <= k; i++ {
+				hik := Dot(w, v[i])
+				h.Set(i, k, hik)
+				Axpy(-hik, v[i], w)
+			}
+			wn := Norm2(w)
+			h.Set(k+1, k, wn)
+			if wn > 1e-300 {
+				for i := range w {
+					v[k+1][i] = w[i] / wn
+				}
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h.At(i, k) + sn[i]*h.At(i+1, k)
+				h.Set(i+1, k, -sn[i]*h.At(i, k)+cs[i]*h.At(i+1, k))
+				h.Set(i, k, t)
+			}
+			// New rotation annihilating H(k+1, k).
+			denom := math.Hypot(h.At(k, k), h.At(k+1, k))
+			if denom == 0 {
+				return st, ErrBreakdown
+			}
+			cs[k] = h.At(k, k) / denom
+			sn[k] = h.At(k+1, k) / denom
+			h.Set(k, k, denom)
+			h.Set(k+1, k, 0)
+			g[k+1] = -sn[k] * g[k]
+			g[k] *= cs[k]
+			// |g[k+1]| is the preconditioned residual norm estimate.
+			if math.Abs(g[k+1]) <= opts.Tol*bnorm {
+				k++
+				break
+			}
+			if wn <= 1e-300 {
+				// Happy breakdown: exact solution in the current space.
+				k++
+				break
+			}
+		}
+		// Solve the k×k triangular system and update x.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h.At(i, j) * y[j]
+			}
+			d := h.At(i, i)
+			if d == 0 {
+				return st, ErrBreakdown
+			}
+			y[i] = s / d
+		}
+		for i := 0; i < k; i++ {
+			Axpy(y[i], v[i], x)
+		}
+	}
+	a.Residual(r, b, x)
+	st.Residual = Norm2(r)
+	st.Converged = st.Residual <= opts.Tol*bnorm
+	if !st.Converged {
+		return st, ErrNoConvergence
+	}
+	return st, nil
+}

@@ -1,0 +1,215 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGMRESOnNonsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	n := 90
+	bld := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		bld.Append(i, i, 3)
+		if i > 0 {
+			bld.Append(i, i-1, -1.6)
+		}
+		if i < n-1 {
+			bld.Append(i, i+1, -0.4)
+		}
+	}
+	a := bld.ToCSR()
+	want := randomVec(rng, n)
+	b := make([]float64, n)
+	a.MulVec(b, want)
+	x := make([]float64, n)
+	st, err := GMRES(a, x, b, GMRESOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("GMRES did not converge")
+	}
+	vecAlmostEq(t, x, want, 1e-6)
+}
+
+func TestGMRESRestartStillConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := laplacian2D(9, 9)
+	want := randomVec(rng, 81)
+	b := make([]float64, 81)
+	a.MulVec(b, want)
+	x := make([]float64, 81)
+	st, err := GMRES(a, x, b, GMRESOptions{Tol: 1e-10, Restart: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("restarted GMRES(5) should still converge on the Laplacian")
+	}
+	vecAlmostEq(t, x, want, 1e-5)
+}
+
+func TestGMRESPreconditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	a := laplacian2D(10, 10)
+	want := randomVec(rng, 100)
+	b := make([]float64, 100)
+	a.MulVec(b, want)
+	ilu, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPre := make([]float64, 100)
+	stPre, err := GMRES(a, xPre, b, GMRESOptions{Tol: 1e-10, M: ilu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPlain := make([]float64, 100)
+	stPlain, err := GMRES(a, xPlain, b, GMRESOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPre.Iterations >= stPlain.Iterations {
+		t.Fatalf("ILU0-GMRES (%d iters) not faster than plain (%d)", stPre.Iterations, stPlain.Iterations)
+	}
+	vecAlmostEq(t, xPre, want, 1e-5)
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := laplacian1D(6)
+	x := []float64{1, 1, 1, 1, 1, 1}
+	if _, err := GMRES(a, x, make([]float64, 6), GMRESOptions{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(x) > 1e-6 {
+		t.Fatalf("GMRES with zero RHS should drive x to 0, got %g", Norm2(x))
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		// SPD matrix: BᵀB + I.
+		bm := randomDense(rng, n, n)
+		a := Mul(bm.Transpose(), bm)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 1)
+		}
+		f, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := randomVec(rng, n)
+		rhs := make([]float64, n)
+		a.MulVec(rhs, want)
+		x := make([]float64, n)
+		if err := f.Solve(x, rhs); err != nil {
+			t.Fatal(err)
+		}
+		vecAlmostEq(t, x, want, 1e-8)
+		// Log-determinant consistency with LU.
+		lu, err := FactorLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f.LogDet()-math.Log(lu.Det())) > 1e-8*(1+math.Abs(f.LogDet())) {
+			t.Fatalf("LogDet %g vs LU log-det %g", f.LogDet(), math.Log(lu.Det()))
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := FactorCholesky(a); err == nil {
+		t.Fatal("indefinite matrix must be rejected")
+	}
+}
+
+func TestMultigridVCycleConvergence(t *testing.T) {
+	mg, err := NewMultigrid(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(64))
+	n2 := 31 * 31
+	want := randomVec(rng, n2)
+	rhs := make([]float64, n2)
+	mg.Matrix().MulVec(rhs, want)
+	x := make([]float64, n2)
+	st, err := mg.Solve(x, rhs, 1e-9, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("multigrid did not converge")
+	}
+	vecAlmostEq(t, x, want, 1e-5)
+	// Textbook multigrid: convergence in O(10) cycles, independent of n.
+	if st.Iterations > 25 {
+		t.Fatalf("V-cycles should converge fast, took %d", st.Iterations)
+	}
+}
+
+func TestMultigridGridSizeIndependence(t *testing.T) {
+	cycles := map[int]int{}
+	for _, n := range []int{15, 31} {
+		mg, err := NewMultigrid(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(65))
+		n2 := n * n
+		want := randomVec(rng, n2)
+		rhs := make([]float64, n2)
+		mg.Matrix().MulVec(rhs, want)
+		x := make([]float64, n2)
+		st, err := mg.Solve(x, rhs, 1e-8, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[n] = st.Iterations
+	}
+	// Mesh-independent convergence: cycle counts within a factor ~2.
+	if cycles[31] > 2*cycles[15]+2 {
+		t.Fatalf("V-cycle count should be mesh-independent: %v", cycles)
+	}
+}
+
+func TestMultigridRejectsBadSize(t *testing.T) {
+	if _, err := NewMultigrid(10); err == nil {
+		t.Fatal("n must be 2^k − 1")
+	}
+	if _, err := NewMultigrid(0); err == nil {
+		t.Fatal("n must be positive")
+	}
+}
+
+func TestMultigridBeatsGaussSeidelSweeps(t *testing.T) {
+	// The whole point: V-cycles converge orders of magnitude faster than
+	// plain Gauss-Seidel on the same operator.
+	n := 31
+	mg, err := NewMultigrid(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(66))
+	n2 := n * n
+	want := randomVec(rng, n2)
+	rhs := make([]float64, n2)
+	mg.Matrix().MulVec(rhs, want)
+
+	xmg := make([]float64, n2)
+	stMG, err := mg.Solve(xmg, rhs, 1e-8, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xgs := make([]float64, n2)
+	stGS, _ := SOR(mg.Matrix(), xgs, rhs, SOROptions{Omega: 1, Tol: 1e-8, MaxIter: 40})
+	if stGS.Converged && stGS.Iterations <= stMG.Iterations {
+		t.Fatalf("Gauss-Seidel should not beat multigrid here: GS %d sweeps vs MG %d cycles",
+			stGS.Iterations, stMG.Iterations)
+	}
+}

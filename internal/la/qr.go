@@ -1,0 +1,111 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR is a Householder QR factorization A = Q·R of an m×n matrix with m ≥ n.
+// It is the dense stand-in for the sparse QR kernel the paper offloads to
+// cuSolver on the GPU baseline; the hybrid solver uses it for least-squares
+// steps and as a robust alternative to LU on ill-conditioned Jacobians.
+type QR struct {
+	m, n int
+	qr   *Dense    // Householder vectors below diagonal, R on and above
+	tau  []float64 // Householder coefficients
+}
+
+// FactorQR computes the QR factorization of a (m ≥ n). a is not modified.
+func FactorQR(a *Dense) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("la: QR requires rows ≥ cols, got %d×%d", m, n)
+	}
+	f := &QR{m: m, n: n, qr: a.Clone(), tau: make([]float64, n)}
+	qr := f.qr
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			f.tau[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Add(k, k, 1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Add(i, j, s*qr.At(i, k))
+			}
+		}
+		// R(k,k) = −norm; the column below holds the scaled reflector.
+		f.tau[k] = norm
+	}
+	return f, nil
+}
+
+// rDiag returns R(k,k), which FactorQR stashed in tau.
+func (f *QR) rDiag(k int) float64 { return -f.tau[k] }
+
+// Solve solves the least-squares problem min ‖A·x − b‖₂, writing the n-vector
+// solution into dst. For square nonsingular A this is the exact solve.
+func (f *QR) Solve(dst, b []float64) error {
+	if len(b) != f.m || len(dst) != f.n {
+		return fmt.Errorf("la: QR solve length mismatch: m=%d n=%d len(b)=%d len(dst)=%d", f.m, f.n, len(b), len(dst))
+	}
+	qr := f.qr
+	y := Copy(b)
+	// Apply Qᵀ to y.
+	for k := 0; k < f.n; k++ {
+		vk := qr.At(k, k)
+		if vk == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < f.m; i++ {
+			s += qr.At(i, k) * y[i]
+		}
+		s = -s / vk
+		for i := k; i < f.m; i++ {
+			y[i] += s * qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	for i := f.n - 1; i >= 0; i-- {
+		d := f.rDiag(i)
+		if d == 0 {
+			return ErrSingular
+		}
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= qr.At(i, j) * y[j]
+		}
+		y[i] = s / d
+	}
+	copy(dst, y[:f.n])
+	return nil
+}
+
+// Rank estimates the numerical rank from the diagonal of R relative to tol.
+func (f *QR) Rank(tol float64) int {
+	r := 0
+	for k := 0; k < f.n; k++ {
+		if math.Abs(f.rDiag(k)) > tol {
+			r++
+		}
+	}
+	return r
+}

@@ -1,0 +1,38 @@
+package la
+
+import "fmt"
+
+// SolveTridiagonal solves the tridiagonal system with sub-diagonal a,
+// diagonal b and super-diagonal c by the Thomas algorithm with partial
+// stability safeguard (falls back to ErrSingular on vanishing pivots).
+// a[0] and c[n−1] are ignored. The solution is written into dst; rhs is
+// not modified. O(n) — the natural kernel for 1-D PDE steps.
+func SolveTridiagonal(dst, a, b, c, rhs []float64) error {
+	n := len(b)
+	if len(a) != n || len(c) != n || len(rhs) != n || len(dst) != n {
+		return fmt.Errorf("la: tridiagonal length mismatch")
+	}
+	if n == 0 {
+		return nil
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if b[0] == 0 {
+		return ErrSingular
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = rhs[0] / b[0]
+	for i := 1; i < n; i++ {
+		m := b[i] - a[i]*cp[i-1]
+		if m == 0 {
+			return ErrSingular
+		}
+		cp[i] = c[i] / m
+		dp[i] = (rhs[i] - a[i]*dp[i-1]) / m
+	}
+	dst[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		dst[i] = dp[i] - cp[i]*dst[i+1]
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package nonlin
+
+import (
+	"errors"
+
+	"hybridpde/internal/la"
+)
+
+// Broyden solves F(u) = 0 with Broyden's good quasi-Newton method: the
+// Jacobian is evaluated once and then updated by rank-one corrections, so
+// each iteration avoids a fresh factorization. It is not part of the paper's
+// evaluation but serves as the "cheaper digital iteration" ablation point:
+// it trades Jacobian work for a larger iteration count and a smaller basin
+// of convergence.
+func Broyden(sys System, u0 []float64, opts NewtonOptions) (Result, error) {
+	opts.defaults()
+	n := sys.Dim()
+	if len(u0) != n {
+		return Result{}, errors.New("nonlin: initial guess has wrong dimension")
+	}
+	u := la.Copy(u0)
+	f := make([]float64, n)
+	fNew := make([]float64, n)
+	delta := make([]float64, n)
+	var res Result
+	res.U = u
+	res.Attempts = 1
+	res.DampingUsed = opts.Damping
+
+	if err := sys.Eval(u, f); err != nil {
+		return res, err
+	}
+	res.Residual = la.Norm2(f)
+	if res.Residual <= opts.Tol {
+		res.Converged = true
+		return res, nil
+	}
+
+	// Start from the inverse of the true Jacobian at u0.
+	jac := la.NewDense(n, n)
+	if err := sys.Jacobian(u, jac); err != nil {
+		return res, err
+	}
+	binv, err := la.Invert(jac)
+	if err != nil {
+		return res, &JacobianSingularError{Iteration: 0, Err: err}
+	}
+	res.LinearSolves = 1
+
+	df := make([]float64, n)
+	binvDf := make([]float64, n)
+	for res.Iterations = 0; res.Iterations < opts.MaxIter; res.Iterations++ {
+		// delta = B⁻¹·F(u); step u ← u − h·delta.
+		binv.MulVec(delta, f)
+		la.Axpy(-opts.Damping, delta, u)
+		if !finite(u) {
+			return res, ErrDiverged
+		}
+		if err := sys.Eval(u, fNew); err != nil {
+			return res, err
+		}
+		r := la.Norm2(fNew)
+		res.Residual = r
+		res.TotalIters++
+		if r <= opts.Tol {
+			res.Iterations++
+			res.Converged = true
+			return res, nil
+		}
+		if r > opts.DivergeFactor*(1+la.Norm2(f)) {
+			return res, ErrDiverged
+		}
+		// Sherman–Morrison update of B⁻¹ with s = −h·delta, y = F_new − F:
+		// B⁻¹ ← B⁻¹ + (s − B⁻¹y)·(sᵀB⁻¹)/(sᵀB⁻¹y).
+		la.Sub(df, fNew, f)
+		binv.MulVec(binvDf, df)
+		// sᵀB⁻¹ row vector: compute t = B⁻ᵀ·s first.
+		sTBinv := make([]float64, n)
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for i := 0; i < n; i++ {
+				acc += -opts.Damping * delta[i] * binv.At(i, j)
+			}
+			sTBinv[j] = acc
+		}
+		denom := 0.0
+		for i := 0; i < n; i++ {
+			denom += -opts.Damping * delta[i] * binvDf[i]
+		}
+		if absf(denom) < 1e-300 {
+			return res, ErrDiverged
+		}
+		for i := 0; i < n; i++ {
+			num := -opts.Damping*delta[i] - binvDf[i]
+			for j := 0; j < n; j++ {
+				binv.Add(i, j, num*sTBinv[j]/denom)
+			}
+		}
+		copy(f, fNew)
+	}
+	return res, ErrNoConvergence
+}

@@ -1,0 +1,127 @@
+package nonlin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hybridpde/internal/la"
+	"hybridpde/internal/ode"
+)
+
+// ContinuousOptions configures the continuous Newton method.
+type ContinuousOptions struct {
+	// Tol is the convergence target on ‖F(u)‖₂. Default 1e-8.
+	Tol float64
+	// TMax bounds the ODE horizon in units of the Newton flow's natural
+	// time constant (the residual decays as e^{−t}). Default 60.
+	TMax float64
+	// Adaptive tunes the underlying Dormand–Prince integrator.
+	Adaptive ode.AdaptiveOptions
+}
+
+func (o *ContinuousOptions) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.TMax <= 0 {
+		o.TMax = 60
+	}
+	// The trajectory must be tracked noticeably more accurately than the
+	// residual target, or the state hovers at the integrator's error floor
+	// above Tol and the solve never registers convergence.
+	if o.Adaptive.AbsTol <= 0 {
+		o.Adaptive.AbsTol = math.Max(o.Tol*1e-3, 1e-14)
+	}
+	if o.Adaptive.RelTol <= 0 {
+		o.Adaptive.RelTol = 1e-9
+	}
+}
+
+// ContinuousResult reports a continuous-Newton solve.
+type ContinuousResult struct {
+	U          []float64
+	Converged  bool
+	Residual   float64
+	SettleTime float64 // ODE time at which ‖F‖ reached Tol
+	Steps      int     // integrator steps (digital cost of emulating analog)
+	Evals      int     // derivative (and thus Jacobian) evaluations
+}
+
+// NewtonFlow returns the continuous-Newton vector field
+// du/dt = −J(u)⁻¹·F(u) for sys (§2.2, Figure 1). The returned ode.System
+// reports la.ErrSingular-wrapped errors when the Jacobian becomes singular
+// along the trajectory.
+func NewtonFlow(sys System) ode.System {
+	n := sys.Dim()
+	f := make([]float64, n)
+	jac := la.NewDense(n, n)
+	return func(t float64, u, dudt []float64) error {
+		if err := sys.Eval(u, f); err != nil {
+			return err
+		}
+		if err := sys.Jacobian(u, jac); err != nil {
+			return err
+		}
+		lu, err := la.FactorLU(jac)
+		if err != nil {
+			return fmt.Errorf("nonlin: Newton flow at t=%g: %w", t, err)
+		}
+		if err := lu.Solve(dudt, f); err != nil {
+			return fmt.Errorf("nonlin: Newton flow at t=%g: %w", t, err)
+		}
+		for i := range dudt {
+			dudt[i] = -dudt[i]
+		}
+		return nil
+	}
+}
+
+// ContinuousNewton solves F(u) = 0 by integrating the continuous Newton ODE
+// until the residual reaches Tol. This is the exact algorithm the analog
+// accelerator evolves physically; running it digitally costs many integrator
+// steps, which is the paper's argument for doing it in analog (§3.2:
+// "homotopy continuation is again an ODE in disguise, and therefore costly
+// to approximate in a digital computer").
+func ContinuousNewton(sys System, u0 []float64, opts ContinuousOptions) (ContinuousResult, error) {
+	opts.defaults()
+	if len(u0) != sys.Dim() {
+		return ContinuousResult{}, errors.New("nonlin: initial guess has wrong dimension")
+	}
+	flow := NewtonFlow(sys)
+	f := make([]float64, sys.Dim())
+	var res ContinuousResult
+	settle := -1.0
+	inner := opts.Adaptive
+	userObs := inner.Observer
+	inner.Observer = func(t float64, u []float64) bool {
+		if userObs != nil && !userObs(t, u) {
+			return false
+		}
+		if err := sys.Eval(u, f); err != nil {
+			return false
+		}
+		if la.Norm2(f) <= opts.Tol {
+			settle = t
+			return false
+		}
+		return true
+	}
+	r, err := ode.DormandPrince(flow, u0, 0, opts.TMax, inner)
+	res.U = r.Y
+	res.Steps = r.Steps
+	res.Evals = r.Evals
+	if err != nil {
+		return res, err
+	}
+	if err := sys.Eval(r.Y, f); err != nil {
+		return res, err
+	}
+	res.Residual = la.Norm2(f)
+	if settle >= 0 && res.Residual <= opts.Tol*1.001 {
+		res.Converged = true
+		res.SettleTime = settle
+		return res, nil
+	}
+	return res, ErrNoConvergence
+}

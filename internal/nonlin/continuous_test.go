@@ -1,0 +1,167 @@
+package nonlin
+
+import (
+	"math"
+	"testing"
+
+	"hybridpde/internal/la"
+)
+
+func TestContinuousNewtonCubic(t *testing.T) {
+	sys := complexCubic()
+	res, err := ContinuousNewton(sys, []float64{2, 0.3}, ContinuousOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("continuous Newton did not converge")
+	}
+	if nearestCubicRoot(res.U) != 0 {
+		t.Fatalf("converged to wrong root: %v", res.U)
+	}
+	if res.SettleTime <= 0 {
+		t.Fatal("settle time must be positive")
+	}
+}
+
+func TestContinuousNewtonResidualDecayRate(t *testing.T) {
+	// Along the Newton flow, d‖F‖/dt = −‖F‖ exactly, so settle time should
+	// be ≈ ln(r0/tol).
+	sys := complexCubic()
+	u0 := []float64{2, 0.3}
+	f := make([]float64, 2)
+	if err := sys.Eval(u0, f); err != nil {
+		t.Fatal(err)
+	}
+	r0 := la.Norm2(f)
+	tol := 1e-8
+	res, err := ContinuousNewton(sys, u0, ContinuousOptions{Tol: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(r0 / tol)
+	// Crossing is detected at accepted-step granularity, so allow a couple
+	// of time units of slack on top of the ideal e^{−t} law.
+	if res.SettleTime < want-0.5 || res.SettleTime > want+2.5 {
+		t.Fatalf("settle time %g, want ≈ %g", res.SettleTime, want)
+	}
+}
+
+func TestContinuousNewtonBasinsMoreContiguousThanDiscrete(t *testing.T) {
+	// The paper's Figure 2 claim: continuous Newton basins are contiguous
+	// while classical Newton basins are fractal. Quantify on a coarse line
+	// scan: count sign changes of the root index along a segment that is
+	// notorious for fractal behaviour in discrete Newton.
+	sys := complexCubic()
+	scan := func(solve func(u0 []float64) (int, bool)) int {
+		changes := 0
+		prev := -1
+		for i := 0; i <= 120; i++ {
+			x := -2 + 4*float64(i)/120
+			root, ok := solve([]float64{x, 0.77}) // off-axis horizontal line
+			if !ok {
+				continue
+			}
+			if prev >= 0 && root != prev {
+				changes++
+			}
+			prev = root
+		}
+		return changes
+	}
+	contChanges := scan(func(u0 []float64) (int, bool) {
+		res, err := ContinuousNewton(sys, u0, ContinuousOptions{Tol: 1e-8})
+		if err != nil || !res.Converged {
+			return 0, false
+		}
+		return nearestCubicRoot(res.U), true
+	})
+	discChanges := scan(func(u0 []float64) (int, bool) {
+		res, err := Newton(sys, u0, NewtonOptions{Tol: 1e-8, MaxIter: 80})
+		if err != nil || !res.Converged {
+			return 0, false
+		}
+		return nearestCubicRoot(res.U), true
+	})
+	if contChanges > discChanges {
+		t.Fatalf("continuous basins (%d transitions) should be no more fragmented than discrete (%d)", contChanges, discChanges)
+	}
+	if contChanges > 4 {
+		t.Fatalf("continuous basins should be nearly contiguous, got %d transitions", contChanges)
+	}
+}
+
+func TestContinuousNewtonAllThreeRootsReachable(t *testing.T) {
+	sys := complexCubic()
+	found := map[int]bool{}
+	starts := [][]float64{{1.5, 0.2}, {-1, 1.2}, {-1, -1.2}}
+	for _, s := range starts {
+		res, err := ContinuousNewton(sys, s, ContinuousOptions{Tol: 1e-9})
+		if err != nil {
+			t.Fatalf("start %v: %v", s, err)
+		}
+		found[nearestCubicRoot(res.U)] = true
+	}
+	if len(found) != 3 {
+		t.Fatalf("expected all three cubic roots reachable, found %v", found)
+	}
+}
+
+func TestHomotopyCoupledQuadratic(t *testing.T) {
+	// Paper Figure 3: track the four roots (±1, ±1) of the simple system
+	// to roots of the hard system. Every start must converge to a genuine
+	// root of the hard system.
+	hard := coupledQuadratic(1.0, -1.0)
+	simple := SquareRootsSimple(2)
+	roots := make(map[[2]int64]bool)
+	for _, s := range [][]float64{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}} {
+		res, err := Homotopy(simple, hard, s, HomotopyOptions{})
+		if err != nil {
+			t.Fatalf("start %v: %v", s, err)
+		}
+		f := make([]float64, 2)
+		if err := hard.Eval(res.U, f); err != nil {
+			t.Fatal(err)
+		}
+		if la.Norm2(f) > 1e-8 {
+			t.Fatalf("start %v: homotopy endpoint is not a root, ‖F‖=%g", s, la.Norm2(f))
+		}
+		key := [2]int64{int64(math.Round(res.U[0] * 1e6)), int64(math.Round(res.U[1] * 1e6))}
+		roots[key] = true
+	}
+	if len(roots) < 2 {
+		t.Fatalf("expected at least two distinct roots from four homotopy paths, got %d", len(roots))
+	}
+}
+
+func TestHomotopyPathRecorded(t *testing.T) {
+	hard := coupledQuadratic(0.5, 0.5)
+	res, err := Homotopy(SquareRootsSimple(2), hard, []float64{1, 1}, HomotopyOptions{Steps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) < 21 { // λ=0 plus at least 20 increments
+		t.Fatalf("path length %d, want ≥ 21", len(res.Path))
+	}
+	last := res.Path[len(res.Path)-1]
+	if res.Path[0].Lambda != 0 || math.Abs(last.Lambda-1) > 1e-12 {
+		t.Fatalf("path endpoints wrong: %v .. %v", res.Path[0], last)
+	}
+}
+
+func TestHomotopyDimensionMismatch(t *testing.T) {
+	if _, err := Homotopy(SquareRootsSimple(3), coupledQuadratic(1, 1), []float64{1, 1, 1}, HomotopyOptions{}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestNewtonFlowSingularitySurfaced(t *testing.T) {
+	// Flow started exactly on the singular set of the cubic (z=0) must
+	// report the singular Jacobian rather than silently stalling.
+	sys := complexCubic()
+	flow := NewtonFlow(sys)
+	dudt := make([]float64, 2)
+	if err := flow(0, []float64{0, 0}, dudt); err == nil {
+		t.Fatal("expected singular Jacobian error at z=0")
+	}
+}

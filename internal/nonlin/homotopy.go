@@ -1,0 +1,292 @@
+package nonlin
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridpde/internal/la"
+)
+
+// HomotopyOptions configures homotopy continuation.
+type HomotopyOptions struct {
+	// Steps is the number of λ increments from 0 to 1. Default 50.
+	Steps int
+	// Newton configures the corrector at each λ.
+	Newton NewtonOptions
+	// Predict enables the Davidenko tangent predictor dρ/dλ = −G_ρ⁻¹·G_λ
+	// before each corrector. Without it the previous root is reused as the
+	// guess (pure sweep). Default true when constructed via defaults.
+	Predict bool
+}
+
+func (o *HomotopyOptions) defaults() {
+	if o.Steps <= 0 {
+		o.Steps = 50
+		o.Predict = true
+	}
+	if o.Newton.Tol <= 0 {
+		o.Newton.Tol = 1e-10
+	}
+	if o.Newton.MaxIter <= 0 {
+		o.Newton.MaxIter = 50
+	}
+	// A damped corrector tracks through the near-fold regions where the
+	// combined Jacobian G_ρ loses rank momentarily along the path.
+	o.Newton.AutoDamp = true
+}
+
+// HomotopyResult reports a continuation run.
+type HomotopyResult struct {
+	U           []float64
+	Converged   bool
+	Residual    float64
+	LambdaSteps int
+	NewtonIters int // total corrector iterations across all λ
+	// FoldHops counts path folds where the tracked real root vanished and
+	// the solver hopped to another basin, as the analog dynamics do.
+	FoldHops int
+	// Path records (λ, ‖ρ‖) pairs for diagnostics; one entry per step.
+	Path []PathPoint
+}
+
+// PathPoint is one sample of the continuation path.
+type PathPoint struct {
+	Lambda float64
+	Norm   float64
+}
+
+// homotopySystem is G(ρ; λ) = (1−λ)·S(ρ) + λ·H(ρ).
+type homotopySystem struct {
+	simple, hard System
+	lambda       float64
+	fs, fh       []float64
+	js, jh       *la.Dense
+}
+
+func (g *homotopySystem) Dim() int { return g.hard.Dim() }
+
+func (g *homotopySystem) Eval(u, f []float64) error {
+	if err := g.simple.Eval(u, g.fs); err != nil {
+		return err
+	}
+	if err := g.hard.Eval(u, g.fh); err != nil {
+		return err
+	}
+	for i := range f {
+		f[i] = (1-g.lambda)*g.fs[i] + g.lambda*g.fh[i]
+	}
+	return nil
+}
+
+func (g *homotopySystem) Jacobian(u []float64, jac *la.Dense) error {
+	if err := g.simple.Jacobian(u, g.js); err != nil {
+		return err
+	}
+	if err := g.hard.Jacobian(u, g.jh); err != nil {
+		return err
+	}
+	n := g.Dim()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			jac.Set(i, j, (1-g.lambda)*g.js.At(i, j)+g.lambda*g.jh.At(i, j))
+		}
+	}
+	return nil
+}
+
+// dLambda writes ∂G/∂λ = H(ρ) − S(ρ) into out.
+func (g *homotopySystem) dLambda(u, out []float64) error {
+	if err := g.simple.Eval(u, g.fs); err != nil {
+		return err
+	}
+	if err := g.hard.Eval(u, g.fh); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = g.fh[i] - g.fs[i]
+	}
+	return nil
+}
+
+// Homotopy tracks a root of the simple system to a root of the hard system
+// by sweeping λ from 0 to 1 through G(ρ;λ) = (1−λ)S(ρ) + λH(ρ) (§3.2).
+// start must be at (or near) a root of the simple system.
+func Homotopy(simple, hard System, start []float64, opts HomotopyOptions) (HomotopyResult, error) {
+	if simple.Dim() != hard.Dim() {
+		return HomotopyResult{}, fmt.Errorf("nonlin: homotopy dimension mismatch %d vs %d", simple.Dim(), hard.Dim())
+	}
+	opts.defaults()
+	n := hard.Dim()
+	if len(start) != n {
+		return HomotopyResult{}, errors.New("nonlin: homotopy start has wrong dimension")
+	}
+	g := &homotopySystem{
+		simple: simple, hard: hard,
+		fs: make([]float64, n), fh: make([]float64, n),
+		js: la.NewDense(n, n), jh: la.NewDense(n, n),
+	}
+	u := la.Copy(start)
+	var res HomotopyResult
+	// Correct onto the λ=0 root first, in case start is only approximate.
+	g.lambda = 0
+	nr, err := Newton(g, u, opts.Newton)
+	if err != nil {
+		return res, fmt.Errorf("nonlin: homotopy failed to settle on simple root: %w", err)
+	}
+	res.NewtonIters += nr.Iterations
+	u = nr.U
+	res.Path = append(res.Path, PathPoint{Lambda: 0, Norm: la.Norm2(u)})
+
+	jac := la.NewDense(n, n)
+	gl := make([]float64, n)
+	tangent := make([]float64, n)
+	baseDl := 1.0 / float64(opts.Steps)
+	minDl := baseDl / 256
+	dl := baseDl
+	lambda := 0.0
+	uPrev := la.Copy(u)
+	for lambda < 1 {
+		step := dl
+		if lambda+step > 1 {
+			step = 1 - lambda
+		}
+		copy(uPrev, u)
+		if opts.Predict {
+			// Tangent predictor at the current (u, λ):
+			// dρ/dλ = −G_ρ⁻¹·G_λ (Davidenko's equation).
+			g.lambda = lambda
+			if err := g.Jacobian(u, jac); err != nil {
+				return res, err
+			}
+			if err := g.dLambda(u, gl); err != nil {
+				return res, err
+			}
+			if lu, ferr := la.FactorLU(jac); ferr == nil {
+				if lu.Solve(tangent, gl) == nil {
+					la.Axpy(-step, tangent, u)
+				}
+			}
+			// Singular tangent systems fall through to the plain corrector.
+		}
+		g.lambda = lambda + step
+		nr, err := Newton(g, u, opts.Newton)
+		if err != nil {
+			// Corrector failed: shrink the continuation step and retry
+			// from the last accepted point (adaptive path tracking).
+			copy(u, uPrev)
+			dl /= 2
+			if dl >= minDl {
+				continue
+			}
+			// The path has hit a genuine fold: the tracked root collides
+			// with another and leaves the real domain. The physical analog
+			// system does not fail here — its state slides off the
+			// vanished root and is captured by another basin of the
+			// current combined system (Figure 3: "all choices of initial
+			// conditions lead to one correct solution or another"). Model
+			// the slide with damped-Newton restarts from deterministic
+			// perturbations of the fold point.
+			hopped, hr := basinHop(g, uPrev, opts.Newton)
+			if !hopped {
+				res.LambdaSteps++
+				return res, fmt.Errorf("nonlin: homotopy fold at λ=%.4f and basin hop failed: %w", g.lambda, err)
+			}
+			nr = hr
+			res.FoldHops++
+			dl = baseDl
+		}
+		res.NewtonIters += nr.Iterations
+		u = nr.U
+		lambda += step
+		res.Path = append(res.Path, PathPoint{Lambda: lambda, Norm: la.Norm2(u)})
+		res.LambdaSteps++
+		if dl < baseDl {
+			dl *= 2 // recover toward the base step after a shrink
+		}
+	}
+	res.U = u
+	f := make([]float64, n)
+	if err := hard.Eval(u, f); err != nil {
+		return res, err
+	}
+	res.Residual = la.Norm2(f)
+	res.Converged = res.Residual <= opts.Newton.Tol*10
+	if !res.Converged {
+		return res, ErrNoConvergence
+	}
+	return res, nil
+}
+
+// basinHop tries damped-Newton solves from perturbations of uFold until one
+// converges to a root of sys. Directions and magnitudes are deterministic so
+// homotopy runs are reproducible.
+func basinHop(sys System, uFold []float64, newtonOpts NewtonOptions) (bool, Result) {
+	n := len(uFold)
+	scale := 1 + la.Norm2(uFold)
+	newtonOpts.AutoDamp = true
+	if newtonOpts.MaxIter < 200 {
+		newtonOpts.MaxIter = 200
+	}
+	try := func(dir []float64, mag float64) (bool, Result) {
+		u := la.Copy(uFold)
+		la.Axpy(mag*scale, dir, u)
+		r, err := Newton(sys, u, newtonOpts)
+		if err == nil && r.Converged {
+			return true, r
+		}
+		return false, Result{}
+	}
+	dirs := make([][]float64, 0, 2*n+2)
+	for k := 0; k < n; k++ {
+		d := make([]float64, n)
+		d[k] = 1
+		dirs = append(dirs, d)
+		dm := make([]float64, n)
+		dm[k] = -1
+		dirs = append(dirs, dm)
+	}
+	ones := make([]float64, n)
+	negOnes := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1 / la.Norm2(onesVec(n))
+		negOnes[i] = -ones[i]
+	}
+	dirs = append(dirs, ones, negOnes)
+	for _, mag := range []float64{0.1, 0.3, 1.0} {
+		for _, d := range dirs {
+			if ok, r := try(d, mag); ok {
+				return true, r
+			}
+		}
+	}
+	return false, Result{}
+}
+
+func onesVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// SquareRootsSimple returns the paper's trivial homotopy start system
+// S(ρ)ᵢ = ρᵢ² − 1 (Equation 3), whose 2ᵈ roots are ρᵢ = ±1.
+func SquareRootsSimple(dim int) System {
+	return FuncSystem{
+		N: dim,
+		F: func(u, f []float64) error {
+			for i := range f {
+				f[i] = u[i]*u[i] - 1
+			}
+			return nil
+		},
+		J: func(u []float64, jac *la.Dense) error {
+			jac.Zero()
+			for i := range u {
+				jac.Set(i, i, 2*u[i])
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,98 @@
+package nonlin
+
+import (
+	"math"
+	"testing"
+
+	"hybridpde/internal/la"
+)
+
+func TestTrustRegionConvergesOnAtan(t *testing.T) {
+	// The case classical Newton fails: trust region converges globally.
+	res, err := TrustRegion(atanScalar(), []float64{3}, TrustRegionOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.U[0]) > 1e-10 {
+		t.Fatalf("root = %g, want 0", res.U[0])
+	}
+}
+
+func TestTrustRegionMatchesNewtonNearRoot(t *testing.T) {
+	// Close to a root the dogleg takes full Newton steps: iteration counts
+	// should be comparably small.
+	sys := coupledQuadratic(1, -1)
+	tr, err := TrustRegion(sys, []float64{0.9, -0.9}, TrustRegionOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Newton(sys, []float64{0.9, -0.9}, NewtonOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Iterations > nw.Iterations+3 {
+		t.Fatalf("trust region (%d iters) should track Newton (%d) near the root", tr.Iterations, nw.Iterations)
+	}
+	f := make([]float64, 2)
+	if err := sys.Eval(tr.U, f); err != nil {
+		t.Fatal(err)
+	}
+	if la.Norm2(f) > 1e-10 {
+		t.Fatalf("trust region returned non-root, ‖F‖=%g", la.Norm2(f))
+	}
+}
+
+func TestTrustRegionCubicFromFar(t *testing.T) {
+	sys := complexCubic()
+	res, err := TrustRegion(sys, []float64{5, 3}, TrustRegionOptions{Tol: 1e-10, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nearestCubicRoot(res.U) < 0 {
+		t.Fatalf("did not land on a cubic root: %v", res.U)
+	}
+}
+
+func TestTrustRegionSingularJacobianStart(t *testing.T) {
+	// At z = 0 the cubic's Jacobian is singular; the dogleg falls back to
+	// steepest descent and still escapes... but z=0 is also a stationary
+	// point of the merit function (JᵀF = −3·0·… = 0 there), so the solver
+	// must report failure rather than loop. Start slightly off instead
+	// and require success.
+	sys := complexCubic()
+	res, err := TrustRegion(sys, []float64{1e-3, 1e-3}, TrustRegionOptions{Tol: 1e-10, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("trust region should escape the near-singular start")
+	}
+}
+
+func TestTrustRegionDimensionMismatch(t *testing.T) {
+	if _, err := TrustRegion(atanScalar(), []float64{1, 2}, TrustRegionOptions{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestDoglegStepGeometry(t *testing.T) {
+	// Newton inside radius → take it exactly.
+	dst := make([]float64, 2)
+	grad := []float64{1, 0}
+	newton := []float64{0.3, 0.1}
+	doglegStep(dst, grad, 0.5, newton, true, 10)
+	if dst[0] != 0.3 || dst[1] != 0.1 {
+		t.Fatalf("should take the Newton step inside the region, got %v", dst)
+	}
+	// No Newton step → clipped steepest descent of length = radius.
+	doglegStep(dst, grad, 2.0, nil, false, 0.5)
+	if math.Abs(la.Norm2(dst)-0.5) > 1e-12 {
+		t.Fatalf("clipped Cauchy step should have length 0.5, got %g", la.Norm2(dst))
+	}
+	// Dogleg blend: step length equals the radius.
+	newton = []float64{-4, 0}
+	doglegStep(dst, grad, 1.0, newton, true, 2)
+	if math.Abs(la.Norm2(dst)-2) > 1e-9 {
+		t.Fatalf("dogleg boundary step should have length 2, got %g", la.Norm2(dst))
+	}
+}

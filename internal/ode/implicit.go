@@ -1,0 +1,235 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// ImplicitOptions configures the implicit (A-stable) fixed-step
+// integrators. Each step solves its nonlinear stage equation with a damped
+// Newton iteration whose Jacobian is approximated by finite differences —
+// adequate for the moderate dimensions these integrators serve (stiff
+// subsystems of the analog circuit model and reference solutions for the
+// explicit integrators' stability limits).
+type ImplicitOptions struct {
+	Dt       float64 // step size, required
+	Observer Observer
+	// NewtonTol is the stage-equation residual target. Default 1e-10.
+	NewtonTol float64
+	// NewtonMaxIter bounds the per-step Newton iteration. Default 50.
+	NewtonMaxIter int
+}
+
+func (o *ImplicitOptions) defaults() error {
+	if o.Dt <= 0 {
+		return fmt.Errorf("ode: implicit integrator requires Dt > 0, got %g", o.Dt)
+	}
+	if o.NewtonTol <= 0 {
+		o.NewtonTol = 1e-10
+	}
+	if o.NewtonMaxIter <= 0 {
+		o.NewtonMaxIter = 50
+	}
+	return nil
+}
+
+// newtonSolveStage solves the stage equation g(z) = z − base − c·f(tz, z) = 0
+// for z, starting from z0, using finite-difference Jacobians and plain
+// Newton with halving on residual growth.
+func newtonSolveStage(f System, tz, c float64, base, z []float64, opts ImplicitOptions) error {
+	n := len(z)
+	g := make([]float64, n)
+	gp := make([]float64, n)
+	fz := make([]float64, n)
+	jac := make([]float64, n*n)
+	delta := make([]float64, n)
+	zp := make([]float64, n)
+
+	eval := func(zz, out []float64) error {
+		if err := f(tz, zz, fz); err != nil {
+			return err
+		}
+		for i := range out {
+			out[i] = zz[i] - base[i] - c*fz[i]
+		}
+		return nil
+	}
+	if err := eval(z, g); err != nil {
+		return err
+	}
+	for it := 0; it < opts.NewtonMaxIter; it++ {
+		rn := norm(g)
+		if rn <= opts.NewtonTol {
+			return nil
+		}
+		// Finite-difference Jacobian of g at z.
+		copy(zp, z)
+		for j := 0; j < n; j++ {
+			h := 1e-7 * (1 + math.Abs(z[j]))
+			zp[j] = z[j] + h
+			if err := eval(zp, gp); err != nil {
+				return err
+			}
+			zp[j] = z[j]
+			for i := 0; i < n; i++ {
+				jac[i*n+j] = (gp[i] - g[i]) / h
+			}
+		}
+		if err := denseSolveInPlace(jac, g, delta, n); err != nil {
+			return err
+		}
+		// Damped update: halve until the residual does not grow.
+		step := 1.0
+		for {
+			copy(zp, z)
+			for i := range zp {
+				zp[i] -= step * delta[i]
+			}
+			if err := eval(zp, gp); err != nil {
+				return err
+			}
+			if norm(gp) <= rn || step < 1e-6 {
+				copy(z, zp)
+				copy(g, gp)
+				break
+			}
+			step /= 2
+		}
+	}
+	if norm(g) > opts.NewtonTol*100 {
+		return fmt.Errorf("ode: implicit stage Newton did not converge (residual %g)", norm(g))
+	}
+	return nil
+}
+
+// denseSolveInPlace solves (row-major) a·x = b by Gaussian elimination with
+// partial pivoting, writing x into dst. a and b are destroyed.
+func denseSolveInPlace(a, b, dst []float64, n int) error {
+	for k := 0; k < n; k++ {
+		p := k
+		max := math.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[i*n+k]); v > max {
+				p, max = i, v
+			}
+		}
+		if max == 0 {
+			return fmt.Errorf("ode: singular stage Jacobian")
+		}
+		if p != k {
+			for j := k; j < n; j++ {
+				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]
+			}
+			b[k], b[p] = b[p], b[k]
+		}
+		piv := a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := a[i*n+k] / piv
+			if m == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				a[i*n+j] -= m * a[k*n+j]
+			}
+			b[i] -= m * b[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * dst[j]
+		}
+		dst[i] = s / a[i*n+i]
+	}
+	return nil
+}
+
+// ImplicitEuler integrates with the backward Euler method, the L-stable
+// first-order workhorse for stiff systems.
+func ImplicitEuler(f System, y0 []float64, t0, tEnd float64, opts ImplicitOptions) (Result, error) {
+	if err := opts.defaults(); err != nil {
+		return Result{}, err
+	}
+	if tEnd < t0 {
+		return Result{}, fmt.Errorf("ode: tEnd %g before t0 %g", tEnd, t0)
+	}
+	y := make([]float64, len(y0))
+	copy(y, y0)
+	res := Result{T: t0, Y: y}
+	z := make([]float64, len(y0))
+	for t := t0; t < tEnd; {
+		dt := opts.Dt
+		if t+dt > tEnd {
+			dt = tEnd - t
+		}
+		copy(z, y) // predictor: previous value
+		if err := newtonSolveStage(f, t+dt, dt, y, z, opts); err != nil {
+			res.T = t
+			return res, err
+		}
+		copy(y, z)
+		t += dt
+		res.Steps++
+		res.T = t
+		if !validState(y) {
+			return res, fmt.Errorf("ode: state became non-finite at t=%g", t)
+		}
+		if opts.Observer != nil && !opts.Observer(t, y) {
+			res.Stopped = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// TrapezoidalImplicit integrates with the implicit trapezoid rule — the
+// time-marching scheme the paper's PDE discretisation uses (Crank–Nicolson
+// is exactly this rule applied to the semi-discretised PDE), second-order
+// and A-stable.
+func TrapezoidalImplicit(f System, y0 []float64, t0, tEnd float64, opts ImplicitOptions) (Result, error) {
+	if err := opts.defaults(); err != nil {
+		return Result{}, err
+	}
+	if tEnd < t0 {
+		return Result{}, fmt.Errorf("ode: tEnd %g before t0 %g", tEnd, t0)
+	}
+	n := len(y0)
+	y := make([]float64, n)
+	copy(y, y0)
+	res := Result{T: t0, Y: y}
+	fy := make([]float64, n)
+	base := make([]float64, n)
+	z := make([]float64, n)
+	for t := t0; t < tEnd; {
+		dt := opts.Dt
+		if t+dt > tEnd {
+			dt = tEnd - t
+		}
+		// z − [y + dt/2·f(t,y)] − dt/2·f(t+dt, z) = 0.
+		if err := f(t, y, fy); err != nil {
+			res.T = t
+			return res, err
+		}
+		res.Evals++
+		for i := 0; i < n; i++ {
+			base[i] = y[i] + 0.5*dt*fy[i]
+		}
+		copy(z, y)
+		if err := newtonSolveStage(f, t+dt, 0.5*dt, base, z, opts); err != nil {
+			res.T = t
+			return res, err
+		}
+		copy(y, z)
+		t += dt
+		res.Steps++
+		res.T = t
+		if !validState(y) {
+			return res, fmt.Errorf("ode: state became non-finite at t=%g", t)
+		}
+		if opts.Observer != nil && !opts.Observer(t, y) {
+			res.Stopped = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

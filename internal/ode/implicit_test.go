@@ -1,0 +1,101 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+func TestImplicitEulerAccuracy(t *testing.T) {
+	exact := math.Exp(-1)
+	errAt := func(dt float64) float64 {
+		res, err := ImplicitEuler(expDecay, []float64{1}, 0, 1, ImplicitOptions{Dt: dt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(res.Y[0] - exact)
+	}
+	ratio := errAt(0.02) / errAt(0.01)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("implicit Euler convergence ratio %g, want ≈ 2", ratio)
+	}
+}
+
+func TestTrapezoidalSecondOrder(t *testing.T) {
+	exact := math.Exp(-1)
+	errAt := func(dt float64) float64 {
+		res, err := TrapezoidalImplicit(expDecay, []float64{1}, 0, 1, ImplicitOptions{Dt: dt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(res.Y[0] - exact)
+	}
+	ratio := errAt(0.04) / errAt(0.02)
+	if ratio < 3.4 || ratio > 4.6 {
+		t.Fatalf("trapezoid convergence ratio %g, want ≈ 4", ratio)
+	}
+}
+
+func TestImplicitEulerStableOnStiffSystem(t *testing.T) {
+	// dy/dt = −1000(y − cos t): explicit Euler at dt = 0.01 explodes
+	// (λ·dt = −10), backward Euler is unconditionally stable.
+	stiff := func(tm float64, y, dydt []float64) error {
+		dydt[0] = -1000 * (y[0] - math.Cos(tm))
+		return nil
+	}
+	res, err := ImplicitEuler(stiff, []float64{5}, 0, 2, ImplicitOptions{Dt: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The solution should ride the quasi-steady manifold y ≈ cos t.
+	if math.Abs(res.Y[0]-math.Cos(2)) > 0.02 {
+		t.Fatalf("stiff solution %g, want ≈ cos(2) = %g", res.Y[0], math.Cos(2))
+	}
+	// And explicit Euler must indeed be unstable at this step size
+	// (amplification factor |1 + λ·dt| = 9 per step), demonstrating why
+	// the implicit path exists.
+	eres, err := Euler(stiff, []float64{5}, 0, 2, FixedOptions{Dt: 0.01})
+	if err == nil && math.Abs(eres.Y[0]) < 1e10 {
+		t.Fatalf("explicit Euler should blow up on the stiff system, got %g", eres.Y[0])
+	}
+}
+
+func TestImplicitTrapezoidMatchesCrankNicolsonOnLinearSystem(t *testing.T) {
+	// For the linear system y' = A·y the trapezoid rule is exactly
+	// Crank–Nicolson: y⁺ = (I − dt/2·A)⁻¹(I + dt/2·A)·y. Check one step.
+	a := [2][2]float64{{0, 1}, {-1, 0}}
+	f := func(tm float64, y, dydt []float64) error {
+		dydt[0] = a[0][0]*y[0] + a[0][1]*y[1]
+		dydt[1] = a[1][0]*y[0] + a[1][1]*y[1]
+		return nil
+	}
+	dt := 0.1
+	res, err := TrapezoidalImplicit(f, []float64{1, 0}, 0, dt, ImplicitOptions{Dt: dt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic CN step for the rotation generator:
+	// denominator 1 + dt²/4.
+	den := 1 + dt*dt/4
+	wantY0 := (1 - dt*dt/4) / den
+	wantY1 := -dt / den
+	if math.Abs(res.Y[0]-wantY0) > 1e-8 || math.Abs(res.Y[1]-wantY1) > 1e-8 {
+		t.Fatalf("CN step mismatch: got %v, want (%g, %g)", res.Y, wantY0, wantY1)
+	}
+}
+
+func TestImplicitObserverAndValidation(t *testing.T) {
+	stop := func(tm float64, y []float64) bool { return tm < 0.5 }
+	res, err := ImplicitEuler(expDecay, []float64{1}, 0, 10, ImplicitOptions{Dt: 0.1, Observer: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.T > 0.61 {
+		t.Fatalf("observer stop mishandled: %+v", res)
+	}
+	if _, err := ImplicitEuler(expDecay, []float64{1}, 0, 1, ImplicitOptions{}); err == nil {
+		t.Fatal("expected error for missing Dt")
+	}
+	if _, err := TrapezoidalImplicit(expDecay, []float64{1}, 1, 0, ImplicitOptions{Dt: 0.1}); err == nil {
+		t.Fatal("expected error for reversed span")
+	}
+}

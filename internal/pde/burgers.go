@@ -1,0 +1,412 @@
+// Package pde converts partial differential equations into the nonlinear
+// systems of algebraic equations the rest of the stack solves (§4 of the
+// paper): structured-grid space discretisation with second-order central
+// finite differences, Crank–Nicolson implicit time stepping, and the
+// resulting stencil systems with analytic sparse Jacobians. The flagship
+// problem is the paper's benchmark, the 2-D viscous Burgers' equation; the
+// package also provides the semilinear reaction systems of §3 and the
+// Table-1 workload mini-apps.
+package pde
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hybridpde/internal/la"
+)
+
+// Burgers describes one Crank–Nicolson step of the 2-D viscous Burgers'
+// equation (Equation 4/5 of the paper) on an N×N interior grid with
+// Dirichlet boundaries:
+//
+//	∂u/∂t + u·∂u/∂x + v·∂u/∂y − (1/Re)·∇²u = RHS₀
+//	∂v/∂t + u·∂v/∂x + v·∂v/∂y − (1/Re)·∇²v = RHS₁
+//
+// Following §4.4, Δt, Δx and Δy are chosen isotropically so the stencil
+// coefficients are eliminated (all equal to one); the Reynolds number is
+// then the single free parameter, controlling the balance between the
+// advective (hyperbolic) and diffusive (parabolic) character (Table 2).
+//
+// Unknowns are the new-time fields interleaved per node,
+// w = [u₀₀, v₀₀, u₀₁, v₀₁, …], which keeps the Jacobian bandwidth at
+// O(N) for the banded direct solver.
+type Burgers struct {
+	N  int     // interior grid is N×N
+	Re float64 // Reynolds number
+	// Order selects the finite-difference order: 2 (default) or 4. The
+	// paper's §7 extension: "higher-order finite difference schemes are
+	// more accurate and efficient, at the cost of having larger stencils,
+	// thereby requiring a larger accelerator." Order 4 uses the 5-point
+	// central stencils per direction on nodes at least two cells from the
+	// boundary and falls back to order 2 beside it.
+	Order int
+
+	// Previous time-level fields, length N·N, row-major (i*N+j).
+	UPrev, VPrev []float64
+	// Dirichlet boundary values on the ghost ring. BoundaryU/V are
+	// evaluated at ghost coordinates (i or j equal to −1 or N).
+	BoundaryU, BoundaryV func(i, j int) float64
+	// Forcing terms, length N·N.
+	RHS0, RHS1 []float64
+
+	// Cached Jacobian pattern and the value-slot order of the assembly
+	// loop; the pattern is fixed across Newton iterations, so refreshes
+	// write values in place instead of rebuilding and re-sorting.
+	jac   *la.CSR
+	slots []int
+}
+
+// NewBurgers allocates a problem with zero fields, zero boundaries and zero
+// forcing. Callers fill the fields or use RandomBurgers.
+func NewBurgers(n int, re float64) (*Burgers, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pde: grid size %d must be ≥ 1", n)
+	}
+	if re <= 0 {
+		return nil, fmt.Errorf("pde: Reynolds number %g must be positive", re)
+	}
+	zero := func(i, j int) float64 { return 0 }
+	return &Burgers{
+		N: n, Re: re,
+		UPrev: make([]float64, n*n), VPrev: make([]float64, n*n),
+		RHS0: make([]float64, n*n), RHS1: make([]float64, n*n),
+		BoundaryU: zero, BoundaryV: zero,
+	}, nil
+}
+
+// RandomBurgers builds a problem with previous fields, boundary values and
+// forcing drawn uniformly from ±bound, the paper's random-problem protocol
+// (§5.4: "constants... randomly chosen between a dynamic range of -3.0 and
+// 3.0"). The generator is deterministic in rng.
+func RandomBurgers(n int, re float64, bound float64, rng *rand.Rand) (*Burgers, error) {
+	b, err := NewBurgers(n, re)
+	if err != nil {
+		return nil, err
+	}
+	u := func() float64 { return bound * (2*rng.Float64() - 1) }
+	for i := range b.UPrev {
+		b.UPrev[i] = u()
+		b.VPrev[i] = u()
+		b.RHS0[i] = u()
+		b.RHS1[i] = u()
+	}
+	// Random but fixed boundary ring.
+	bu := make(map[[2]int]float64)
+	bv := make(map[[2]int]float64)
+	for i := -1; i <= n; i++ {
+		for _, j := range []int{-1, n} {
+			bu[[2]int{i, j}] = u()
+			bv[[2]int{i, j}] = u()
+			bu[[2]int{j, i}] = u()
+			bv[[2]int{j, i}] = u()
+		}
+	}
+	b.BoundaryU = func(i, j int) float64 { return bu[[2]int{i, j}] }
+	b.BoundaryV = func(i, j int) float64 { return bv[[2]int{i, j}] }
+	return b, nil
+}
+
+// Dim returns the number of unknowns: two fields on N×N nodes.
+func (b *Burgers) Dim() int { return 2 * b.N * b.N }
+
+// PolynomialDegree reports the quadratic nonlinearity of the stencil, used
+// by the analog dynamic-range scaler.
+func (b *Burgers) PolynomialDegree() int { return 2 }
+
+// idx maps node (i, j) to the unknown index of its u component; +1 is v.
+func (b *Burgers) idx(i, j int) int { return 2 * (i*b.N + j) }
+
+// fieldAt reads component c (0 = u, 1 = v) at node (i, j) from the unknown
+// vector w, falling back to boundary values off-grid.
+func (b *Burgers) fieldAt(w []float64, c, i, j int) float64 {
+	if i < 0 || i >= b.N || j < 0 || j >= b.N {
+		if c == 0 {
+			return b.BoundaryU(i, j)
+		}
+		return b.BoundaryV(i, j)
+	}
+	return w[b.idx(i, j)+c]
+}
+
+// prevAt reads the previous-time field with the same boundary fallback.
+func (b *Burgers) prevAt(c, i, j int) float64 {
+	if i < 0 || i >= b.N || j < 0 || j >= b.N {
+		if c == 0 {
+			return b.BoundaryU(i, j)
+		}
+		return b.BoundaryV(i, j)
+	}
+	if c == 0 {
+		return b.UPrev[i*b.N+j]
+	}
+	return b.VPrev[i*b.N+j]
+}
+
+// Central-difference weight tables: first and second derivatives at unit
+// spacing, offsets −2..+2 (the ±2 weights are zero at order 2).
+var (
+	d1Order2 = [5]float64{0, -0.5, 0, 0.5, 0}
+	d2Order2 = [5]float64{0, 1, -2, 1, 0}
+	d1Order4 = [5]float64{1.0 / 12, -8.0 / 12, 0, 8.0 / 12, -1.0 / 12}
+	d2Order4 = [5]float64{-1.0 / 12, 16.0 / 12, -30.0 / 12, 16.0 / 12, -1.0 / 12}
+)
+
+// stencilAt picks the derivative weights for node (i, j): order 4 where the
+// full 5-point stencil fits in both directions, order 2 otherwise.
+func (b *Burgers) stencilAt(i, j int) (d1, d2 *[5]float64) {
+	if b.Order == 4 && i >= 2 && i < b.N-2 && j >= 2 && j < b.N-2 {
+		return &d1Order4, &d2Order4
+	}
+	return &d1Order2, &d2Order2
+}
+
+// advDiff evaluates the unit-coefficient spatial operator
+// A(c) = u·∂ₓc + v·∂ᵧc − (1/Re)·∇²c at node (i, j), where the advecting
+// velocities u, v and the advected component come from the accessor get.
+func (b *Burgers) advDiff(get func(c, i, j int) float64, c, i, j int) float64 {
+	u := get(0, i, j)
+	v := get(1, i, j)
+	d1, d2 := b.stencilAt(i, j)
+	var dx, dy, lap float64
+	for k := -2; k <= 2; k++ {
+		w1, w2 := d1[k+2], d2[k+2]
+		if w1 == 0 && w2 == 0 {
+			continue
+		}
+		cx := get(c, i+k, j)
+		cy := get(c, i, j+k)
+		dx += w1 * cx
+		dy += w1 * cy
+		lap += w2 * (cx + cy)
+	}
+	return u*dx + v*dy - lap/b.Re
+}
+
+// Eval computes the Crank–Nicolson residual
+// F(w) = w − w_prev + ½[A(w) + A(w_prev)] − RHS.
+func (b *Burgers) Eval(w, f []float64) error {
+	if len(w) != b.Dim() || len(f) != b.Dim() {
+		return fmt.Errorf("pde: Burgers Eval dimension mismatch")
+	}
+	getNew := func(c, i, j int) float64 { return b.fieldAt(w, c, i, j) }
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			k := b.idx(i, j)
+			node := i*b.N + j
+			for c := 0; c < 2; c++ {
+				newA := b.advDiff(getNew, c, i, j)
+				oldA := b.advDiff(b.prevAt, c, i, j)
+				rhs := b.RHS0[node]
+				prev := b.UPrev[node]
+				if c == 1 {
+					rhs = b.RHS1[node]
+					prev = b.VPrev[node]
+				}
+				f[k+c] = w[k+c] - prev + 0.5*(newA+oldA) - rhs
+			}
+		}
+	}
+	return nil
+}
+
+// JacobianCSR returns the analytic Jacobian of the stencil. The sparsity
+// pattern (5-point stencil on each field plus the u–v coupling on the
+// node) is built once; subsequent calls refresh the values in place, which
+// keeps the analog circuit simulation (thousands of Jacobian evaluations
+// per solve) allocation-free on the hot path.
+func (b *Burgers) JacobianCSR(w []float64) (*la.CSR, error) {
+	if len(w) != b.Dim() {
+		return nil, fmt.Errorf("pde: Burgers Jacobian dimension mismatch")
+	}
+	if b.jac == nil {
+		coo := la.NewCOO(b.Dim(), b.Dim())
+		b.assembleJacobian(w, func(i, j int, v float64) {
+			coo.Append(i, j, v)
+		})
+		b.jac = coo.ToCSR()
+		// Record the value slot of each assembly-order entry; the walk is
+		// deterministic and emits each (i, j) exactly once.
+		b.slots = b.slots[:0]
+		b.assembleJacobian(w, func(i, j int, v float64) {
+			b.slots = append(b.slots, b.jac.Slot(i, j))
+		})
+		return b.jac, nil
+	}
+	// Refresh: zero, then accumulate — assembly may emit the same entry
+	// several times (time term, diffusion and advection all touch the
+	// node-centre slot).
+	b.jac.ZeroValues()
+	k := 0
+	b.assembleJacobian(w, func(i, j int, v float64) {
+		b.jac.AddSlotValue(b.slots[k], v)
+		k++
+	})
+	return b.jac, nil
+}
+
+// assembleJacobian walks the stencil in deterministic order, emitting every
+// Jacobian contribution. Entries for the same (row, column) may be emitted
+// more than once; consumers must sum them (COO assembly and the
+// zero-then-accumulate refresh both do).
+//
+// For the c-component equation at node (i, j),
+// F = c_node − c_prev + ½[u·D₁ₓc + v·D₁ᵧc − (D₂ₓc + D₂ᵧc)/Re] + … − RHS:
+//
+//	∂F/∂c_{i+k,j} = ½(u·w₁[k] − w₂[k]/Re)   (x-direction neighbours)
+//	∂F/∂c_{i,j+k} = ½(v·w₁[k] − w₂[k]/Re)   (y-direction neighbours)
+//	∂F/∂u_{i,j}  += ½·D₁ₓc                   (advecting-velocity terms)
+//	∂F/∂v_{i,j}  += ½·D₁ᵧc
+//
+// plus the time-derivative identity on the node centre.
+func (b *Burgers) assembleJacobian(w []float64, emit func(i, j int, v float64)) {
+	n := b.N
+	in := func(i, j int) bool { return i >= 0 && i < n && j >= 0 && j < n }
+	get := func(c, i, j int) float64 { return b.fieldAt(w, c, i, j) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			base := b.idx(i, j)
+			u := get(0, i, j)
+			v := get(1, i, j)
+			d1, d2 := b.stencilAt(i, j)
+			for c := 0; c < 2; c++ {
+				row := base + c
+				// Time-derivative identity.
+				emit(row, row, 1)
+				// Neighbour couplings of the advected component c, and
+				// the advective self-derivatives D₁ₓc, D₁ᵧc.
+				var dx, dy float64
+				for k := -2; k <= 2; k++ {
+					w1, w2 := d1[k+2], d2[k+2]
+					if w1 == 0 && w2 == 0 {
+						continue
+					}
+					dx += w1 * get(c, i+k, j)
+					dy += w1 * get(c, i, j+k)
+					if k == 0 {
+						// Both directions' centre weights land on the
+						// node itself.
+						emit(row, row, 0.5*(-2*w2/b.Re))
+						continue
+					}
+					if in(i+k, j) {
+						emit(row, b.idx(i+k, j)+c, 0.5*(u*w1-w2/b.Re))
+					}
+					if in(i, j+k) {
+						emit(row, b.idx(i, j+k)+c, 0.5*(v*w1-w2/b.Re))
+					}
+				}
+				// Advecting-velocity derivatives: ∂F/∂u_ij and ∂F/∂v_ij.
+				emit(row, base, 0.5*dx)
+				emit(row, base+1, 0.5*dy)
+			}
+		}
+	}
+}
+
+// InitialGuess returns the standard starting point for the step's Newton
+// solve: the previous time level (the natural warm start).
+func (b *Burgers) InitialGuess() []float64 {
+	w := make([]float64, b.Dim())
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			k := b.idx(i, j)
+			node := i*b.N + j
+			w[k] = b.UPrev[node]
+			w[k+1] = b.VPrev[node]
+		}
+	}
+	return w
+}
+
+// Advance installs a solved step as the new previous-time fields, enabling
+// time-marching simulations.
+func (b *Burgers) Advance(w []float64) error {
+	if len(w) != b.Dim() {
+		return fmt.Errorf("pde: Advance dimension mismatch")
+	}
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			k := b.idx(i, j)
+			node := i*b.N + j
+			b.UPrev[node] = w[k]
+			b.VPrev[node] = w[k+1]
+		}
+	}
+	return nil
+}
+
+// MaxField returns the largest |value| across the previous fields, RHS and
+// boundary ring — the dynamic range the analog scaler needs.
+func (b *Burgers) MaxField() float64 {
+	m := 0.0
+	chk := func(v float64) {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	for i := range b.UPrev {
+		chk(b.UPrev[i])
+		chk(b.VPrev[i])
+		chk(b.RHS0[i])
+		chk(b.RHS1[i])
+	}
+	for i := -1; i <= b.N; i++ {
+		for _, j := range []int{-1, b.N} {
+			chk(b.BoundaryU(i, j))
+			chk(b.BoundaryV(i, j))
+			chk(b.BoundaryU(j, i))
+			chk(b.BoundaryV(j, i))
+		}
+	}
+	return m
+}
+
+// SetRHSForRoot overwrites the forcing terms so that wRoot is an exact
+// solution of the step system: RHS := wRoot − w_prev + ½[A(wRoot)+A(w_prev)].
+// The evaluation protocol plants a root this way before timing the solvers,
+// the deterministic analogue of the paper's golden-model certification step
+// (§6.1) — problems without a certified solution are never benchmarked.
+func (b *Burgers) SetRHSForRoot(wRoot []float64) error {
+	if len(wRoot) != b.Dim() {
+		return fmt.Errorf("pde: SetRHSForRoot dimension mismatch")
+	}
+	la.Fill(b.RHS0, 0)
+	la.Fill(b.RHS1, 0)
+	f := make([]float64, b.Dim())
+	if err := b.Eval(wRoot, f); err != nil {
+		return err
+	}
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			k := b.idx(i, j)
+			node := i*b.N + j
+			b.RHS0[node] = f[k]
+			b.RHS1[node] = f[k+1]
+		}
+	}
+	return nil
+}
+
+// SemiDiscreteRHS returns the method-of-lines form of the problem: the
+// space-discretised ODE system dw/dt = RHS − A(w) that old-style hybrid
+// computers integrated directly in analog (§4.3). The unknown layout
+// matches the step system (interleaved u, v per node); boundaries and
+// forcing are taken from the receiver.
+func (b *Burgers) SemiDiscreteRHS() func(t float64, w, dwdt []float64) error {
+	return func(t float64, w, dwdt []float64) error {
+		if len(w) != b.Dim() || len(dwdt) != b.Dim() {
+			return fmt.Errorf("pde: SemiDiscreteRHS dimension mismatch")
+		}
+		get := func(c, i, j int) float64 { return b.fieldAt(w, c, i, j) }
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < b.N; j++ {
+				k := b.idx(i, j)
+				node := i*b.N + j
+				dwdt[k] = b.RHS0[node] - b.advDiff(get, 0, i, j)
+				dwdt[k+1] = b.RHS1[node] - b.advDiff(get, 1, i, j)
+			}
+		}
+		return nil
+	}
+}

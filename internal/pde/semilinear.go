@@ -1,0 +1,73 @@
+package pde
+
+import (
+	"fmt"
+
+	"hybridpde/internal/la"
+	"hybridpde/internal/nonlin"
+)
+
+// Semilinear1D is the coupled reaction system of §3 (Equation 2 generalised
+// to d grid points): a one-dimensional semilinear PDE discretised on a
+// chain, where each node carries a quadratic reaction term plus
+// nearest-neighbour coupling:
+//
+//	ρᵢ² + ρᵢ + ρ_{i+1} − ρ_{i−1} = RHSᵢ
+//
+// (off-chain neighbours are dropped, reproducing Equation 2 exactly for
+// d = 2). It implements nonlin.System and reports degree 2.
+type Semilinear1D struct {
+	RHS []float64
+}
+
+// NewSemilinear1D builds the system with the given right-hand sides.
+func NewSemilinear1D(rhs []float64) *Semilinear1D {
+	return &Semilinear1D{RHS: la.Copy(rhs)}
+}
+
+// Dim returns the number of grid points.
+func (s *Semilinear1D) Dim() int { return len(s.RHS) }
+
+// PolynomialDegree reports the quadratic reaction term.
+func (s *Semilinear1D) PolynomialDegree() int { return 2 }
+
+// Eval computes the residual.
+func (s *Semilinear1D) Eval(u, f []float64) error {
+	d := s.Dim()
+	if len(u) != d || len(f) != d {
+		return fmt.Errorf("pde: Semilinear1D dimension mismatch")
+	}
+	for i := 0; i < d; i++ {
+		f[i] = u[i]*u[i] + u[i] - s.RHS[i]
+		if i+1 < d {
+			f[i] += u[i+1]
+		}
+		if i-1 >= 0 {
+			f[i] -= u[i-1]
+		}
+	}
+	return nil
+}
+
+// Jacobian fills the tridiagonal Jacobian.
+func (s *Semilinear1D) Jacobian(u []float64, jac *la.Dense) error {
+	d := s.Dim()
+	jac.Zero()
+	for i := 0; i < d; i++ {
+		jac.Set(i, i, 2*u[i]+1)
+		if i+1 < d {
+			jac.Set(i, i+1, 1)
+		}
+		if i-1 >= 0 {
+			jac.Set(i, i-1, -1)
+		}
+	}
+	return nil
+}
+
+// Equation2 returns the exact two-point system of the paper's Equation 2.
+func Equation2(rhs0, rhs1 float64) *Semilinear1D {
+	return NewSemilinear1D([]float64{rhs0, rhs1})
+}
+
+var _ nonlin.System = (*Semilinear1D)(nil)

@@ -1,0 +1,51 @@
+package pde
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBwavesLikeSolverDominates(t *testing.T) {
+	r := RunBwavesLike(20, 3)
+	if r.KernelFraction <= 0.3 || r.KernelFraction >= 1 {
+		t.Fatalf("Bi-CGstab share %.2f; the FD implicit workload must be solver-dominated (>0.3)", r.KernelFraction)
+	}
+	if r.DominantKernel != "Bi-CGstab" {
+		t.Fatalf("wrong kernel label %q", r.DominantKernel)
+	}
+	if !strings.Contains(r.Profile.String(), "Bi-CGstab") {
+		t.Fatal("profile should list the kernel section")
+	}
+}
+
+func TestHartmannLikeRuns(t *testing.T) {
+	r := RunHartmannLike(20, 4)
+	if r.KernelFraction <= 0.2 || r.KernelFraction >= 1 {
+		t.Fatalf("PCG share %.2f out of expected range", r.KernelFraction)
+	}
+}
+
+func TestCavityLikeRuns(t *testing.T) {
+	r := RunCavityLike(20, 4)
+	if r.KernelFraction <= 0 || r.KernelFraction >= 1 {
+		t.Fatalf("PCG share %.2f out of range", r.KernelFraction)
+	}
+}
+
+func TestCookLikeRuns(t *testing.T) {
+	r := RunCookLike(16, 3)
+	if r.KernelFraction <= 0 || r.KernelFraction >= 1 {
+		t.Fatalf("SOR+CG share %.2f out of range", r.KernelFraction)
+	}
+	if r.Discipline != "Engineering mechanics" {
+		t.Fatalf("wrong discipline %q", r.Discipline)
+	}
+}
+
+func TestWorkloadReportString(t *testing.T) {
+	r := RunHartmannLike(10, 2)
+	s := r.String()
+	if !strings.Contains(s, "Hartmann") || !strings.Contains(s, "%") {
+		t.Fatalf("report string malformed: %q", s)
+	}
+}

@@ -1,0 +1,103 @@
+// Package perfmodel prices the work the digital solvers perform on the
+// paper's hardware baselines. None of that hardware is available here, so —
+// as documented in DESIGN.md — the algorithms run for real (producing true
+// iteration counts, damping schedules and factorization work) and this
+// package converts that work into seconds and joules with constants
+// calibrated against the paper's published measurements.
+//
+// The split matters: who wins and by how much must come from the measured
+// algorithmic behaviour, not from these constants. The constants only map
+// "one damped-Newton iteration at problem size n" onto a wall-clock cost.
+package perfmodel
+
+import "hybridpde/internal/nonlin"
+
+// CPU model — dual Xeon X5550, 16-thread OpenMP damped Newton (§6.1).
+const (
+	// CPUEffectiveFLOPS is the sustained multiply-add rate of the
+	// vectorised 16-thread banded factorization. X5550 peak is ~85 GFLOPS
+	// across both sockets; sparse banded work sustains a few percent.
+	CPUEffectiveFLOPS = 2.0e9
+	// CPUIterOverheadSeconds is the per-Newton-iteration fixed cost
+	// (thread fork/join, residual evaluation, convergence test). Sets the
+	// small-problem floor of Figure 7 (~10⁻⁵ s for 2×2 problems).
+	CPUIterOverheadSeconds = 4e-6
+	// CPUIterPerDimSeconds is the dimension-proportional per-iteration
+	// cost of the general sparse factorise+solve path (symbolic
+	// bookkeeping, irregular memory access), which dominates the banded
+	// flop count on real hardware. Calibrated against Figure 7's digital
+	// series: ≈4 ms per iteration at 16×16 (512 unknowns).
+	CPUIterPerDimSeconds = 2e-6
+	// CPUPowerWatts is the package power of the two sockets under load,
+	// used for energy ablations.
+	CPUPowerWatts = 190.0
+)
+
+// GPU model — Nvidia GTX 1070 running cuSolver sparse QR (§6.3).
+const (
+	// GPUIterBaseSeconds is the per-iteration launch/latency floor of a
+	// cuSolver factorise+solve round trip.
+	GPUIterBaseSeconds = 2.0e-3
+	// GPUIterPerDimSeconds scales the factorization with problem
+	// dimension. Together with the measured iteration counts of the Go
+	// solver this reproduces the paper's 0.51 s / 2.75 s baselines at
+	// 16×16 / 32×32 (Figure 9).
+	GPUIterPerDimSeconds = 2.7e-5
+	// GPUPowerWatts is the sustained board power while factorising.
+	// Energy charges *all* Newton work including the damping attempts the
+	// time metric forgives (the paper counts only the final successful
+	// attempt's time, §6.1, but the joules were still burned).
+	GPUPowerWatts = 38.0
+)
+
+// CPUTime prices a Newton solve on the CPU baseline from its measured
+// work: factorization multiply-adds plus per-iteration overheads, counting
+// only the *successful* damping attempt (the paper's timing protocol). dim
+// is the problem dimension.
+func CPUTime(res nonlin.Result, dim int) float64 {
+	return float64(res.FactorOps)/CPUEffectiveFLOPS +
+		float64(res.Iterations)*(CPUIterOverheadSeconds+CPUIterPerDimSeconds*float64(dim))
+}
+
+// CPUEnergy charges package power for the total work including failed
+// damping attempts.
+func CPUEnergy(res nonlin.Result, dim int) float64 {
+	scale := attemptScale(res)
+	return CPUTime(res, dim) * scale * CPUPowerWatts
+}
+
+// GPUIterSeconds is the cost of one Newton iteration (one sparse
+// factorise+solve) at problem dimension dim on the GPU.
+func GPUIterSeconds(dim int) float64 {
+	return GPUIterBaseSeconds + GPUIterPerDimSeconds*float64(dim)
+}
+
+// GPUTime prices a Newton solve on the GPU baseline: counted iterations ×
+// per-iteration cost.
+func GPUTime(res nonlin.Result, dim int) float64 {
+	return float64(res.Iterations) * GPUIterSeconds(dim)
+}
+
+// GPUEnergy charges board power for every iteration executed, including
+// the trial-and-error damping attempts.
+func GPUEnergy(res nonlin.Result, dim int) float64 {
+	return float64(totalIters(res)) * GPUIterSeconds(dim) * GPUPowerWatts
+}
+
+func totalIters(res nonlin.Result) int {
+	if res.TotalIters > res.Iterations {
+		return res.TotalIters
+	}
+	return res.Iterations
+}
+
+func attemptScale(res nonlin.Result) float64 {
+	if res.Iterations == 0 {
+		return 1
+	}
+	s := float64(totalIters(res)) / float64(res.Iterations)
+	if s < 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"hybridpde/internal/nonlin"
+)
+
+func TestCPUTimeScalesWithWork(t *testing.T) {
+	small := nonlin.Result{Iterations: 5, FactorOps: 1e6}
+	big := nonlin.Result{Iterations: 5, FactorOps: 1e9}
+	if CPUTime(big, 100) <= CPUTime(small, 100) {
+		t.Fatal("more factorization work must cost more CPU time")
+	}
+	more := nonlin.Result{Iterations: 50, FactorOps: 1e6}
+	if CPUTime(more, 100) <= CPUTime(small, 100) {
+		t.Fatal("more iterations must cost more CPU time")
+	}
+}
+
+func TestCPUEnergyChargesDampingAttempts(t *testing.T) {
+	clean := nonlin.Result{Iterations: 10, TotalIters: 10, FactorOps: 1e7}
+	damped := nonlin.Result{Iterations: 10, TotalIters: 40, FactorOps: 1e7}
+	if CPUTime(clean, 100) != CPUTime(damped, 100) {
+		t.Fatal("time counts only the successful attempt (paper protocol)")
+	}
+	if CPUEnergy(damped, 100) <= CPUEnergy(clean, 100) {
+		t.Fatal("energy must charge the failed damping attempts")
+	}
+}
+
+func TestGPUIterSecondsMonotonic(t *testing.T) {
+	if GPUIterSeconds(2048) <= GPUIterSeconds(512) {
+		t.Fatal("bigger problems must cost more per GPU iteration")
+	}
+	if GPUIterSeconds(1) < GPUIterBaseSeconds {
+		t.Fatal("launch latency floor missing")
+	}
+}
+
+func TestGPUEnergyVsTimeAsymmetry(t *testing.T) {
+	res := nonlin.Result{Iterations: 20, TotalIters: 60}
+	time := GPUTime(res, 512)
+	energy := GPUEnergy(res, 512)
+	// Energy must correspond to 60 iterations at GPUPowerWatts while time
+	// corresponds to 20.
+	if energy <= time*GPUPowerWatts*1.01 {
+		t.Fatalf("energy %g J should exceed counted-time energy %g J", energy, time*GPUPowerWatts)
+	}
+}
+
+func TestZeroIterationEdgeCases(t *testing.T) {
+	res := nonlin.Result{}
+	if CPUTime(res, 100) != 0 || GPUTime(res, 100) != 0 {
+		t.Fatal("zero-work solves must cost zero time")
+	}
+	if CPUEnergy(res, 100) != 0 || GPUEnergy(res, 100) != 0 {
+		t.Fatal("zero-work solves must cost zero energy")
+	}
+}

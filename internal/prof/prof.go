@@ -1,0 +1,87 @@
+// Package prof is a lightweight section profiler used to reproduce Table 1:
+// the fraction of a PDE solver's runtime spent in its equation-solving
+// kernel versus everything else (stencil assembly, boundary handling, time
+// stepping bookkeeping).
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profile accumulates wall-clock time per named section.
+type Profile struct {
+	sections map[string]time.Duration
+	order    []string
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{sections: map[string]time.Duration{}}
+}
+
+// Section times fn under the given name, accumulating across calls.
+func (p *Profile) Section(name string, fn func()) {
+	start := time.Now()
+	fn()
+	p.Add(name, time.Since(start))
+}
+
+// Add accumulates a duration directly, for callers that time themselves.
+func (p *Profile) Add(name string, d time.Duration) {
+	if _, ok := p.sections[name]; !ok {
+		p.order = append(p.order, name)
+	}
+	p.sections[name] += d
+}
+
+// Total returns the summed time across all sections.
+func (p *Profile) Total() time.Duration {
+	var t time.Duration
+	for _, d := range p.sections {
+		t += d
+	}
+	return t
+}
+
+// Fraction returns the share of total time spent in the named section,
+// in [0, 1]. Zero-total profiles report 0.
+func (p *Profile) Fraction(name string) float64 {
+	tot := p.Total()
+	if tot == 0 {
+		return 0
+	}
+	return float64(p.sections[name]) / float64(tot)
+}
+
+// Sections returns names in first-use order.
+func (p *Profile) Sections() []string {
+	out := make([]string, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// String renders the profile sorted by descending share.
+func (p *Profile) String() string {
+	type row struct {
+		name string
+		d    time.Duration
+	}
+	rows := make([]row, 0, len(p.sections))
+	for n, d := range p.sections {
+		rows = append(rows, row{n, d})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	tot := p.Total()
+	var b strings.Builder
+	for _, r := range rows {
+		pct := 0.0
+		if tot > 0 {
+			pct = 100 * float64(r.d) / float64(tot)
+		}
+		fmt.Fprintf(&b, "%-24s %8.1f%% %12s\n", r.name, pct, r.d.Round(time.Microsecond))
+	}
+	return b.String()
+}
