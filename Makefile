@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# Full verification gate: build + vet + formatting + race-enabled tests.
+check:
+	./scripts/check.sh
+
+# Allocation benchmarks guarding the time-stepping hot path (the steady
+# Newton step must report 0 allocs/op).
+bench:
+	$(GO) test ./internal/core/ -run XXX -bench 'BenchmarkNewtonSparseSteadyStep|BenchmarkHybridTimeLoop' -benchtime 100x

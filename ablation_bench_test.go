@@ -44,11 +44,11 @@ func BenchmarkAblationDampingSchedule(b *testing.B) {
 	var autoIters, armijoIters int
 	for i := 0; i < b.N; i++ {
 		prob, _, u0 := ablationProblem(b, 8, 2.0, 2.4, 77)
-		res, err := nonlin.NewtonSparse(prob, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, AutoDamp: true, MaxIter: 400})
+		res, err := nonlin.NewtonSparse(nil, prob, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, AutoDamp: true, MaxIter: 400})
 		if err == nil {
 			autoIters = res.TotalIters
 		}
-		dres, err := nonlin.NewtonArmijo(nonlin.DenseAdapter{S: prob}, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, MaxIter: 400})
+		dres, err := nonlin.NewtonArmijo(nil, nonlin.DenseAdapter{S: prob}, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, MaxIter: 400})
 		if err == nil {
 			armijoIters = dres.Iterations
 		}
@@ -64,18 +64,18 @@ func BenchmarkAblationSeeding(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	h := core.New(acc)
+	seeder := core.AnalogSeeder(acc)
 	var cold, seeded int
 	for i := 0; i < b.N; i++ {
 		prob, _, u0 := ablationProblem(b, 8, 2.0, 2.1, 78)
-		opts := core.Options{InitialGuess: u0}
+		opts := core.Options{InitialGuess: u0, Seeder: seeder}
 		opts.Analog.DynamicRange = 1.5 * 2.1
-		if rep, err := h.SolveBurgers(prob, opts); err == nil {
+		if rep, err := core.Solve(nil, prob, opts); err == nil {
 			seeded = rep.Digital.Iterations
 		}
 		optsCold := opts
 		optsCold.SkipAnalog = true
-		if rep, err := h.SolveBurgers(prob, optsCold); err == nil {
+		if rep, err := core.Solve(nil, prob, optsCold); err == nil {
 			cold = rep.Digital.Iterations
 		}
 	}
@@ -106,11 +106,11 @@ func BenchmarkAblationADCBits(b *testing.B) {
 					if err := prob.SetRHSForRoot(root); err != nil {
 						b.Fatal(err)
 					}
-					sol, err := acc.SolveSparse(prob, root, analog.SolveOptions{DynamicRange: 4.5})
+					sol, err := acc.SolveSparse(nil, prob, root, analog.SolveOptions{DynamicRange: 4.5})
 					if err != nil || !sol.Converged {
 						continue
 					}
-					golden, err := core.GoldenSolve(prob, sol.U)
+					golden, err := core.GoldenSolve(nil, prob, sol.U)
 					if err != nil {
 						continue
 					}
@@ -130,7 +130,7 @@ func BenchmarkAblationBroyden(b *testing.B) {
 	sys := pde.Equation2(1.0, -1.0)
 	var newtonFactors, broydenFactors, broydenIters, newtonIters int
 	for i := 0; i < b.N; i++ {
-		if res, err := nonlin.Newton(sys, []float64{0.5, 0.5}, nonlin.NewtonOptions{Tol: 1e-10}); err == nil {
+		if res, err := nonlin.Newton(nil, sys, []float64{0.5, 0.5}, nonlin.NewtonOptions{Tol: 1e-10}); err == nil {
 			newtonFactors = res.LinearSolves
 			newtonIters = res.Iterations
 		}
@@ -159,7 +159,7 @@ func BenchmarkAblationStencilOrder(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := nonlin.NewtonSparse(prob, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, AutoDamp: true, MaxIter: 300})
+			res, err := nonlin.NewtonSparse(nil, prob, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, AutoDamp: true, MaxIter: 300})
 			if err != nil {
 				continue
 			}

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"hybridpde/internal/exp"
 )
@@ -24,7 +26,11 @@ func main() {
 		out   = flag.String("out", "", "directory for image artifacts (PPM basin plots)")
 	)
 	flag.Parse()
-	cfg := exp.Config{Quick: *quick, Seed: *seed, OutDir: *out}
+	// Ctrl-C cancels the context threaded through every solver, so a long
+	// sweep aborts mid-solve instead of running a figure to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := exp.Config{Quick: *quick, Seed: *seed, OutDir: *out, Ctx: ctx}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
@@ -61,6 +67,11 @@ func main() {
 
 func run(r func(exp.Config) (fmt.Stringer, error), cfg exp.Config, name string) {
 	res, err := r(cfg)
+	// Drivers tolerate per-trial solve failures, so a Ctrl-C mid-sweep can
+	// surface as a "successful" run of empty rows; report it as the abort it is.
+	if err == nil && cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		err = cfg.Ctx.Err()
+	}
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", name, err))
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -39,7 +40,14 @@ func main() {
 	}
 
 	accel := analog.NewPrototype(1) // 8 variables: each 4×4 step decomposes
-	solver := core.New(accel)
+	// One Options value reused across steps: the Workspace keeps the Newton
+	// buffers and LU factorization storage alive, so the steady-state time
+	// loop stops allocating after the first step.
+	opts := core.Options{
+		Seeder:    core.AnalogSeeder(accel),
+		Workspace: core.NewWorkspace(),
+	}
+	ctx := context.Background()
 
 	energy := func() float64 {
 		s := 0.0
@@ -52,7 +60,7 @@ func main() {
 	fmt.Printf("step  kinetic-energy  analog-s     digital-iters  subdomains\n")
 	fmt.Printf("   0  %14.6f\n", energy())
 	for s := 1; s <= steps; s++ {
-		rep, err := solver.SolveBurgers(problem, core.Options{})
+		rep, err := core.Solve(ctx, problem, opts)
 		if err != nil {
 			log.Fatalf("step %d: %v", s, err)
 		}

@@ -73,7 +73,7 @@ func main() {
 			}
 			analogIm.Set(px, py, c)
 
-			res, err := nonlin.Newton(cubic, u0, nonlin.NewtonOptions{Tol: 1e-10, MaxIter: 60})
+			res, err := nonlin.Newton(nil, cubic, u0, nonlin.NewtonOptions{Tol: 1e-10, MaxIter: 60})
 			c = img.NoConverge
 			if err == nil && res.Converged {
 				if k := classify(res.U, 1e-3); k >= 0 {

@@ -23,7 +23,7 @@ func main() {
 
 	fmt.Println("digital homotopy continuation (predictor-corrector):")
 	for _, s := range starts {
-		res, err := nonlin.Homotopy(simple, hard, s, nonlin.HomotopyOptions{Steps: 80})
+		res, err := nonlin.Homotopy(nil, simple, hard, s, nonlin.HomotopyOptions{Steps: 80})
 		if err != nil {
 			fmt.Printf("  start (%+.0f,%+.0f): %v\n", s[0], s[1], err)
 			continue

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,9 +35,11 @@ func main() {
 	fmt.Printf("analog board: %d scalar variables, %.2f mm², %.2f mW peak\n",
 		accel.Capacity(), accel.AreaMM2(), 1e3*accel.PeakPowerWatts(accel.Capacity()))
 
-	// Hybrid solve: analog seed → digital Newton polish.
-	solver := core.New(accel)
-	report, err := solver.SolveBurgers(problem, core.Options{})
+	// Hybrid solve: analog seed → digital Newton polish. The pipeline is
+	// generic over problem.SparseSystem; AnalogSeeder picks a direct or
+	// red-black decomposed analog stage by capacity.
+	opts := core.Options{Seeder: core.AnalogSeeder(accel)}
+	report, err := core.Solve(context.Background(), problem, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

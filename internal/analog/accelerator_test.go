@@ -113,7 +113,7 @@ func TestSolveErrorIsApproximatelyPaperRMS(t *testing.T) {
 		}
 		// The digital reference is the exact root nearest the analog
 		// result; polish from the analog answer.
-		dig, err := nonlin.Newton(sys, sol.U, nonlin.NewtonOptions{Tol: 1e-12, AutoDamp: true, MaxIter: 400})
+		dig, err := nonlin.Newton(nil, sys, sol.U, nonlin.NewtonOptions{Tol: 1e-12, AutoDamp: true, MaxIter: 400})
 		if err != nil {
 			continue
 		}
@@ -212,7 +212,7 @@ func TestSolveSparseMatchesDenseNoiseless(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sparse, err := acc.SolveSparse(sys, u0, SolveOptions{DynamicRange: 2, DisableNoise: true})
+	sparse, err := acc.SolveSparse(nil, sys, u0, SolveOptions{DynamicRange: 2, DisableNoise: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestSolveSparseWithNoiseSettles(t *testing.T) {
 	sys := &tridiagonalQuadratic{n: 8}
 	u0 := make([]float64, 8)
 	acc := NewPrototype(8)
-	sol, err := acc.SolveSparse(sys, u0, SolveOptions{DynamicRange: 2})
+	sol, err := acc.SolveSparse(nil, sys, u0, SolveOptions{DynamicRange: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

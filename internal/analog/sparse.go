@@ -1,6 +1,7 @@
 package analog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -88,7 +89,11 @@ func (ss *scaledSparse) toProblem(w []float64) []float64 {
 // exploits the banded Jacobian. When the Jacobian drifts singular along the
 // trajectory (high Reynolds numbers, §6.1) the finite loop gain ε keeps the
 // dynamics defined, exactly as in the dense path.
-func (a *Accelerator) SolveSparse(sys nonlin.SparseSystem, u0 []float64, opts SolveOptions) (Solution, error) {
+//
+// ctx may be nil; a cancelled context aborts the circuit evolution with an
+// error wrapping the context's error (a physical chip would simply be
+// powered down mid-settle).
+func (a *Accelerator) SolveSparse(ctx context.Context, sys nonlin.SparseSystem, u0 []float64, opts SolveOptions) (Solution, error) {
 	opts.defaults()
 	n := sys.Dim()
 	if len(u0) != n {
@@ -120,6 +125,11 @@ func (a *Accelerator) SolveSparse(sys nonlin.SparseSystem, u0 []float64, opts So
 	// evaluation of the circuit simulation.
 	var lu *la.BandLU
 	flow := func(t float64, w, dwdt []float64) error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("analog: solve aborted: %w", err)
+			}
+		}
 		for i := range w {
 			wsat[i] = clamp(w[i], sat)
 		}

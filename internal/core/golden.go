@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -11,9 +12,9 @@ import (
 
 // GoldenSolve produces the certified reference solution of §6.1: a damped
 // Newton solver taking deliberately small steps, whose result is verified
-// to satisfy the nonlinear system before being returned.
-func GoldenSolve(sys nonlin.SparseSystem, u0 []float64) ([]float64, error) {
-	res, err := nonlin.NewtonSparse(sys, u0, nonlin.NewtonOptions{
+// to satisfy the nonlinear system before being returned. ctx may be nil.
+func GoldenSolve(ctx context.Context, sys nonlin.SparseSystem, u0 []float64) ([]float64, error) {
+	res, err := nonlin.NewtonSparse(ctx, sys, u0, nonlin.NewtonOptions{
 		Tol:      1e-12,
 		MaxIter:  3000,
 		Damping:  0.2,
@@ -21,7 +22,7 @@ func GoldenSolve(sys nonlin.SparseSystem, u0 []float64) ([]float64, error) {
 	})
 	if err != nil {
 		// Retry with the full auto-damping schedule before giving up.
-		res, err = nonlin.NewtonSparse(sys, u0, nonlin.NewtonOptions{
+		res, err = nonlin.NewtonSparse(ctx, sys, u0, nonlin.NewtonOptions{
 			Tol:      1e-12,
 			MaxIter:  1000,
 			AutoDamp: true,
@@ -62,7 +63,9 @@ type AccuracyResult struct {
 // solution is within targetRMS (normalised by scale) of the golden
 // solution, using the paper's halve-on-failure damping schedule and its
 // timing protocol (only the successful attempt's iterations are counted).
-func DigitalToAccuracy(sys nonlin.SparseSystem, u0, golden []float64, targetRMS, scale float64) (AccuracyResult, error) {
+// ctx may be nil; a cancelled context aborts between iterations with a
+// wrapped context error.
+func DigitalToAccuracy(ctx context.Context, sys nonlin.SparseSystem, u0, golden []float64, targetRMS, scale float64) (AccuracyResult, error) {
 	var out AccuracyResult
 	n := sys.Dim()
 	if len(u0) != n || len(golden) != n {
@@ -83,6 +86,12 @@ func DigitalToAccuracy(sys nonlin.SparseSystem, u0, golden []float64, targetRMS,
 		}
 		r0 := la.Norm2(f)
 		for iters = 0; iters < maxIterPerAttempt; iters++ {
+			if ctx != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					out.TotalIters += iters
+					return out, fmt.Errorf("core: equal-accuracy solve aborted: %w", cerr)
+				}
+			}
 			if stats.RMSError(u, golden, scale) <= targetRMS {
 				out.U = u
 				out.Iterations = iters

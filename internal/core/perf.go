@@ -1,0 +1,63 @@
+package core
+
+import (
+	"hybridpde/internal/nonlin"
+	"hybridpde/internal/perfmodel"
+)
+
+// PerfBackend prices the digital polish stage from its measured algorithmic
+// work (iteration counts, factorization multiply-adds). It replaces the old
+// two-value PerfTarget enum so new baselines — e.g. an analog linear-algebra
+// co-processor, or a remeasured GPU — plug in without touching the pipeline.
+// Implementations must be stateless and safe for concurrent use.
+type PerfBackend interface {
+	// Name identifies the backend in reports and tables.
+	Name() string
+	// Time prices the counted (successful-attempt) work in seconds.
+	Time(res nonlin.Result, dim int) float64
+	// Energy prices the total work, including failed damping attempts, in
+	// joules.
+	Energy(res nonlin.Result, dim int) float64
+}
+
+// Built-in backends. PerfCPU and PerfGPU are the paper's measured baselines;
+// PerfAnalogLA prices the hypothetical host-plus-analog-linear-algebra
+// hybrid of the paper's predecessor work [22, 23].
+var (
+	// PerfCPU is the dual-Xeon damped-Newton baseline of Figures 7 and 8.
+	PerfCPU PerfBackend = cpuBackend{}
+	// PerfGPU is the cuSolver sparse-QR baseline of Figure 9.
+	PerfGPU PerfBackend = gpuBackend{}
+	// PerfAnalogLA ships each Newton linear solve to an analog crossbar.
+	PerfAnalogLA PerfBackend = analogLABackend{}
+)
+
+type cpuBackend struct{}
+
+func (cpuBackend) Name() string { return "cpu" }
+func (cpuBackend) Time(res nonlin.Result, dim int) float64 {
+	return perfmodel.CPUTime(res, dim)
+}
+func (cpuBackend) Energy(res nonlin.Result, dim int) float64 {
+	return perfmodel.CPUEnergy(res, dim)
+}
+
+type gpuBackend struct{}
+
+func (gpuBackend) Name() string { return "gpu" }
+func (gpuBackend) Time(res nonlin.Result, dim int) float64 {
+	return perfmodel.GPUTime(res, dim)
+}
+func (gpuBackend) Energy(res nonlin.Result, dim int) float64 {
+	return perfmodel.GPUEnergy(res, dim)
+}
+
+type analogLABackend struct{}
+
+func (analogLABackend) Name() string { return "analog-la" }
+func (analogLABackend) Time(res nonlin.Result, dim int) float64 {
+	return perfmodel.AnalogLATime(res, dim)
+}
+func (analogLABackend) Energy(res nonlin.Result, dim int) float64 {
+	return perfmodel.AnalogLAEnergy(res, dim)
+}

@@ -111,7 +111,7 @@ func Fig2(cfg Config) (Fig2Result, error) {
 			}
 			res.Analog.Set(px, py, aCol)
 
-			dres, derr := nonlin.Newton(sys, u0, nonlin.NewtonOptions{Tol: 1e-10, MaxIter: 60})
+			dres, derr := nonlin.Newton(cfg.ctx(), sys, u0, nonlin.NewtonOptions{Tol: 1e-10, MaxIter: 60})
 			var dCol img.Color
 			if derr != nil || !dres.Converged {
 				dCol = img.NoConverge

@@ -173,7 +173,7 @@ func findQuadRoots(sys nonlin.System) [][2]float64 {
 	f := make([]float64, 2)
 	for _, s0 := range []float64{-2.5, -1.5, -0.5, 0.5, 1.5, 2.5} {
 		for _, s1 := range []float64{-2.5, -1.5, -0.5, 0.5, 1.5, 2.5} {
-			r, err := nonlin.Newton(sys, []float64{s0, s1}, nonlin.NewtonOptions{Tol: 1e-12, AutoDamp: true, MaxIter: 300})
+			r, err := nonlin.Newton(nil, sys, []float64{s0, s1}, nonlin.NewtonOptions{Tol: 1e-12, AutoDamp: true, MaxIter: 300})
 			if err != nil || !r.Converged {
 				continue
 			}

@@ -55,13 +55,13 @@ func Fig6(cfg Config) (Fig6Result, error) {
 		for i := range u0 {
 			u0[i] = bound * (2*rng.Float64() - 1)
 		}
-		sol, err := acc.SolveSparse(b, u0, analog.SolveOptions{DynamicRange: 1.5 * bound})
+		sol, err := acc.SolveSparse(cfg.ctx(), b, u0, analog.SolveOptions{DynamicRange: 1.5 * bound})
 		if err != nil || !sol.Converged {
 			continue
 		}
 		// Certified digital reference: polish from the analog answer so
 		// both solvers describe the same root.
-		golden, err := core.GoldenSolve(b, sol.U)
+		golden, err := core.GoldenSolve(cfg.ctx(), b, sol.U)
 		if err != nil {
 			continue
 		}

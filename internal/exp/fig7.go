@@ -82,7 +82,7 @@ func Fig7(cfg Config) (Fig7Result, error) {
 					return res, err
 				}
 				// Equal-accuracy digital run (CPU baseline protocol).
-				dig, derr := core.DigitalToAccuracy(b, u0, root, res.TargetRMS, bound)
+				dig, derr := core.DigitalToAccuracy(cfg.ctx(), b, u0, root, res.TargetRMS, bound)
 				if derr != nil {
 					continue // the paper's sparse data points at high Re
 				}
@@ -93,7 +93,7 @@ func Fig7(cfg Config) (Fig7Result, error) {
 				}, b.Dim()))
 
 				// Analog run from the same start.
-				sol, aerr := acc.SolveSparse(b, u0, analog.SolveOptions{
+				sol, aerr := acc.SolveSparse(cfg.ctx(), b, u0, analog.SolveOptions{
 					DynamicRange: 1.5 * bound,
 				})
 				if aerr != nil || !sol.Converged {

@@ -48,7 +48,7 @@ func Fig8(cfg Config) (Fig8Result, error) {
 	if err != nil {
 		return res, err
 	}
-	h := core.New(acc)
+	seeder := core.AnalogSeeder(acc)
 	// Field amplitude calibration: the unit-coefficient stencil (Δt = Δx
 	// = Δy eliminated, §4.4) has a stronger effective nonlinearity per
 	// unit Re than the paper's discretisation. ±2.1 places the Re = 2.0
@@ -67,12 +67,12 @@ func Fig8(cfg Config) (Fig8Result, error) {
 			if err != nil {
 				return res, err
 			}
-			opts := core.Options{Perf: core.PerfCPU, InitialGuess: u0}
+			opts := core.Options{Perf: core.PerfCPU, InitialGuess: u0, Seeder: seeder}
 			opts.Analog.DynamicRange = 1.5 * bound
-			repSeeded, errS := h.SolveBurgers(b, opts)
+			repSeeded, errS := core.Solve(cfg.ctx(), b, opts)
 			optsCold := opts
 			optsCold.SkipAnalog = true
-			repCold, errC := h.SolveBurgers(b, optsCold)
+			repCold, errC := core.Solve(cfg.ctx(), b, optsCold)
 			if errS != nil || errC != nil {
 				continue // count only mutually solvable draws, like the paper's 16 trials
 			}

@@ -54,7 +54,7 @@ func Fig9(cfg Config) (Fig9Result, error) {
 	if err != nil {
 		return res, err
 	}
-	h := core.New(acc)
+	seeder := core.AnalogSeeder(acc)
 	for _, n := range sizes {
 		sz := Fig9Size{GridN: n, Trials: trials, Decomposed: n > accGrid}
 		var bt, bj, at, aj, st, sj []float64
@@ -65,12 +65,12 @@ func Fig9(cfg Config) (Fig9Result, error) {
 			if err != nil {
 				return res, err
 			}
-			opts := core.Options{Perf: core.PerfGPU, InitialGuess: u0}
+			opts := core.Options{Perf: core.PerfGPU, InitialGuess: u0, Seeder: seeder}
 			opts.Analog.DynamicRange = 1.5 * bound
-			seeded, errS := h.SolveBurgers(b, opts)
+			seeded, errS := core.Solve(cfg.ctx(), b, opts)
 			optsCold := opts
 			optsCold.SkipAnalog = true
-			cold, errC := h.SolveBurgers(b, optsCold)
+			cold, errC := core.Solve(cfg.ctx(), b, optsCold)
 			if errS != nil || errC != nil {
 				continue
 			}

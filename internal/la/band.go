@@ -134,14 +134,18 @@ func (f *BandLU) factor() error {
 	return nil
 }
 
-// Solve solves A·x = b into dst. dst and b may alias.
+// Solve solves A·x = b into dst, allocation-free. dst and b may alias fully;
+// partial overlap is not supported.
 func (f *BandLU) Solve(dst, b []float64) error {
 	if len(b) != f.n || len(dst) != f.n {
 		return fmt.Errorf("la: band solve length mismatch: n=%d len(b)=%d len(dst)=%d", f.n, len(b), len(dst))
 	}
 	n, kl, ku, w := f.n, f.kl, f.ku, f.w
 	data := f.data
-	x := Copy(b)
+	x := dst
+	if n > 0 && &dst[0] != &b[0] {
+		copy(x, b)
+	}
 	// Forward substitution applying the recorded row swaps.
 	for k := 0; k < n; k++ {
 		if p := f.piv[k]; p != k {
@@ -170,11 +174,11 @@ func (f *BandLU) Solve(dst, b []float64) error {
 		}
 		x[i] = s / d
 	}
-	copy(dst, x)
 	return nil
 }
 
-// SolveInto is Solve without the defensive copy: b is consumed as scratch.
+// SolveInto solves A·x = b in place: x holds b on entry and the solution on
+// return.
 func (f *BandLU) SolveInto(x []float64) error {
 	if len(x) != f.n {
 		return fmt.Errorf("la: band SolveInto length mismatch: n=%d len(x)=%d", f.n, len(x))

@@ -1,6 +1,7 @@
 package nonlin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -83,7 +84,9 @@ func NewtonFlow(sys System) ode.System {
 // steps, which is the paper's argument for doing it in analog (§3.2:
 // "homotopy continuation is again an ODE in disguise, and therefore costly
 // to approximate in a digital computer").
-func ContinuousNewton(sys System, u0 []float64, opts ContinuousOptions) (ContinuousResult, error) {
+// ctx may be nil; a cancelled context stops the integration and returns an
+// error wrapping the context's error.
+func ContinuousNewton(ctx context.Context, sys System, u0 []float64, opts ContinuousOptions) (ContinuousResult, error) {
 	opts.defaults()
 	if len(u0) != sys.Dim() {
 		return ContinuousResult{}, errors.New("nonlin: initial guess has wrong dimension")
@@ -92,9 +95,14 @@ func ContinuousNewton(sys System, u0 []float64, opts ContinuousOptions) (Continu
 	f := make([]float64, sys.Dim())
 	var res ContinuousResult
 	settle := -1.0
+	cancelled := false
 	inner := opts.Adaptive
 	userObs := inner.Observer
 	inner.Observer = func(t float64, u []float64) bool {
+		if ctxErr(ctx) != nil {
+			cancelled = true
+			return false
+		}
 		if userObs != nil && !userObs(t, u) {
 			return false
 		}
@@ -111,6 +119,9 @@ func ContinuousNewton(sys System, u0 []float64, opts ContinuousOptions) (Continu
 	res.U = r.Y
 	res.Steps = r.Steps
 	res.Evals = r.Evals
+	if cancelled {
+		return res, ctxErr(ctx)
+	}
 	if err != nil {
 		return res, err
 	}

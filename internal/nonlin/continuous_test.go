@@ -9,7 +9,7 @@ import (
 
 func TestContinuousNewtonCubic(t *testing.T) {
 	sys := complexCubic()
-	res, err := ContinuousNewton(sys, []float64{2, 0.3}, ContinuousOptions{Tol: 1e-10})
+	res, err := ContinuousNewton(nil, sys, []float64{2, 0.3}, ContinuousOptions{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestContinuousNewtonResidualDecayRate(t *testing.T) {
 	}
 	r0 := la.Norm2(f)
 	tol := 1e-8
-	res, err := ContinuousNewton(sys, u0, ContinuousOptions{Tol: tol})
+	res, err := ContinuousNewton(nil, sys, u0, ContinuousOptions{Tol: tol})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,14 +70,14 @@ func TestContinuousNewtonBasinsMoreContiguousThanDiscrete(t *testing.T) {
 		return changes
 	}
 	contChanges := scan(func(u0 []float64) (int, bool) {
-		res, err := ContinuousNewton(sys, u0, ContinuousOptions{Tol: 1e-8})
+		res, err := ContinuousNewton(nil, sys, u0, ContinuousOptions{Tol: 1e-8})
 		if err != nil || !res.Converged {
 			return 0, false
 		}
 		return nearestCubicRoot(res.U), true
 	})
 	discChanges := scan(func(u0 []float64) (int, bool) {
-		res, err := Newton(sys, u0, NewtonOptions{Tol: 1e-8, MaxIter: 80})
+		res, err := Newton(nil, sys, u0, NewtonOptions{Tol: 1e-8, MaxIter: 80})
 		if err != nil || !res.Converged {
 			return 0, false
 		}
@@ -96,7 +96,7 @@ func TestContinuousNewtonAllThreeRootsReachable(t *testing.T) {
 	found := map[int]bool{}
 	starts := [][]float64{{1.5, 0.2}, {-1, 1.2}, {-1, -1.2}}
 	for _, s := range starts {
-		res, err := ContinuousNewton(sys, s, ContinuousOptions{Tol: 1e-9})
+		res, err := ContinuousNewton(nil, sys, s, ContinuousOptions{Tol: 1e-9})
 		if err != nil {
 			t.Fatalf("start %v: %v", s, err)
 		}
@@ -115,7 +115,7 @@ func TestHomotopyCoupledQuadratic(t *testing.T) {
 	simple := SquareRootsSimple(2)
 	roots := make(map[[2]int64]bool)
 	for _, s := range [][]float64{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}} {
-		res, err := Homotopy(simple, hard, s, HomotopyOptions{})
+		res, err := Homotopy(nil, simple, hard, s, HomotopyOptions{})
 		if err != nil {
 			t.Fatalf("start %v: %v", s, err)
 		}
@@ -136,7 +136,7 @@ func TestHomotopyCoupledQuadratic(t *testing.T) {
 
 func TestHomotopyPathRecorded(t *testing.T) {
 	hard := coupledQuadratic(0.5, 0.5)
-	res, err := Homotopy(SquareRootsSimple(2), hard, []float64{1, 1}, HomotopyOptions{Steps: 20})
+	res, err := Homotopy(nil, SquareRootsSimple(2), hard, []float64{1, 1}, HomotopyOptions{Steps: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestHomotopyPathRecorded(t *testing.T) {
 }
 
 func TestHomotopyDimensionMismatch(t *testing.T) {
-	if _, err := Homotopy(SquareRootsSimple(3), coupledQuadratic(1, 1), []float64{1, 1, 1}, HomotopyOptions{}); err == nil {
+	if _, err := Homotopy(nil, SquareRootsSimple(3), coupledQuadratic(1, 1), []float64{1, 1, 1}, HomotopyOptions{}); err == nil {
 		t.Fatal("expected dimension mismatch error")
 	}
 }

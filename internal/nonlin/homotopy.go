@@ -1,6 +1,7 @@
 package nonlin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -110,8 +111,10 @@ func (g *homotopySystem) dLambda(u, out []float64) error {
 
 // Homotopy tracks a root of the simple system to a root of the hard system
 // by sweeping λ from 0 to 1 through G(ρ;λ) = (1−λ)S(ρ) + λH(ρ) (§3.2).
-// start must be at (or near) a root of the simple system.
-func Homotopy(simple, hard System, start []float64, opts HomotopyOptions) (HomotopyResult, error) {
+// start must be at (or near) a root of the simple system. ctx may be nil; a
+// cancelled context aborts between corrector solves with a wrapped context
+// error.
+func Homotopy(ctx context.Context, simple, hard System, start []float64, opts HomotopyOptions) (HomotopyResult, error) {
 	if simple.Dim() != hard.Dim() {
 		return HomotopyResult{}, fmt.Errorf("nonlin: homotopy dimension mismatch %d vs %d", simple.Dim(), hard.Dim())
 	}
@@ -129,7 +132,7 @@ func Homotopy(simple, hard System, start []float64, opts HomotopyOptions) (Homot
 	var res HomotopyResult
 	// Correct onto the λ=0 root first, in case start is only approximate.
 	g.lambda = 0
-	nr, err := Newton(g, u, opts.Newton)
+	nr, err := Newton(ctx, g, u, opts.Newton)
 	if err != nil {
 		return res, fmt.Errorf("nonlin: homotopy failed to settle on simple root: %w", err)
 	}
@@ -169,8 +172,11 @@ func Homotopy(simple, hard System, start []float64, opts HomotopyOptions) (Homot
 			// Singular tangent systems fall through to the plain corrector.
 		}
 		g.lambda = lambda + step
-		nr, err := Newton(g, u, opts.Newton)
+		nr, err := Newton(ctx, g, u, opts.Newton)
 		if err != nil {
+			if isCtxErr(err) {
+				return res, err
+			}
 			// Corrector failed: shrink the continuation step and retry
 			// from the last accepted point (adaptive path tracking).
 			copy(u, uPrev)
@@ -186,7 +192,7 @@ func Homotopy(simple, hard System, start []float64, opts HomotopyOptions) (Homot
 			// conditions lead to one correct solution or another"). Model
 			// the slide with damped-Newton restarts from deterministic
 			// perturbations of the fold point.
-			hopped, hr := basinHop(g, uPrev, opts.Newton)
+			hopped, hr := basinHop(ctx, g, uPrev, opts.Newton)
 			if !hopped {
 				res.LambdaSteps++
 				return res, fmt.Errorf("nonlin: homotopy fold at λ=%.4f and basin hop failed: %w", g.lambda, err)
@@ -220,7 +226,7 @@ func Homotopy(simple, hard System, start []float64, opts HomotopyOptions) (Homot
 // basinHop tries damped-Newton solves from perturbations of uFold until one
 // converges to a root of sys. Directions and magnitudes are deterministic so
 // homotopy runs are reproducible.
-func basinHop(sys System, uFold []float64, newtonOpts NewtonOptions) (bool, Result) {
+func basinHop(ctx context.Context, sys System, uFold []float64, newtonOpts NewtonOptions) (bool, Result) {
 	n := len(uFold)
 	scale := 1 + la.Norm2(uFold)
 	newtonOpts.AutoDamp = true
@@ -230,7 +236,7 @@ func basinHop(sys System, uFold []float64, newtonOpts NewtonOptions) (bool, Resu
 	try := func(dir []float64, mag float64) (bool, Result) {
 		u := la.Copy(uFold)
 		la.Axpy(mag*scale, dir, u)
-		r, err := Newton(sys, u, newtonOpts)
+		r, err := Newton(ctx, sys, u, newtonOpts)
 		if err == nil && r.Converged {
 			return true, r
 		}

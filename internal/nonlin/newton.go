@@ -1,7 +1,9 @@
 package nonlin
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"hybridpde/internal/la"
@@ -67,6 +69,19 @@ type Result struct {
 	Attempts     int     // damping attempts tried (AutoDamp)
 }
 
+// ctxErr reports a pending cancellation wrapped so callers can test with
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded. A nil context
+// never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("nonlin: solve aborted: %w", err)
+	}
+	return nil
+}
+
 // jacSolver abstracts the dense and sparse linear-solve kernels so both
 // Newton variants share one iteration loop.
 type jacSolver interface {
@@ -95,38 +110,77 @@ func (s *denseSolver) solveStep(u, f, delta []float64) (int64, error) {
 	return n * n * n / 3, lu.Solve(delta, f)
 }
 
-type sparseSolver struct {
-	sys SparseSystem
+// SparseSolver is a reusable workspace for repeated sparse Newton solves of
+// same-shaped systems — the inner loop of implicit time stepping, where a
+// fresh factorization workspace and iterate buffers every step would dominate
+// the allocator. The zero value is ready to use; buffers grow on first solve
+// and are reused while the system shape (dimension and Jacobian bandwidths)
+// stays put.
+//
+// Result.U returned by Solve aliases the workspace iterate buffer: it is
+// valid until the next Solve call. Copy it if it must outlive the workspace.
+// A SparseSolver must not be used concurrently.
+type SparseSolver struct {
+	u, f, delta []float64
+	lu          *la.BandLU
+	n, kl, ku   int // shape the band workspace was sized for
+	sys         SparseSystem
 }
 
-func (s *sparseSolver) dim() int                  { return s.sys.Dim() }
-func (s *sparseSolver) eval(u, f []float64) error { return s.sys.Eval(u, f) }
-func (s *sparseSolver) solveStep(u, f, delta []float64) (int64, error) {
-	j, err := s.sys.JacobianCSR(u)
+// NewSparseSolver returns an empty workspace. Equivalent to &SparseSolver{}.
+func NewSparseSolver() *SparseSolver { return &SparseSolver{} }
+
+// Solve runs the damped Newton iteration on sys from u0, reusing the
+// workspace buffers. ctx may be nil; a cancelled context aborts between
+// iterations with an error wrapping the context's error.
+func (w *SparseSolver) Solve(ctx context.Context, sys SparseSystem, u0 []float64, opts NewtonOptions) (Result, error) {
+	n := sys.Dim()
+	if len(w.u) != n {
+		w.u = make([]float64, n)
+		w.f = make([]float64, n)
+		w.delta = make([]float64, n)
+	}
+	w.sys = sys
+	return newtonLoop(ctx, w, u0, opts, w.u, w.f, w.delta)
+}
+
+func (w *SparseSolver) dim() int                  { return w.sys.Dim() }
+func (w *SparseSolver) eval(u, f []float64) error { return w.sys.Eval(u, f) }
+
+func (w *SparseSolver) solveStep(u, f, delta []float64) (int64, error) {
+	j, err := w.sys.JacobianCSR(u)
 	if err != nil {
 		return 0, err
 	}
-	lu, err := la.FactorBandLU(j)
-	if err != nil {
+	kl, ku := la.Bandwidths(j)
+	if w.lu == nil || j.Rows() != w.n || kl > w.kl || ku > w.ku {
+		w.n, w.kl, w.ku = j.Rows(), kl, ku
+		w.lu = la.NewBandLUWorkspace(w.n, w.kl, w.ku)
+	}
+	if err := w.lu.FactorFrom(j); err != nil {
 		return 0, err
 	}
-	return lu.FactorOps, lu.Solve(delta, f)
+	return w.lu.FactorOps, w.lu.Solve(delta, f)
 }
 
 // Newton solves F(u) = 0 with the (optionally damped) Newton method starting
-// from u0. See NewtonOptions for the damping schedule.
-func Newton(sys System, u0 []float64, opts NewtonOptions) (Result, error) {
-	return newtonLoop(&denseSolver{sys: sys, jac: la.NewDense(sys.Dim(), sys.Dim())}, u0, opts)
+// from u0. See NewtonOptions for the damping schedule. ctx may be nil; a
+// cancelled context aborts between iterations with a wrapped context error.
+func Newton(ctx context.Context, sys System, u0 []float64, opts NewtonOptions) (Result, error) {
+	n := sys.Dim()
+	s := &denseSolver{sys: sys, jac: la.NewDense(n, n)}
+	return newtonLoop(ctx, s, u0, opts, make([]float64, n), make([]float64, n), make([]float64, n))
 }
 
 // NewtonSparse is Newton for sparse-Jacobian systems; each step solves the
 // banded linear system directly, the digital stand-in for the paper's GPU
-// sparse QR kernel.
-func NewtonSparse(sys SparseSystem, u0 []float64, opts NewtonOptions) (Result, error) {
-	return newtonLoop(&sparseSolver{sys: sys}, u0, opts)
+// sparse QR kernel. For repeated solves of same-shaped systems use a
+// SparseSolver workspace, which this function allocates fresh per call.
+func NewtonSparse(ctx context.Context, sys SparseSystem, u0 []float64, opts NewtonOptions) (Result, error) {
+	return NewSparseSolver().Solve(ctx, sys, u0, opts)
 }
 
-func newtonLoop(s jacSolver, u0 []float64, opts NewtonOptions) (Result, error) {
+func newtonLoop(ctx context.Context, s jacSolver, u0 []float64, opts NewtonOptions, u, f, delta []float64) (Result, error) {
 	opts.defaults()
 	n := s.dim()
 	if len(u0) != n {
@@ -140,7 +194,7 @@ func newtonLoop(s jacSolver, u0 []float64, opts NewtonOptions) (Result, error) {
 	var lastErr error
 	for {
 		res.Attempts++
-		att, err := newtonAttempt(s, u0, h, opts)
+		att, err := newtonAttempt(ctx, s, u0, h, opts, u, f, delta)
 		res.TotalIters += att.Iterations
 		if err == nil && att.Converged {
 			res.U = att.U
@@ -153,7 +207,7 @@ func newtonLoop(s jacSolver, u0 []float64, opts NewtonOptions) (Result, error) {
 			return res, nil
 		}
 		lastErr = err
-		if !opts.AutoDamp {
+		if !opts.AutoDamp || isCtxErr(err) {
 			res.U = att.U
 			res.Residual = att.Residual
 			res.Iterations = att.Iterations
@@ -179,6 +233,10 @@ func newtonLoop(s jacSolver, u0 []float64, opts NewtonOptions) (Result, error) {
 	}
 }
 
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 type attempt struct {
 	U            []float64
 	Converged    bool
@@ -188,11 +246,8 @@ type attempt struct {
 	FactorOps    int64
 }
 
-func newtonAttempt(s jacSolver, u0 []float64, h float64, opts NewtonOptions) (attempt, error) {
-	n := s.dim()
-	u := la.Copy(u0)
-	f := make([]float64, n)
-	delta := make([]float64, n)
+func newtonAttempt(ctx context.Context, s jacSolver, u0 []float64, h float64, opts NewtonOptions, u, f, delta []float64) (attempt, error) {
+	copy(u, u0)
 	att := attempt{U: u}
 	if err := s.eval(u, f); err != nil {
 		return att, err
@@ -208,6 +263,9 @@ func newtonAttempt(s jacSolver, u0 []float64, h float64, opts NewtonOptions) (at
 		return att, nil
 	}
 	for att.Iterations = 0; att.Iterations < opts.MaxIter; att.Iterations++ {
+		if err := ctxErr(ctx); err != nil {
+			return att, err
+		}
 		ops, err := s.solveStep(u, f, delta)
 		if err != nil {
 			if errors.Is(err, la.ErrSingular) {
@@ -250,7 +308,7 @@ func finite(x []float64) bool {
 // NewtonArmijo solves F(u) = 0 with a backtracking line search on the merit
 // function ½‖F‖². It is the "more sophisticated, more costly" digital
 // alternative the paper alludes to in §2.2; used in ablation benchmarks.
-func NewtonArmijo(sys System, u0 []float64, opts NewtonOptions) (Result, error) {
+func NewtonArmijo(ctx context.Context, sys System, u0 []float64, opts NewtonOptions) (Result, error) {
 	opts.defaults()
 	n := sys.Dim()
 	u := la.Copy(u0)
@@ -276,6 +334,9 @@ func NewtonArmijo(sys System, u0 []float64, opts NewtonOptions) (Result, error) 
 			res.Converged = true
 			res.TotalIters = res.Iterations
 			return res, nil
+		}
+		if err := ctxErr(ctx); err != nil {
+			return res, err
 		}
 		if err := sys.Jacobian(u, jac); err != nil {
 			return res, err

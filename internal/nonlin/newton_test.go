@@ -15,7 +15,7 @@ func TestNewtonScalarCubic(t *testing.T) {
 		F: func(u, f []float64) error { f[0] = u[0]*u[0]*u[0] - 1; return nil },
 		J: func(u []float64, jac *la.Dense) error { jac.Set(0, 0, 3*u[0]*u[0]); return nil },
 	}
-	res, err := Newton(sys, []float64{2}, NewtonOptions{Tol: 1e-12})
+	res, err := Newton(nil, sys, []float64{2}, NewtonOptions{Tol: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestNewtonComplexCubicAllRoots(t *testing.T) {
 	starts := [][]float64{{2, 0.1}, {-1, 1}, {-1, -1}}
 	wantRoot := []int{0, 1, 2}
 	for k, s := range starts {
-		res, err := Newton(sys, s, NewtonOptions{Tol: 1e-12})
+		res, err := Newton(nil, sys, s, NewtonOptions{Tol: 1e-12})
 		if err != nil {
 			t.Fatalf("start %v: %v", s, err)
 		}
@@ -83,14 +83,14 @@ func TestNewtonQuadraticConvergenceRate(t *testing.T) {
 }
 
 func TestClassicalNewtonDivergesOnAtan(t *testing.T) {
-	_, err := Newton(atanScalar(), []float64{3}, NewtonOptions{Tol: 1e-12, MaxIter: 50})
+	_, err := Newton(nil, atanScalar(), []float64{3}, NewtonOptions{Tol: 1e-12, MaxIter: 50})
 	if err == nil {
 		t.Fatal("classical Newton should fail from u0=3 on atan")
 	}
 }
 
 func TestAutoDampedNewtonConvergesOnAtan(t *testing.T) {
-	res, err := Newton(atanScalar(), []float64{3}, NewtonOptions{Tol: 1e-12, MaxIter: 300, AutoDamp: true})
+	res, err := Newton(nil, atanScalar(), []float64{3}, NewtonOptions{Tol: 1e-12, MaxIter: 300, AutoDamp: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestAutoDampedNewtonConvergesOnAtan(t *testing.T) {
 }
 
 func TestNewtonArmijoConvergesOnAtan(t *testing.T) {
-	res, err := NewtonArmijo(atanScalar(), []float64{3}, NewtonOptions{Tol: 1e-12})
+	res, err := NewtonArmijo(nil, atanScalar(), []float64{3}, NewtonOptions{Tol: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestNewtonSingularJacobianReported(t *testing.T) {
 			return nil
 		},
 	}
-	_, err := Newton(sys, []float64{0, 0}, NewtonOptions{Tol: 1e-12})
+	_, err := Newton(nil, sys, []float64{0, 0}, NewtonOptions{Tol: 1e-12})
 	var jse *JacobianSingularError
 	if !errors.As(err, &jse) {
 		t.Fatalf("expected JacobianSingularError, got %v", err)
@@ -210,11 +210,11 @@ func TestNewtonSparseMatchesDense(t *testing.T) {
 	}
 	sys := &sparseQuadratic{n: n, rhs: rhs}
 	u0 := make([]float64, n)
-	resS, err := NewtonSparse(sys, u0, NewtonOptions{Tol: 1e-12})
+	resS, err := NewtonSparse(nil, sys, u0, NewtonOptions{Tol: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resD, err := Newton(DenseAdapter{S: sys}, u0, NewtonOptions{Tol: 1e-12})
+	resD, err := Newton(nil, DenseAdapter{S: sys}, u0, NewtonOptions{Tol: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestNewtonPropertyRandomQuadratics(t *testing.T) {
 				return nil
 			},
 		}
-		res, err := Newton(sys, make([]float64, n), NewtonOptions{Tol: 1e-11})
+		res, err := Newton(nil, sys, make([]float64, n), NewtonOptions{Tol: 1e-11})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -316,7 +316,7 @@ func TestNonlinearGaussSeidelConverges(t *testing.T) {
 			t.Fatalf("redblack=%v: did not converge", rb)
 		}
 		// Must agree with the Newton solution of the same system.
-		nres, err := NewtonSparse(sys, make([]float64, n), NewtonOptions{Tol: 1e-12})
+		nres, err := NewtonSparse(nil, sys, make([]float64, n), NewtonOptions{Tol: 1e-12})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -26,7 +26,7 @@ func TestTrustRegionMatchesNewtonNearRoot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw, err := Newton(sys, []float64{0.9, -0.9}, NewtonOptions{Tol: 1e-12})
+	nw, err := Newton(nil, sys, []float64{0.9, -0.9}, NewtonOptions{Tol: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"hybridpde/internal/la"
+	"hybridpde/internal/problem"
 )
 
 // Burgers describes one Crank–Nicolson step of the 2-D viscous Burgers'
@@ -53,8 +54,7 @@ type Burgers struct {
 	// Cached Jacobian pattern and the value-slot order of the assembly
 	// loop; the pattern is fixed across Newton iterations, so refreshes
 	// write values in place instead of rebuilding and re-sorting.
-	jac   *la.CSR
-	slots []int
+	cache jacCache
 }
 
 // NewBurgers allocates a problem with zero fields, zero boundaries and zero
@@ -129,19 +129,28 @@ func (b *Burgers) fieldAt(w []float64, c, i, j int) float64 {
 	return w[b.idx(i, j)+c]
 }
 
-// prevAt reads the previous-time field with the same boundary fallback.
-func (b *Burgers) prevAt(c, i, j int) float64 {
+// stateAt reads component c at node (i, j) from w, or from the
+// previous-time fields when w is nil, with the boundary fallback. The nil
+// convention (instead of an accessor closure) keeps the residual and
+// Jacobian hot paths free of per-call closure allocations.
+func (b *Burgers) stateAt(w []float64, c, i, j int) float64 {
 	if i < 0 || i >= b.N || j < 0 || j >= b.N {
 		if c == 0 {
 			return b.BoundaryU(i, j)
 		}
 		return b.BoundaryV(i, j)
 	}
-	if c == 0 {
-		return b.UPrev[i*b.N+j]
+	if w == nil {
+		if c == 0 {
+			return b.UPrev[i*b.N+j]
+		}
+		return b.VPrev[i*b.N+j]
 	}
-	return b.VPrev[i*b.N+j]
+	return w[b.idx(i, j)+c]
 }
+
+// inGrid reports whether node (i, j) is an interior unknown.
+func (b *Burgers) inGrid(i, j int) bool { return i >= 0 && i < b.N && j >= 0 && j < b.N }
 
 // Central-difference weight tables: first and second derivatives at unit
 // spacing, offsets −2..+2 (the ±2 weights are zero at order 2).
@@ -162,11 +171,11 @@ func (b *Burgers) stencilAt(i, j int) (d1, d2 *[5]float64) {
 }
 
 // advDiff evaluates the unit-coefficient spatial operator
-// A(c) = u·∂ₓc + v·∂ᵧc − (1/Re)·∇²c at node (i, j), where the advecting
-// velocities u, v and the advected component come from the accessor get.
-func (b *Burgers) advDiff(get func(c, i, j int) float64, c, i, j int) float64 {
-	u := get(0, i, j)
-	v := get(1, i, j)
+// A(c) = u·∂ₓc + v·∂ᵧc − (1/Re)·∇²c at node (i, j) on state w (nil for the
+// previous time level, see stateAt).
+func (b *Burgers) advDiff(w []float64, c, i, j int) float64 {
+	u := b.stateAt(w, 0, i, j)
+	v := b.stateAt(w, 1, i, j)
 	d1, d2 := b.stencilAt(i, j)
 	var dx, dy, lap float64
 	for k := -2; k <= 2; k++ {
@@ -174,8 +183,8 @@ func (b *Burgers) advDiff(get func(c, i, j int) float64, c, i, j int) float64 {
 		if w1 == 0 && w2 == 0 {
 			continue
 		}
-		cx := get(c, i+k, j)
-		cy := get(c, i, j+k)
+		cx := b.stateAt(w, c, i+k, j)
+		cy := b.stateAt(w, c, i, j+k)
 		dx += w1 * cx
 		dy += w1 * cy
 		lap += w2 * (cx + cy)
@@ -189,14 +198,13 @@ func (b *Burgers) Eval(w, f []float64) error {
 	if len(w) != b.Dim() || len(f) != b.Dim() {
 		return fmt.Errorf("pde: Burgers Eval dimension mismatch")
 	}
-	getNew := func(c, i, j int) float64 { return b.fieldAt(w, c, i, j) }
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < b.N; j++ {
 			k := b.idx(i, j)
 			node := i*b.N + j
 			for c := 0; c < 2; c++ {
-				newA := b.advDiff(getNew, c, i, j)
-				oldA := b.advDiff(b.prevAt, c, i, j)
+				newA := b.advDiff(w, c, i, j)
+				oldA := b.advDiff(nil, c, i, j)
 				rhs := b.RHS0[node]
 				prev := b.UPrev[node]
 				if c == 1 {
@@ -219,60 +227,45 @@ func (b *Burgers) JacobianCSR(w []float64) (*la.CSR, error) {
 	if len(w) != b.Dim() {
 		return nil, fmt.Errorf("pde: Burgers Jacobian dimension mismatch")
 	}
-	if b.jac == nil {
-		coo := la.NewCOO(b.Dim(), b.Dim())
-		b.assembleJacobian(w, func(i, j int, v float64) {
-			coo.Append(i, j, v)
-		})
-		b.jac = coo.ToCSR()
-		// Record the value slot of each assembly-order entry; the walk is
-		// deterministic and emits each (i, j) exactly once.
-		b.slots = b.slots[:0]
-		b.assembleJacobian(w, func(i, j int, v float64) {
-			b.slots = append(b.slots, b.jac.Slot(i, j))
-		})
-		return b.jac, nil
+	if b.cache.jac == nil {
+		b.cache.build(b.Dim(), func(e jacEmitter) { b.assembleJacobian(w, e, 1, 0.5) })
+		return b.cache.jac, nil
 	}
 	// Refresh: zero, then accumulate — assembly may emit the same entry
 	// several times (time term, diffusion and advection all touch the
 	// node-centre slot).
-	b.jac.ZeroValues()
-	k := 0
-	b.assembleJacobian(w, func(i, j int, v float64) {
-		b.jac.AddSlotValue(b.slots[k], v)
-		k++
-	})
-	return b.jac, nil
+	b.cache.beginRefresh()
+	b.assembleJacobian(w, &b.cache, 1, 0.5)
+	return b.cache.jac, nil
 }
 
 // assembleJacobian walks the stencil in deterministic order, emitting every
-// Jacobian contribution. Entries for the same (row, column) may be emitted
-// more than once; consumers must sum them (COO assembly and the
-// zero-then-accumulate refresh both do).
+// Jacobian contribution of idW·I + opW·∂A/∂w. Crank–Nicolson stepping uses
+// (idW, opW) = (1, ½); the steady method-of-lines form uses (0, 1). Entries
+// for the same (row, column) may be emitted more than once; consumers must
+// sum them (COO assembly and the zero-then-accumulate refresh both do).
 //
 // For the c-component equation at node (i, j),
-// F = c_node − c_prev + ½[u·D₁ₓc + v·D₁ᵧc − (D₂ₓc + D₂ᵧc)/Re] + … − RHS:
+// F = idW·c_node + opW·[u·D₁ₓc + v·D₁ᵧc − (D₂ₓc + D₂ᵧc)/Re] + … − RHS:
 //
-//	∂F/∂c_{i+k,j} = ½(u·w₁[k] − w₂[k]/Re)   (x-direction neighbours)
-//	∂F/∂c_{i,j+k} = ½(v·w₁[k] − w₂[k]/Re)   (y-direction neighbours)
-//	∂F/∂u_{i,j}  += ½·D₁ₓc                   (advecting-velocity terms)
-//	∂F/∂v_{i,j}  += ½·D₁ᵧc
+//	∂F/∂c_{i+k,j} = opW·(u·w₁[k] − w₂[k]/Re)   (x-direction neighbours)
+//	∂F/∂c_{i,j+k} = opW·(v·w₁[k] − w₂[k]/Re)   (y-direction neighbours)
+//	∂F/∂u_{i,j}  += opW·D₁ₓc                    (advecting-velocity terms)
+//	∂F/∂v_{i,j}  += opW·D₁ᵧc
 //
-// plus the time-derivative identity on the node centre.
-func (b *Burgers) assembleJacobian(w []float64, emit func(i, j int, v float64)) {
+// plus the time-derivative identity (weight idW) on the node centre.
+func (b *Burgers) assembleJacobian(w []float64, e jacEmitter, idW, opW float64) {
 	n := b.N
-	in := func(i, j int) bool { return i >= 0 && i < n && j >= 0 && j < n }
-	get := func(c, i, j int) float64 { return b.fieldAt(w, c, i, j) }
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			base := b.idx(i, j)
-			u := get(0, i, j)
-			v := get(1, i, j)
+			u := b.stateAt(w, 0, i, j)
+			v := b.stateAt(w, 1, i, j)
 			d1, d2 := b.stencilAt(i, j)
 			for c := 0; c < 2; c++ {
 				row := base + c
 				// Time-derivative identity.
-				emit(row, row, 1)
+				e.emit(row, row, idW)
 				// Neighbour couplings of the advected component c, and
 				// the advective self-derivatives D₁ₓc, D₁ᵧc.
 				var dx, dy float64
@@ -281,24 +274,24 @@ func (b *Burgers) assembleJacobian(w []float64, emit func(i, j int, v float64)) 
 					if w1 == 0 && w2 == 0 {
 						continue
 					}
-					dx += w1 * get(c, i+k, j)
-					dy += w1 * get(c, i, j+k)
+					dx += w1 * b.stateAt(w, c, i+k, j)
+					dy += w1 * b.stateAt(w, c, i, j+k)
 					if k == 0 {
 						// Both directions' centre weights land on the
 						// node itself.
-						emit(row, row, 0.5*(-2*w2/b.Re))
+						e.emit(row, row, opW*(-2*w2/b.Re))
 						continue
 					}
-					if in(i+k, j) {
-						emit(row, b.idx(i+k, j)+c, 0.5*(u*w1-w2/b.Re))
+					if b.inGrid(i+k, j) {
+						e.emit(row, b.idx(i+k, j)+c, opW*(u*w1-w2/b.Re))
 					}
-					if in(i, j+k) {
-						emit(row, b.idx(i, j+k)+c, 0.5*(v*w1-w2/b.Re))
+					if b.inGrid(i, j+k) {
+						e.emit(row, b.idx(i, j+k)+c, opW*(v*w1-w2/b.Re))
 					}
 				}
 				// Advecting-velocity derivatives: ∂F/∂u_ij and ∂F/∂v_ij.
-				emit(row, base, 0.5*dx)
-				emit(row, base+1, 0.5*dy)
+				e.emit(row, base, opW*dx)
+				e.emit(row, base+1, opW*dy)
 			}
 		}
 	}
@@ -308,6 +301,12 @@ func (b *Burgers) assembleJacobian(w []float64, emit func(i, j int, v float64)) 
 // solve: the previous time level (the natural warm start).
 func (b *Burgers) InitialGuess() []float64 {
 	w := make([]float64, b.Dim())
+	b.InitialGuessInto(w)
+	return w
+}
+
+// InitialGuessInto writes the previous time level into w without allocating.
+func (b *Burgers) InitialGuessInto(w []float64) {
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < b.N; j++ {
 			k := b.idx(i, j)
@@ -316,7 +315,6 @@ func (b *Burgers) InitialGuess() []float64 {
 			w[k+1] = b.VPrev[node]
 		}
 	}
-	return w
 }
 
 // Advance installs a solved step as the new previous-time fields, enabling
@@ -388,6 +386,26 @@ func (b *Burgers) SetRHSForRoot(wRoot []float64) error {
 	return nil
 }
 
+// Tiles implements problem.Decomposable for the §6.3 red-black subdomain
+// decomposition: tileN×tileN node subdomains (two unknowns per node) on a
+// checkerboard, with tileN the largest divisor of N whose tile fits in
+// maxVars accelerator variables. It errors when no tile of at least 2×2
+// nodes fits — pointwise 1×1 "tiles" would silently degrade the subdomain
+// method to pointwise relaxation.
+func (b *Burgers) Tiles(maxVars int) ([]problem.Tile, error) {
+	tileMax := int(math.Sqrt(float64(maxVars / 2)))
+	tileN, err := problem.LargestDividingTile(b.N, tileMax)
+	if err != nil {
+		return nil, fmt.Errorf("pde: cannot tile %d×%d grid for %d-variable accelerator: %w", b.N, b.N, maxVars, err)
+	}
+	return problem.Checkerboard(b.N, tileN, 2)
+}
+
+var (
+	_ problem.SparseSystem = (*Burgers)(nil)
+	_ problem.Decomposable = (*Burgers)(nil)
+)
+
 // SemiDiscreteRHS returns the method-of-lines form of the problem: the
 // space-discretised ODE system dw/dt = RHS − A(w) that old-style hybrid
 // computers integrated directly in analog (§4.3). The unknown layout
@@ -398,13 +416,12 @@ func (b *Burgers) SemiDiscreteRHS() func(t float64, w, dwdt []float64) error {
 		if len(w) != b.Dim() || len(dwdt) != b.Dim() {
 			return fmt.Errorf("pde: SemiDiscreteRHS dimension mismatch")
 		}
-		get := func(c, i, j int) float64 { return b.fieldAt(w, c, i, j) }
 		for i := 0; i < b.N; i++ {
 			for j := 0; j < b.N; j++ {
 				k := b.idx(i, j)
 				node := i*b.N + j
-				dwdt[k] = b.RHS0[node] - b.advDiff(get, 0, i, j)
-				dwdt[k+1] = b.RHS1[node] - b.advDiff(get, 1, i, j)
+				dwdt[k] = b.RHS0[node] - b.advDiff(w, 0, i, j)
+				dwdt[k+1] = b.RHS1[node] - b.advDiff(w, 1, i, j)
 			}
 		}
 		return nil

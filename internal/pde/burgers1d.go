@@ -2,9 +2,11 @@ package pde
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"hybridpde/internal/la"
+	"hybridpde/internal/problem"
 )
 
 // Burgers1D is one Crank–Nicolson step of the one-dimensional viscous
@@ -24,8 +26,7 @@ type Burgers1D struct {
 	// RHS is the forcing, length N.
 	RHS []float64
 
-	jac   *la.CSR
-	slots []int
+	cache jacCache
 }
 
 // NewBurgers1D allocates a zero problem.
@@ -91,41 +92,41 @@ func (b *Burgers1D) Eval(w, f []float64) error {
 	return nil
 }
 
+// assembleJacobian walks the tridiagonal stencil in deterministic order.
+func (b *Burgers1D) assembleJacobian(w []float64, e jacEmitter) {
+	for i := 0; i < b.N; i++ {
+		uC := b.at(w, i)
+		uE := b.at(w, i+1)
+		uW := b.at(w, i-1)
+		e.emit(i, i, 1+0.5*((uE-uW)/2+2/b.Re))
+		if i > 0 {
+			e.emit(i, i-1, 0.5*(-uC/2-1/b.Re))
+		}
+		if i < b.N-1 {
+			e.emit(i, i+1, 0.5*(uC/2-1/b.Re))
+		}
+	}
+}
+
 // JacobianCSR returns the tridiagonal Jacobian, refreshing a cached pattern.
 func (b *Burgers1D) JacobianCSR(w []float64) (*la.CSR, error) {
 	if len(w) != b.N {
 		return nil, fmt.Errorf("pde: Burgers1D Jacobian dimension mismatch")
 	}
-	emitAll := func(emit func(i, j int, v float64)) {
-		for i := 0; i < b.N; i++ {
-			uC := b.at(w, i)
-			uE := b.at(w, i+1)
-			uW := b.at(w, i-1)
-			emit(i, i, 1+0.5*((uE-uW)/2+2/b.Re))
-			if i > 0 {
-				emit(i, i-1, 0.5*(-uC/2-1/b.Re))
-			}
-			if i < b.N-1 {
-				emit(i, i+1, 0.5*(uC/2-1/b.Re))
-			}
-		}
+	if b.cache.jac == nil {
+		b.cache.build(b.N, func(e jacEmitter) { b.assembleJacobian(w, e) })
+		return b.cache.jac, nil
 	}
-	if b.jac == nil {
-		coo := la.NewCOO(b.N, b.N)
-		emitAll(func(i, j int, v float64) { coo.Append(i, j, v) })
-		b.jac = coo.ToCSR()
-		b.slots = b.slots[:0]
-		emitAll(func(i, j int, v float64) { b.slots = append(b.slots, b.jac.Slot(i, j)) })
-		return b.jac, nil
-	}
-	b.jac.ZeroValues()
-	k := 0
-	emitAll(func(i, j int, v float64) { b.jac.AddSlotValue(b.slots[k], v); k++ })
-	return b.jac, nil
+	b.cache.beginRefresh()
+	b.assembleJacobian(w, &b.cache)
+	return b.cache.jac, nil
 }
 
 // InitialGuess returns the warm start (previous time level).
 func (b *Burgers1D) InitialGuess() []float64 { return la.Copy(b.UPrev) }
+
+// InitialGuessInto writes the previous time level into w without allocating.
+func (b *Burgers1D) InitialGuessInto(w []float64) { copy(w, b.UPrev) }
 
 // Advance installs a solved step as the new previous level.
 func (b *Burgers1D) Advance(w []float64) error {
@@ -135,6 +136,37 @@ func (b *Burgers1D) Advance(w []float64) error {
 	copy(b.UPrev, w)
 	return nil
 }
+
+// MaxField returns the largest |value| across the previous field, forcing
+// and end values — the dynamic range the analog scaler needs.
+func (b *Burgers1D) MaxField() float64 {
+	m := math.Max(math.Abs(b.Left), math.Abs(b.Right))
+	for i := range b.UPrev {
+		if a := math.Abs(b.UPrev[i]); a > m {
+			m = a
+		}
+		if a := math.Abs(b.RHS[i]); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Tiles implements problem.Decomposable: contiguous red-black blocks of the
+// chain, each fitting in maxVars accelerator variables, using the largest
+// dividing block of at least two nodes.
+func (b *Burgers1D) Tiles(maxVars int) ([]problem.Tile, error) {
+	block, err := problem.LargestDividingTile(b.N, maxVars)
+	if err != nil {
+		return nil, fmt.Errorf("pde: cannot tile %d-node chain for %d-variable accelerator: %w", b.N, maxVars, err)
+	}
+	return problem.Blocks1D(b.N, block)
+}
+
+var (
+	_ problem.SparseSystem = (*Burgers1D)(nil)
+	_ problem.Decomposable = (*Burgers1D)(nil)
+)
 
 // SetRHSForRoot plants wRoot as an exact solution (evaluation protocol).
 func (b *Burgers1D) SetRHSForRoot(wRoot []float64) error {

@@ -83,7 +83,7 @@ func TestBurgers1DNewtonSolve(t *testing.T) {
 	if err := b.SetRHSForRoot(root); err != nil {
 		t.Fatal(err)
 	}
-	res, err := nonlin.NewtonSparse(b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-11, AutoDamp: true, MaxIter: 200})
+	res, err := nonlin.NewtonSparse(nil, b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-11, AutoDamp: true, MaxIter: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestBurgers1DThomasStepMatchesBandedNewton(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reference: one undamped sparse-Newton iteration.
-	res, err := nonlin.NewtonSparse(b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-300, MaxIter: 1, DivergeFactor: 1e18})
+	res, err := nonlin.NewtonSparse(nil, b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-300, MaxIter: 1, DivergeFactor: 1e18})
 	_ = err // MaxIter=1 typically reports no convergence; we want the iterate
 	for i := range w1 {
 		if math.Abs(w1[i]-res.U[i]) > 1e-10 {
@@ -126,7 +126,7 @@ func TestBurgers1DTimeMarchDecay(t *testing.T) {
 	}
 	initial := la.Norm2(b.UPrev)
 	for s := 0; s < 3; s++ {
-		res, err := nonlin.NewtonSparse(b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-10, AutoDamp: true})
+		res, err := nonlin.NewtonSparse(nil, b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-10, AutoDamp: true})
 		if err != nil {
 			t.Fatal(err)
 		}

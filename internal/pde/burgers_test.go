@@ -104,7 +104,7 @@ func TestBurgersNewtonSolvesManufacturedProblem(t *testing.T) {
 		wTarget[i] = 1.5 * (2*rng.Float64() - 1)
 	}
 	manufactureRoot(t, b, wTarget)
-	res, err := nonlin.NewtonSparse(b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-11, AutoDamp: true, MaxIter: 200})
+	res, err := nonlin.NewtonSparse(nil, b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-11, AutoDamp: true, MaxIter: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestBurgersTimeMarchDiffusionDecays(t *testing.T) {
 	}
 	initial := la.Norm2(b.UPrev)
 	for step := 0; step < 3; step++ {
-		res, err := nonlin.NewtonSparse(b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-10, AutoDamp: true})
+		res, err := nonlin.NewtonSparse(nil, b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-10, AutoDamp: true})
 		if err != nil {
 			t.Fatalf("step %d: %v", step, err)
 		}
@@ -328,13 +328,13 @@ func TestFourthOrderStencilExactOnQuartic(t *testing.T) {
 	exactA := uVal*exactD1 - exactD2
 
 	b4, w4 := quarticBurgers(t, n, 4)
-	got4 := b4.advDiff(func(c, ii, jj int) float64 { return b4.fieldAt(w4, c, ii, jj) }, 0, i, j)
+	got4 := b4.advDiff(w4, 0, i, j)
 	if math.Abs(got4-exactA) > 1e-9*math.Abs(exactA) {
 		t.Fatalf("order-4 operator on quartic: got %g, want %g", got4, exactA)
 	}
 
 	b2, w2 := quarticBurgers(t, n, 2)
-	got2 := b2.advDiff(func(c, ii, jj int) float64 { return b2.fieldAt(w2, c, ii, jj) }, 0, i, j)
+	got2 := b2.advDiff(w2, 0, i, j)
 	// Order-2 errors on x⁴: D₁ under [−½,0,½] gives 4x³+4x (high by 4x),
 	// D₂ under [1,−2,1] gives 12x²+2 (high by 2); A = u·D₁ − D₂.
 	wantErr := uVal*(4*float64(i)) - 2.0
@@ -389,7 +389,7 @@ func TestFourthOrderNewtonSolve(t *testing.T) {
 	if err := b.SetRHSForRoot(wTarget); err != nil {
 		t.Fatal(err)
 	}
-	res, err := nonlin.NewtonSparse(b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-10, AutoDamp: true, MaxIter: 300})
+	res, err := nonlin.NewtonSparse(nil, b, b.InitialGuess(), nonlin.NewtonOptions{Tol: 1e-10, AutoDamp: true, MaxIter: 300})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,52 @@
+package pde
+
+import "hybridpde/internal/la"
+
+// jacEmitter receives Jacobian contributions from a deterministic stencil
+// walk. It is an interface (rather than a func parameter) so the refresh
+// path can pass a pointer to a struct field and stay allocation-free —
+// closures capturing a slot cursor escape to the heap on every call, which
+// would put the Jacobian refresh (thousands of calls per analog solve, one
+// per Newton iteration per time step) on the allocator.
+type jacEmitter interface {
+	emit(i, j int, v float64)
+}
+
+// funcEmitter adapts a closure to jacEmitter for the one-time pattern build,
+// where allocation is fine.
+type funcEmitter func(i, j int, v float64)
+
+func (f funcEmitter) emit(i, j int, v float64) { f(i, j, v) }
+
+// jacCache caches a CSR sparsity pattern plus the value-slot order of a
+// deterministic assembly walk. The pattern is built once; subsequent
+// refreshes zero the values and re-accumulate in place via the emit method
+// (jacCache is itself the refresh jacEmitter). Walks may emit the same
+// (i, j) several times; slots record every emission in order.
+type jacCache struct {
+	jac   *la.CSR
+	slots []int
+	k     int // cursor into slots during a refresh walk
+}
+
+// build assembles the pattern and slot order from two passes of the same
+// walk. The walk must be deterministic in emission order.
+func (c *jacCache) build(dim int, walk func(e jacEmitter)) {
+	coo := la.NewCOO(dim, dim)
+	walk(funcEmitter(func(i, j int, v float64) { coo.Append(i, j, v) }))
+	c.jac = coo.ToCSR()
+	c.slots = c.slots[:0]
+	walk(funcEmitter(func(i, j int, v float64) { c.slots = append(c.slots, c.jac.Slot(i, j)) }))
+}
+
+// beginRefresh zeroes the cached values and resets the slot cursor; the
+// caller then re-runs the assembly walk with the cache as its emitter.
+func (c *jacCache) beginRefresh() {
+	c.jac.ZeroValues()
+	c.k = 0
+}
+
+func (c *jacCache) emit(i, j int, v float64) {
+	c.jac.AddSlotValue(c.slots[c.k], v)
+	c.k++
+}

@@ -1,0 +1,104 @@
+package pde
+
+import (
+	"fmt"
+
+	"hybridpde/internal/la"
+	"hybridpde/internal/problem"
+)
+
+// BurgersSteady is the steady method-of-lines form of a Burgers problem:
+// the root system F(w) = A(w) − RHS = 0 of the semi-discrete ODE
+// dw/dt = RHS − A(w) (§4.3). Old-style hybrid computers integrated that ODE
+// directly in analog; the steady form is its fixed point, and is the
+// workload the repeated-Newton benchmarks use (one fixed system solved many
+// times, as in a pseudo-timestepping production run). It shares the wrapped
+// problem's fields, boundaries and forcing but keeps its own Jacobian cache
+// (the steady Jacobian lacks the Crank–Nicolson identity term).
+type BurgersSteady struct {
+	B *Burgers
+
+	cache jacCache
+}
+
+// NewBurgersSteady wraps b in its steady method-of-lines form.
+func NewBurgersSteady(b *Burgers) *BurgersSteady { return &BurgersSteady{B: b} }
+
+// Dim returns the number of unknowns.
+func (s *BurgersSteady) Dim() int { return s.B.Dim() }
+
+// PolynomialDegree reports the quadratic nonlinearity.
+func (s *BurgersSteady) PolynomialDegree() int { return 2 }
+
+// Eval computes F(w) = A(w) − RHS.
+func (s *BurgersSteady) Eval(w, f []float64) error {
+	b := s.B
+	if len(w) != b.Dim() || len(f) != b.Dim() {
+		return fmt.Errorf("pde: BurgersSteady Eval dimension mismatch")
+	}
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			k := b.idx(i, j)
+			node := i*b.N + j
+			f[k] = b.advDiff(w, 0, i, j) - b.RHS0[node]
+			f[k+1] = b.advDiff(w, 1, i, j) - b.RHS1[node]
+		}
+	}
+	return nil
+}
+
+// JacobianCSR returns ∂A/∂w with the cached-pattern refresh.
+func (s *BurgersSteady) JacobianCSR(w []float64) (*la.CSR, error) {
+	if len(w) != s.Dim() {
+		return nil, fmt.Errorf("pde: BurgersSteady Jacobian dimension mismatch")
+	}
+	if s.cache.jac == nil {
+		s.cache.build(s.Dim(), func(e jacEmitter) { s.B.assembleJacobian(w, e, 0, 1) })
+		return s.cache.jac, nil
+	}
+	s.cache.beginRefresh()
+	s.B.assembleJacobian(w, &s.cache, 0, 1)
+	return s.cache.jac, nil
+}
+
+// InitialGuess returns the wrapped problem's previous-time fields.
+func (s *BurgersSteady) InitialGuess() []float64 { return s.B.InitialGuess() }
+
+// InitialGuessInto writes the wrapped problem's fields without allocating.
+func (s *BurgersSteady) InitialGuessInto(w []float64) { s.B.InitialGuessInto(w) }
+
+// MaxField propagates the wrapped problem's dynamic range.
+func (s *BurgersSteady) MaxField() float64 { return s.B.MaxField() }
+
+// Tiles delegates the red-black decomposition to the wrapped problem; the
+// steady stencil has the same footprint.
+func (s *BurgersSteady) Tiles(maxVars int) ([]problem.Tile, error) { return s.B.Tiles(maxVars) }
+
+// SetRHSForRoot overwrites the forcing so wRoot is an exact steady solution:
+// RHS := A(wRoot).
+func (s *BurgersSteady) SetRHSForRoot(wRoot []float64) error {
+	b := s.B
+	if len(wRoot) != b.Dim() {
+		return fmt.Errorf("pde: SetRHSForRoot dimension mismatch")
+	}
+	la.Fill(b.RHS0, 0)
+	la.Fill(b.RHS1, 0)
+	f := make([]float64, b.Dim())
+	if err := s.Eval(wRoot, f); err != nil {
+		return err
+	}
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			k := b.idx(i, j)
+			node := i*b.N + j
+			b.RHS0[node] = f[k]
+			b.RHS1[node] = f[k+1]
+		}
+	}
+	return nil
+}
+
+var (
+	_ problem.SparseSystem = (*BurgersSteady)(nil)
+	_ problem.Decomposable = (*BurgersSteady)(nil)
+)

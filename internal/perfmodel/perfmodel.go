@@ -84,6 +84,41 @@ func GPUEnergy(res nonlin.Result, dim int) float64 {
 	return float64(totalIters(res)) * GPUIterSeconds(dim) * GPUPowerWatts
 }
 
+// Analog linear-algebra co-processor model — the paper's predecessor work
+// [22, 23] solved the *linear* system inside each Newton iteration in
+// analog. This prices a hypothetical hybrid where the digital host runs the
+// Newton outer loop but ships every factorise+solve to such a co-processor:
+// a per-iteration settle-and-readout cost that is independent of the banded
+// flop count, plus the crossbar's power envelope.
+const (
+	// AnalogIterSeconds is one linear-solve settle + DAC/ADC round trip
+	// (~100 circuit time constants at τ = 1 µs).
+	AnalogIterSeconds = 1.0e-4
+	// AnalogIterPerDimSeconds charges the serial DAC write / ADC read of
+	// the problem vector.
+	AnalogIterPerDimSeconds = 1.0e-7
+	// AnalogPowerWatts is the crossbar power envelope while settling.
+	AnalogPowerWatts = 1.5
+)
+
+// AnalogLAIterSeconds is the cost of one Newton iteration with the linear
+// solve done on the analog co-processor.
+func AnalogLAIterSeconds(dim int) float64 {
+	return AnalogIterSeconds + AnalogIterPerDimSeconds*float64(dim)
+}
+
+// AnalogLATime prices a Newton solve with analog linear algebra: counted
+// iterations × per-iteration settle cost.
+func AnalogLATime(res nonlin.Result, dim int) float64 {
+	return float64(res.Iterations) * AnalogLAIterSeconds(dim)
+}
+
+// AnalogLAEnergy charges crossbar power for every iteration executed,
+// including the trial-and-error damping attempts.
+func AnalogLAEnergy(res nonlin.Result, dim int) float64 {
+	return float64(totalIters(res)) * AnalogLAIterSeconds(dim) * AnalogPowerWatts
+}
+
 func totalIters(res nonlin.Result) int {
 	if res.TotalIters > res.Iterations {
 		return res.TotalIters

@@ -1,0 +1,158 @@
+package problem_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hybridpde/internal/pde"
+	"hybridpde/internal/problem"
+)
+
+func randomBurgers(t *testing.T, n int, seed int64) *pde.Burgers {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := pde.RandomBurgers(n, 1.0, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSubRestrictScatterRoundTripProperty(t *testing.T) {
+	// Property: for random tiles of random sizes, scatter(restrict(g)+δ)
+	// writes exactly the owned entries, and restricting again reads the
+	// perturbed values back verbatim.
+	b := randomBurgers(t, 4, 70)
+	rng := rand.New(rand.NewSource(71))
+	dim := b.Dim()
+	for trial := 0; trial < 50; trial++ {
+		global := make([]float64, dim)
+		for i := range global {
+			global[i] = 2*rng.Float64() - 1
+		}
+		size := 1 + rng.Intn(dim)
+		unknowns := rng.Perm(dim)[:size]
+		sub := problem.NewSub(b, unknowns, global, nil)
+
+		backup := append([]float64(nil), global...)
+		u := make([]float64, size)
+		sub.Restrict(u, global)
+		for k, g := range unknowns {
+			if u[k] != global[g] {
+				t.Fatalf("trial %d: restrict read %g at slot %d, want %g", trial, u[k], k, global[g])
+			}
+			u[k] += 1 + rng.Float64()
+		}
+		sub.Scatter(u, global)
+		got := make([]float64, size)
+		sub.Restrict(got, global)
+		owned := map[int]bool{}
+		for k, g := range unknowns {
+			owned[g] = true
+			if got[k] != u[k] {
+				t.Fatalf("trial %d: round trip lost slot %d", trial, k)
+			}
+		}
+		for g := range global {
+			if !owned[g] && global[g] != backup[g] {
+				t.Fatalf("trial %d: scatter touched unowned unknown %d", trial, g)
+			}
+		}
+	}
+}
+
+func TestSubResidualMatchesFullWithFrozenNeighbours(t *testing.T) {
+	// The restricted residual must agree row-for-row with the full-grid
+	// residual evaluated at the same global state: the tile's neighbours
+	// are frozen at the snapshot, which is exactly the global iterate.
+	b := randomBurgers(t, 4, 60)
+	global := b.InitialGuess()
+	tiles, err := problem.Checkerboard(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fFull := make([]float64, b.Dim())
+	if err := b.Eval(global, fFull); err != nil {
+		t.Fatal(err)
+	}
+	for ti, tile := range tiles {
+		sub := problem.NewSub(b, tile.Unknowns, global, nil)
+		u := make([]float64, sub.Dim())
+		sub.Restrict(u, global)
+		fSub := make([]float64, sub.Dim())
+		if err := sub.Eval(u, fSub); err != nil {
+			t.Fatal(err)
+		}
+		for k, g := range tile.Unknowns {
+			if math.Abs(fSub[k]-fFull[g]) > 1e-14 {
+				t.Fatalf("tile %d: subproblem residual row %d (%g) differs from full row %d (%g)",
+					ti, k, fSub[k], g, fFull[g])
+			}
+		}
+	}
+}
+
+func TestSubJacobianMatchesFullSubmatrix(t *testing.T) {
+	b := randomBurgers(t, 4, 61)
+	global := b.InitialGuess()
+	tiles, err := problem.Checkerboard(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := tiles[1]
+	sub := problem.NewSub(b, tile.Unknowns, global, nil)
+	u := make([]float64, sub.Dim())
+	sub.Restrict(u, global)
+	jSub, err := sub.JacobianCSR(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jFull, err := b.JacobianCSR(global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, gr := range tile.Unknowns {
+		for c, gc := range tile.Unknowns {
+			if math.Abs(jSub.At(k, c)-jFull.At(gr, gc)) > 1e-14 {
+				t.Fatalf("subproblem Jacobian (%d,%d) differs from full (%d,%d)", k, c, gr, gc)
+			}
+		}
+	}
+	if sub.PolynomialDegree() != 2 {
+		t.Fatal("subproblem must inherit quadratic degree")
+	}
+	if sub.MaxField() != b.MaxField() {
+		t.Fatal("subproblem must propagate the full problem's field bound")
+	}
+}
+
+func TestSubResetTracksNewIterate(t *testing.T) {
+	b := randomBurgers(t, 4, 62)
+	global := b.InitialGuess()
+	tiles, err := problem.Checkerboard(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := problem.NewSub(b, tiles[0].Unknowns, global, nil)
+	moved := append([]float64(nil), global...)
+	for i := range moved {
+		moved[i] += 0.25
+	}
+	sub.Reset(moved)
+	u := make([]float64, sub.Dim())
+	sub.Restrict(u, moved)
+	fSub := make([]float64, sub.Dim())
+	if err := sub.Eval(u, fSub); err != nil {
+		t.Fatal(err)
+	}
+	fFull := make([]float64, b.Dim())
+	if err := b.Eval(moved, fFull); err != nil {
+		t.Fatal(err)
+	}
+	for k, g := range tiles[0].Unknowns {
+		if math.Abs(fSub[k]-fFull[g]) > 1e-14 {
+			t.Fatalf("after Reset, residual row %d differs from full row %d", k, g)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package problem
+
+import "fmt"
+
+// Tile is one subdomain of a red-black decomposition: the global indices of
+// its unknowns plus its colour. Same-colour tiles share no unknowns and — for
+// the order-2 stencils the decomposition targets (§6.3) — no residual
+// coupling either, so they may be solved concurrently.
+type Tile struct {
+	Colour   int
+	Unknowns []int
+}
+
+// Decomposable is implemented by problems that know how to split themselves
+// into red-black tiles small enough for an accelerator with maxVars
+// variables. Implementations must return an error (not silently degrade)
+// when no admissible tiling exists.
+type Decomposable interface {
+	Tiles(maxVars int) ([]Tile, error)
+}
+
+// LargestDividingTile returns the largest t ≤ maxTile with n % t == 0 and
+// t ≥ 2. It errors when only 1-wide tiles would fit: a 1×1 decomposition
+// degenerates to pointwise relaxation, which is never what the caller of a
+// subdomain decomposition wants, and used to be a silent failure mode.
+func LargestDividingTile(n, maxTile int) (int, error) {
+	if maxTile > n {
+		maxTile = n
+	}
+	for t := maxTile; t >= 2; t-- {
+		if n%t == 0 {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("problem: no tile size in [2,%d] divides grid size %d", maxTile, n)
+}
+
+// Checkerboard tiles an n×n grid of nodes with stride unknowns per node into
+// tileN×tileN subdomains coloured like a checkerboard. tileN must divide n.
+// Node (i,j) owns unknowns stride*(i*n+j) … stride*(i*n+j)+stride-1.
+func Checkerboard(n, tileN, stride int) ([]Tile, error) {
+	if tileN < 1 || n < 1 || stride < 1 {
+		return nil, fmt.Errorf("problem: invalid checkerboard n=%d tileN=%d stride=%d", n, tileN, stride)
+	}
+	if n%tileN != 0 {
+		return nil, fmt.Errorf("problem: tile size %d does not divide grid size %d", tileN, n)
+	}
+	nt := n / tileN
+	tiles := make([]Tile, 0, nt*nt)
+	for ti := 0; ti < n; ti += tileN {
+		for tj := 0; tj < n; tj += tileN {
+			t := Tile{
+				Colour:   ((ti / tileN) + (tj / tileN)) % 2,
+				Unknowns: make([]int, 0, stride*tileN*tileN),
+			}
+			for i := ti; i < ti+tileN; i++ {
+				for j := tj; j < tj+tileN; j++ {
+					base := stride * (i*n + j)
+					for s := 0; s < stride; s++ {
+						t.Unknowns = append(t.Unknowns, base+s)
+					}
+				}
+			}
+			tiles = append(tiles, t)
+		}
+	}
+	return tiles, nil
+}
+
+// Blocks1D tiles a chain of n unknowns into contiguous blocks of the given
+// size with alternating colours (the 1-D red-black decomposition). block
+// must divide n.
+func Blocks1D(n, block int) ([]Tile, error) {
+	if block < 1 || n < 1 {
+		return nil, fmt.Errorf("problem: invalid 1-D blocks n=%d block=%d", n, block)
+	}
+	if n%block != 0 {
+		return nil, fmt.Errorf("problem: block size %d does not divide chain length %d", block, n)
+	}
+	tiles := make([]Tile, 0, n/block)
+	for b := 0; b < n; b += block {
+		t := Tile{Colour: (b / block) % 2, Unknowns: make([]int, block)}
+		for k := 0; k < block; k++ {
+			t.Unknowns[k] = b + k
+		}
+		tiles = append(tiles, t)
+	}
+	return tiles, nil
+}

@@ -1,0 +1,136 @@
+package problem
+
+import "testing"
+
+func TestLargestDividingTile(t *testing.T) {
+	cases := []struct {
+		n, maxTile int
+		want       int
+		wantErr    bool
+	}{
+		{4, 2, 2, false},
+		{4, 4, 4, false},
+		{6, 4, 3, false}, // 4 does not divide 6 → shrink to 3
+		{6, 3, 3, false},
+		{8, 3, 2, false},
+		{12, 5, 4, false},
+		{16, 16, 16, false},
+		{5, 4, 0, true}, // 5 is prime: only 1-wide tiles would fit
+		{7, 6, 0, true},
+		{6, 1, 0, true}, // capacity below the smallest legal tile
+	}
+	for _, c := range cases {
+		got, err := LargestDividingTile(c.n, c.maxTile)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("LargestDividingTile(%d, %d): want error, got %d", c.n, c.maxTile, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("LargestDividingTile(%d, %d): %v", c.n, c.maxTile, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("LargestDividingTile(%d, %d) = %d, want %d", c.n, c.maxTile, got, c.want)
+		}
+	}
+}
+
+func TestCheckerboardCoversAllUnknownsOnce(t *testing.T) {
+	tiles, err := Checkerboard(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != 4 {
+		t.Fatalf("4×4 grid with 2×2 tiles should give 4 tiles, got %d", len(tiles))
+	}
+	seen := map[int]int{}
+	colours := map[int]int{}
+	for _, tl := range tiles {
+		colours[tl.Colour]++
+		for _, g := range tl.Unknowns {
+			seen[g]++
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("expected 32 unknowns covered, got %d", len(seen))
+	}
+	for g, c := range seen {
+		if c != 1 {
+			t.Fatalf("unknown %d covered %d times", g, c)
+		}
+	}
+	if colours[0] != 2 || colours[1] != 2 {
+		t.Fatalf("checkerboard colouring wrong: %v", colours)
+	}
+}
+
+func TestCheckerboardSixBySixWithFourCapacity(t *testing.T) {
+	// The regression the old pipeline silently mishandled: a 6×6 grid with
+	// capacity for 4×4 tiles. 4 does not divide 6, so the tile must shrink
+	// to 3×3 — never degrade to pointwise 1×1 relaxation.
+	tileN, err := LargestDividingTile(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tileN != 3 {
+		t.Fatalf("6×6 grid with capacity 4 must use 3×3 tiles, got %d×%d", tileN, tileN)
+	}
+	tiles, err := Checkerboard(6, tileN, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != 4 {
+		t.Fatalf("6×6 grid with 3×3 tiles should give 4 tiles, got %d", len(tiles))
+	}
+	seen := map[int]bool{}
+	for _, tl := range tiles {
+		for _, g := range tl.Unknowns {
+			if seen[g] {
+				t.Fatalf("unknown %d covered twice", g)
+			}
+			seen[g] = true
+		}
+	}
+	if len(seen) != 72 {
+		t.Fatalf("expected 72 unknowns, got %d", len(seen))
+	}
+}
+
+func TestCheckerboardRejectsNonDivisor(t *testing.T) {
+	if _, err := Checkerboard(6, 4, 2); err == nil {
+		t.Fatal("4×4 tiles cannot cover a 6×6 grid; Checkerboard must error")
+	}
+	if _, err := Checkerboard(5, 2, 2); err == nil {
+		t.Fatal("2×2 tiles cannot cover a 5×5 grid; Checkerboard must error")
+	}
+}
+
+func TestBlocks1D(t *testing.T) {
+	tiles, err := Blocks1D(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != 4 {
+		t.Fatalf("8 nodes in blocks of 2 should give 4 tiles, got %d", len(tiles))
+	}
+	next := 0
+	for i, tl := range tiles {
+		if tl.Colour != i%2 {
+			t.Fatalf("block %d colour %d, want alternating", i, tl.Colour)
+		}
+		for _, g := range tl.Unknowns {
+			if g != next {
+				t.Fatalf("blocks must tile contiguously: got %d, want %d", g, next)
+			}
+			next++
+		}
+	}
+	if next != 8 {
+		t.Fatalf("covered %d unknowns, want 8", next)
+	}
+	if _, err := Blocks1D(9, 2); err == nil {
+		t.Fatal("block 2 cannot cover 9 nodes; Blocks1D must error")
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Full verification gate: build, vet, formatting, and the test suite under
+# the race detector (the parallel red-black Gauss-Seidel sweep must stay
+# race-clean). Run from the repository root; also available as `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "OK"
