@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt lint fuzz check bench
 
 all: build
 
@@ -19,7 +19,21 @@ vet:
 fmt:
 	gofmt -l .
 
-# Full verification gate: build + vet + formatting + race-enabled tests.
+# Project-specific static analysis: the six pdevet rules (internal/lint)
+# guarding the repo's numerical and hot-path invariants.
+lint:
+	$(GO) run ./cmd/pdevet ./...
+
+# Short fuzz smoke over the solver and netlist-parser targets; CI-sized.
+# Longer local runs: go test -fuzz FuzzBandLU -fuzztime 60s ./internal/la/
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSolveTridiagonal -fuzztime 3s ./internal/la/
+	$(GO) test -run '^$$' -fuzz FuzzBandLU -fuzztime 3s ./internal/la/
+	$(GO) test -run '^$$' -fuzz FuzzCSR -fuzztime 3s ./internal/la/
+	$(GO) test -run '^$$' -fuzz FuzzParseNetlist -fuzztime 3s ./internal/analog/
+
+# Full verification gate: build + vet + pdevet + formatting + race-enabled
+# tests + fuzz smoke.
 check:
 	./scripts/check.sh
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -25,7 +26,11 @@ func benchCfg() exp.Config {
 func BenchmarkTable1WorkloadProfile(b *testing.B) {
 	var last exp.Table1Result
 	for i := 0; i < b.N; i++ {
-		last = exp.Table1(benchCfg())
+		var err error
+		last, err = exp.Table1(context.Background(), benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*last.Rows[0].Report.KernelFraction, "bwaves-kernel-%")
 	b.ReportMetric(100*last.Rows[3].Report.KernelFraction, "cook-kernel-%")
@@ -36,7 +41,7 @@ func BenchmarkTable1WorkloadProfile(b *testing.B) {
 func BenchmarkTable2Character(b *testing.B) {
 	var last exp.Table2Result
 	for i := 0; i < b.N; i++ {
-		r, err := exp.Table2(benchCfg())
+		r, err := exp.Table2(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +61,7 @@ func BenchmarkTable2Character(b *testing.B) {
 func BenchmarkTable3Budget(b *testing.B) {
 	var area float64
 	for i := 0; i < b.N; i++ {
-		r := exp.Table3(benchCfg())
+		r := exp.Table3(context.Background(), benchCfg())
 		area = r.Budget.Totals().AreaMM2
 	}
 	b.ReportMetric(area, "mm2-per-variable")
@@ -68,7 +73,7 @@ func BenchmarkTable4Scale(b *testing.B) {
 	var r exp.Table4Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Table4(benchCfg())
+		r, err = exp.Table4(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +88,7 @@ func BenchmarkFig2Basins(b *testing.B) {
 	var r exp.Fig2Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Fig2(benchCfg())
+		r, err = exp.Fig2(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +102,7 @@ func BenchmarkFig3Homotopy(b *testing.B) {
 	var r exp.Fig3Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Fig3(benchCfg())
+		r, err = exp.Fig3(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +118,7 @@ func BenchmarkFig6ErrorDistribution(b *testing.B) {
 	var r exp.Fig6Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Fig6(benchCfg())
+		r, err = exp.Fig6(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +132,7 @@ func BenchmarkFig7Scaling(b *testing.B) {
 	var r exp.Fig7Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Fig7(benchCfg())
+		r, err = exp.Fig7(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +155,7 @@ func BenchmarkFig8Seeding(b *testing.B) {
 	var r exp.Fig8Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Fig8(benchCfg())
+		r, err = exp.Fig8(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +172,7 @@ func BenchmarkFig9GPU(b *testing.B) {
 	var r exp.Fig9Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Fig9(benchCfg())
+		r, err = exp.Fig9(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}

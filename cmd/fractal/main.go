@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,15 +27,16 @@ func main() {
 		fatal(err)
 	}
 	cfg := exp.Config{Quick: *quick, Seed: *seed, OutDir: *out}
+	ctx := context.Background()
 	if *homotopy {
-		res, err := exp.Fig3(cfg)
+		res, err := exp.Fig3(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(res.String())
 		return
 	}
-	res, err := exp.Fig2(cfg)
+	res, err := exp.Fig2(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}

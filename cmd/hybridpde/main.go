@@ -30,31 +30,31 @@ func main() {
 	// sweep aborts mid-solve instead of running a figure to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	cfg := exp.Config{Quick: *quick, Seed: *seed, OutDir: *out, Ctx: ctx}
+	cfg := exp.Config{Quick: *quick, Seed: *seed, OutDir: *out}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
 	}
 
-	runners := map[string]func(exp.Config) (fmt.Stringer, error){
-		"table1": func(c exp.Config) (fmt.Stringer, error) { return exp.Table1(c), nil },
-		"table2": func(c exp.Config) (fmt.Stringer, error) { return exp.Table2(c) },
-		"table3": func(c exp.Config) (fmt.Stringer, error) { return exp.Table3(c), nil },
-		"table4": func(c exp.Config) (fmt.Stringer, error) { return exp.Table4(c) },
-		"fig2":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig2(c) },
-		"fig3":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig3(c) },
-		"fig6":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig6(c) },
-		"fig7":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig7(c) },
-		"fig8":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig8(c) },
-		"fig9":   func(c exp.Config) (fmt.Stringer, error) { return exp.Fig9(c) },
-		"ablate": func(c exp.Config) (fmt.Stringer, error) { return exp.Ablations(c) },
+	runners := map[string]func(context.Context, exp.Config) (fmt.Stringer, error){
+		"table1": func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Table1(ctx, c) },
+		"table2": func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Table2(ctx, c) },
+		"table3": func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Table3(ctx, c), nil },
+		"table4": func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Table4(ctx, c) },
+		"fig2":   func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Fig2(ctx, c) },
+		"fig3":   func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Fig3(ctx, c) },
+		"fig6":   func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Fig6(ctx, c) },
+		"fig7":   func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Fig7(ctx, c) },
+		"fig8":   func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Fig8(ctx, c) },
+		"fig9":   func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Fig9(ctx, c) },
+		"ablate": func(ctx context.Context, c exp.Config) (fmt.Stringer, error) { return exp.Ablations(ctx, c) },
 	}
 	order := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "ablate"}
 
 	if *which == "all" {
 		for _, name := range order {
-			run(runners[name], cfg, name)
+			run(ctx, runners[name], cfg, name)
 		}
 		return
 	}
@@ -62,15 +62,15 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown experiment %q (want one of %v or all)", *which, order))
 	}
-	run(r, cfg, *which)
+	run(ctx, r, cfg, *which)
 }
 
-func run(r func(exp.Config) (fmt.Stringer, error), cfg exp.Config, name string) {
-	res, err := r(cfg)
+func run(ctx context.Context, r func(context.Context, exp.Config) (fmt.Stringer, error), cfg exp.Config, name string) {
+	res, err := r(ctx, cfg)
 	// Drivers tolerate per-trial solve failures, so a Ctrl-C mid-sweep can
 	// surface as a "successful" run of empty rows; report it as the abort it is.
-	if err == nil && cfg.Ctx != nil && cfg.Ctx.Err() != nil {
-		err = cfg.Ctx.Err()
+	if err == nil && ctx.Err() != nil {
+		err = ctx.Err()
 	}
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", name, err))

@@ -1,0 +1,93 @@
+// Command pdevet runs the repository's custom static-analysis pass: six
+// project-specific rules (internal/lint) that turn the numerical and
+// hot-path conventions of the hybrid solver — reproducible randomness,
+// simulated-time-only accounting, allocation-free stepping, tolerance-based
+// float comparison, context discipline, no swallowed errors — into
+// machine-checked invariants. Pure standard library: go/ast + go/types with
+// a source importer, no golang.org/x/tools.
+//
+// Usage:
+//
+//	pdevet [-rule name] [-list] [packages]
+//
+// Package patterns are directories relative to the current module; `...`
+// walks subtrees (default `./...`). Exit status: 0 clean, 1 findings,
+// 2 usage or load failure.
+//
+// Findings are suppressed in source with `//pdevet:allow <rule> [reason]`
+// annotations; hot-path functions opt into the allocation rule with
+// `//pdevet:noalloc`. See DESIGN.md "Static analysis".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridpde/internal/lint"
+)
+
+func main() {
+	var (
+		rule = flag.String("rule", "", "run a single analyzer by name")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rule != "" {
+		a, ok := lint.AnalyzerByName(*rule)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pdevet: unknown rule %q (try -list)\n", *rule)
+			os.Exit(2)
+		}
+		analyzers = []*lint.Analyzer{a}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := loader.Expand(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	if len(dirs) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range lint.RunPackage(pkg, analyzers) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "pdevet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdevet:", err)
+	os.Exit(2)
+}

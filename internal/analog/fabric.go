@@ -120,15 +120,15 @@ func (c *Config) defaults() {
 	if c.Chip.Tiles == 0 {
 		c.Chip = PrototypeChip
 	}
-	if c.RawGainSigma == 0 {
+	if c.RawGainSigma <= 0 {
 		c.RawGainSigma = 0.10
 	}
-	if c.RawOffsetSigma == 0 {
+	if c.RawOffsetSigma <= 0 {
 		// Calibrated so the Figure 6 experiment (400 random 2×2 problems)
 		// reproduces the paper's measured 5.38 % total RMS solution error.
 		c.RawOffsetSigma = 0.11
 	}
-	if c.CalibrationResidual == 0 {
+	if c.CalibrationResidual <= 0 {
 		c.CalibrationResidual = 0.12
 	}
 	if c.DACBits == 0 {
@@ -137,10 +137,10 @@ func (c *Config) defaults() {
 	if c.ADCBits == 0 {
 		c.ADCBits = 8
 	}
-	if c.SaturationLimit == 0 {
+	if c.SaturationLimit <= 0 {
 		c.SaturationLimit = 2.0
 	}
-	if c.SlewLimit == 0 {
+	if c.SlewLimit <= 0 {
 		// Slew of ~10 dynamic ranges per time constant: fast enough that
 		// it never binds during normal settling (Newton-flow rates are
 		// O(1)), slow enough that near-singular Jacobian crossings —

@@ -114,7 +114,7 @@ func (n *Netlist) Connect(from, to *Port) error {
 	load := n.fanoutLoad[from.Component]
 	if load >= 1 {
 		if _, err := from.Tile.alloc(KindFanout, 1); err != nil {
-			return fmt.Errorf("%w: output of %s needs a fanout for sink %d: %v",
+			return fmt.Errorf("%w: output of %s needs a fanout for sink %d: %w",
 				ErrRouting, from.Name, load+1, err)
 		}
 	}

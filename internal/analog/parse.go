@@ -1,0 +1,157 @@
+package analog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file adds a text front-end to the netlist layer: the same
+// instantiate → wire → load → commit workflow as the programmatic API
+// (netlist.go), written the way the paper's configuration listings read.
+// The grammar is line-oriented:
+//
+//	# comment                      blank lines and #-comments are skipped
+//	inst <name> <kind> <tile>      allocate one component on a tile
+//	wire <a>.<port> <b>.<port>     connect a's output port to b's input port
+//	set  <name> <value>            load a DAC constant (normalised ±1)
+//	commit                         freeze the configuration (cfgCommit)
+//	start                          release the integrators (execStart)
+//	stop                           halt the integrators (execStop)
+//
+// Kinds are the component kind names of spec.go (integrator, multiplier,
+// fanout, dac, adc). Every error is positioned: "netlist line N: ...".
+
+// parseState carries the named instances of one parse.
+type parseState struct {
+	net   *Netlist
+	comps map[string]*Component
+	tiles map[string]int
+}
+
+// ParseNetlist builds and validates a program on the fabric from its text
+// form. The fabric must be calibrated before a `commit` line. The returned
+// netlist reflects every directive up to the first error.
+func ParseNetlist(f *Fabric, src string) (*Netlist, error) {
+	st := &parseState{
+		net:   f.NewNetlist(),
+		comps: map[string]*Component{},
+		tiles: map[string]int{},
+	}
+	for ln, line := range strings.Split(src, "\n") {
+		if err := st.directive(f, line); err != nil {
+			return st.net, fmt.Errorf("analog: netlist line %d: %w", ln+1, err)
+		}
+	}
+	return st.net, nil
+}
+
+func (st *parseState) directive(f *Fabric, line string) error {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	op, args := fields[0], fields[1:]
+	switch op {
+	case "inst":
+		return st.inst(f, args)
+	case "wire":
+		return st.wire(args)
+	case "set":
+		return st.set(args)
+	case "commit":
+		if len(args) != 0 {
+			return fmt.Errorf("commit takes no arguments")
+		}
+		return st.net.CfgCommit()
+	case "start":
+		if len(args) != 0 {
+			return fmt.Errorf("start takes no arguments")
+		}
+		return st.net.ExecStart()
+	case "stop":
+		if len(args) != 0 {
+			return fmt.Errorf("stop takes no arguments")
+		}
+		return st.net.ExecStop()
+	default:
+		return fmt.Errorf("unknown directive %q", op)
+	}
+}
+
+func (st *parseState) inst(f *Fabric, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: inst <name> <kind> <tile>")
+	}
+	name, kind := args[0], args[1]
+	if _, dup := st.comps[name]; dup {
+		return fmt.Errorf("instance %q already declared", name)
+	}
+	switch kind {
+	case KindIntegrator, KindMultiplier, KindFanout, KindDAC, KindADC:
+	default:
+		return fmt.Errorf("unknown component kind %q", kind)
+	}
+	tileIndex, err := strconv.Atoi(args[2])
+	if err != nil {
+		return fmt.Errorf("tile index %q: %w", args[2], err)
+	}
+	tiles := f.Tiles()
+	if tileIndex < 0 || tileIndex >= len(tiles) {
+		return fmt.Errorf("tile %d out of range [0, %d)", tileIndex, len(tiles))
+	}
+	cs, err := tiles[tileIndex].alloc(kind, 1)
+	if err != nil {
+		return err
+	}
+	st.comps[name] = cs[0]
+	st.tiles[name] = tileIndex
+	return nil
+}
+
+func (st *parseState) wire(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: wire <inst>.<port> <inst>.<port>")
+	}
+	from, err := st.port(args[0], PortOut)
+	if err != nil {
+		return err
+	}
+	to, err := st.port(args[1], PortIn)
+	if err != nil {
+		return err
+	}
+	return st.net.Connect(from, to)
+}
+
+// port resolves "<inst>.<port>" to a Port of the given direction.
+func (st *parseState) port(spec string, dir PortDir) (*Port, error) {
+	name, portName, ok := strings.Cut(spec, ".")
+	if !ok || name == "" || portName == "" {
+		return nil, fmt.Errorf("port %q: want <inst>.<port>", spec)
+	}
+	c, ok := st.comps[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown instance %q", name)
+	}
+	return st.net.PortOf(st.tiles[name], c, portName, dir)
+}
+
+func (st *parseState) set(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: set <dac> <value>")
+	}
+	c, ok := st.comps[args[0]]
+	if !ok {
+		return fmt.Errorf("unknown instance %q", args[0])
+	}
+	v, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		return fmt.Errorf("value %q: %w", args[1], err)
+	}
+	_, err = st.net.SetDAC(c, v)
+	return err
+}

@@ -1,0 +1,103 @@
+package analog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const goodProgram = `# 1-variable Newton slice: dac drives an integrator through a multiplier
+inst d0 dac 0
+inst m0 multiplier 0
+inst i0 integrator 0
+set  d0 0.5
+wire d0.out m0.in0
+wire m0.out i0.in
+commit
+start
+stop
+`
+
+func TestParseNetlistProgram(t *testing.T) {
+	f := NewFabric(Config{Seed: 1})
+	f.Calibrate()
+	n, err := ParseNetlist(f, goodProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Connections()); got != 2 {
+		t.Fatalf("connections = %d, want 2", got)
+	}
+	if n.Running() {
+		t.Fatal("program stopped but netlist still running")
+	}
+}
+
+func TestParseNetlistErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown directive", "frob a b", `unknown directive "frob"`},
+		{"bad kind", "inst x resistor 0", "unknown component kind"},
+		{"dup name", "inst a dac 0\ninst a dac 0", "already declared"},
+		{"bad tile", "inst a dac 99", "out of range"},
+		{"unknown wire inst", "wire a.out b.in", `unknown instance "a"`},
+		{"malformed port", "inst a dac 0\ninst b adc 0\nwire a b.in", "want <inst>.<port>"},
+		{"set non-dac", "inst a adc 0\nset a 0.5", "non-DAC"},
+		{"set range", "inst a dac 0\nset a 1.5", "outside the normalised range"},
+		{"uncalibrated commit", "commit", "calibrate the fabric"},
+		{"start before commit", "start", ErrNotCommitted.Error()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := NewFabric(Config{Seed: 2})
+			if !strings.Contains(tc.name, "uncalibrated") {
+				f.Calibrate()
+			}
+			_, err := ParseNetlist(f, tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseNetlistRoutingRules(t *testing.T) {
+	f := NewFabric(Config{Seed: 3})
+	f.Calibrate()
+	// Tiles 0 and 2 are not neighbours in the linear order.
+	_, err := ParseNetlist(f, "inst a dac 0\ninst b integrator 2\nwire a.out b.in")
+	if !errors.Is(err, ErrRouting) {
+		t.Fatalf("distant wire: error = %v, want ErrRouting", err)
+	}
+}
+
+// FuzzParseNetlist asserts the parser is total: any input yields a netlist
+// or a positioned error, never a panic, and a successful parse leaves the
+// netlist internally consistent.
+func FuzzParseNetlist(f *testing.F) {
+	f.Add(goodProgram)
+	f.Add("inst a dac 0\nset a -0.25")
+	f.Add("# only a comment\n\n")
+	f.Add("wire x.out y.in")
+	fab := NewFabric(Config{Seed: 4})
+	fab.Calibrate()
+	f.Fuzz(func(t *testing.T, src string) {
+		fab.FreeAll()
+		n, err := ParseNetlist(fab, src)
+		if n == nil {
+			t.Fatal("ParseNetlist returned a nil netlist")
+		}
+		if err != nil && !strings.Contains(err.Error(), "netlist line ") {
+			t.Fatalf("error lacks line position: %v", err)
+		}
+		for _, c := range n.Connections() {
+			if c.From == nil || c.To == nil {
+				t.Fatal("committed connection has nil endpoint")
+			}
+			if c.From.Dir != PortOut || c.To.Dir != PortIn {
+				t.Fatalf("connection direction violated: %+v", c)
+			}
+		}
+	})
+}

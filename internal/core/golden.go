@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"hybridpde/internal/la"
 	"hybridpde/internal/nonlin"
@@ -122,7 +123,7 @@ func DigitalToAccuracy(ctx context.Context, sys nonlin.SparseSystem, u0, golden 
 				break
 			}
 			r := la.Norm2(f)
-			if r != r || r > 1e8*(1+r0) {
+			if math.IsNaN(r) || r > 1e8*(1+r0) {
 				failed = true
 				break
 			}

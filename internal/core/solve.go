@@ -140,6 +140,12 @@ func (w *Workspace) ensure(dim int) {
 //
 // ctx may be nil; a cancelled context aborts both stages with an error
 // wrapping the context's error (test with errors.Is(err, context.Canceled)).
+//
+// The function is on the repeated-stepping hot path (the Workspace time
+// loop): with a warm workspace it must stay at 0 allocs/op, which
+// `make bench` checks dynamically and the noalloc rule checks structurally.
+//
+//pdevet:noalloc
 func Solve(ctx context.Context, sys problem.SparseSystem, opts Options) (Report, error) {
 	opts.defaults()
 	dim := sys.Dim()
@@ -173,7 +179,7 @@ func Solve(ctx context.Context, sys problem.SparseSystem, opts Options) (Report,
 		}
 		ws.opts = opts
 		if err := seeder.Seed(ctx, sys, seed, &ws.opts, &ws.rep); err != nil {
-			return ws.rep, fmt.Errorf("core: analog stage failed: %w", err)
+			return ws.rep, fmt.Errorf("core: analog stage failed: %w", err) //pdevet:allow noalloc error path
 		}
 		if err := sys.Eval(seed, ws.f); err != nil {
 			return ws.rep, err
@@ -191,7 +197,7 @@ func Solve(ctx context.Context, sys problem.SparseSystem, opts Options) (Report,
 	rep.TotalSeconds = rep.AnalogSeconds + rep.DigitalSeconds
 	rep.TotalEnergyJ = rep.AnalogEnergyJ + rep.DigitalEnergyJ
 	if err != nil {
-		return rep, fmt.Errorf("core: digital polish failed: %w", err)
+		return rep, fmt.Errorf("core: digital polish failed: %w", err) //pdevet:allow noalloc error path
 	}
 	return rep, nil
 }

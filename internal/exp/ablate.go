@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -31,7 +32,7 @@ type AblationResult struct {
 }
 
 // Ablations runs the ablation suite at the configured scale.
-func Ablations(cfg Config) (AblationResult, error) {
+func Ablations(ctx context.Context, cfg Config) (AblationResult, error) {
 	var out AblationResult
 	out.BitsRMS = map[int]float64{}
 	n := pick(cfg, 8, 4)
@@ -62,14 +63,14 @@ func Ablations(cfg Config) (AblationResult, error) {
 	if err != nil {
 		return out, err
 	}
-	if _, err := nonlin.NewtonSparse(cfg.ctx(), b, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, MaxIter: 150}); err != nil {
+	if _, err := nonlin.NewtonSparse(ctx, b, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, MaxIter: 150}); err != nil {
 		out.ClassicalFails = true
 	}
-	if r, err := nonlin.NewtonSparse(cfg.ctx(), b, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, AutoDamp: true, MaxIter: 400}); err == nil {
+	if r, err := nonlin.NewtonSparse(ctx, b, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, AutoDamp: true, MaxIter: 400}); err == nil {
 		out.AutoDampIters = r.Iterations
 		out.AutoDampTotal = r.TotalIters
 	}
-	if r, err := nonlin.NewtonArmijo(cfg.ctx(), nonlin.DenseAdapter{S: b}, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, MaxIter: 400}); err == nil {
+	if r, err := nonlin.NewtonArmijo(ctx, nonlin.DenseAdapter{S: b}, u0, nonlin.NewtonOptions{Tol: 1e-9, RelTol: 1e-13, MaxIter: 400}); err == nil {
 		out.ArmijoIters = r.Iterations
 	}
 	if r, err := nonlin.TrustRegion(nonlin.DenseAdapter{S: b}, u0, nonlin.TrustRegionOptions{Tol: 1e-7, MaxIter: 500}); err == nil {
@@ -87,12 +88,12 @@ func Ablations(cfg Config) (AblationResult, error) {
 	}
 	opts := core.Options{InitialGuess: u02, Seeder: core.AnalogSeeder(acc)}
 	opts.Analog.DynamicRange = 1.5 * bound
-	if rep, err := core.Solve(cfg.ctx(), b2, opts); err == nil {
+	if rep, err := core.Solve(ctx, b2, opts); err == nil {
 		out.SeededIters = rep.Digital.Iterations
 	}
 	optsCold := opts
 	optsCold.SkipAnalog = true
-	if rep, err := core.Solve(cfg.ctx(), b2, optsCold); err == nil {
+	if rep, err := core.Solve(ctx, b2, optsCold); err == nil {
 		out.ColdIters = rep.Digital.Iterations
 	}
 
@@ -114,11 +115,11 @@ func Ablations(cfg Config) (AblationResult, error) {
 			if err := p.SetRHSForRoot(root); err != nil {
 				return out, err
 			}
-			sol, err := accB.SolveSparse(cfg.ctx(), p, root, analog.SolveOptions{DynamicRange: 4.5})
+			sol, err := accB.SolveSparse(ctx, p, root, analog.SolveOptions{DynamicRange: 4.5})
 			if err != nil || !sol.Converged {
 				continue
 			}
-			golden, err := core.GoldenSolve(cfg.ctx(), p, sol.U)
+			golden, err := core.GoldenSolve(ctx, p, sol.U)
 			if err != nil {
 				continue
 			}

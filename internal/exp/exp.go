@@ -6,7 +6,6 @@
 package exp
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
 )
@@ -21,21 +20,10 @@ type Config struct {
 	// OutDir, when non-empty, is where image artifacts (PPM basin plots)
 	// are written.
 	OutDir string
-	// Ctx, when set, cancels long-running experiments mid-solve (the CLI
-	// wires SIGINT here). Nil means run to completion.
-	Ctx context.Context
 }
 
 func (c Config) rng(salt int64) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed*1_000_003 + salt))
-}
-
-// ctx returns the configured context, defaulting to Background.
-func (c Config) ctx() context.Context {
-	if c.Ctx != nil {
-		return c.Ctx
-	}
-	return context.Background()
 }
 
 // pick returns quick when Quick is set, full otherwise.

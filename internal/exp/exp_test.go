@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -9,7 +10,10 @@ import (
 var quickCfg = Config{Quick: true, Seed: 3}
 
 func TestTable1Quick(t *testing.T) {
-	r := Table1(quickCfg)
+	r, err := Table1(context.Background(), quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 4 {
 		t.Fatalf("Table 1 must have 4 rows, got %d", len(r.Rows))
 	}
@@ -32,7 +36,10 @@ func TestTable1FullScaleOrdering(t *testing.T) {
 	// whose assembly dilutes the share. At quick scale the sections run in
 	// microseconds and timer noise dominates, so the ordering is asserted
 	// only at full scale.
-	r := Table1(Config{Seed: 3})
+	r, err := Table1(context.Background(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	fdMin := min(r.Rows[0].Report.KernelFraction, r.Rows[1].Report.KernelFraction)
 	fvMax := max(r.Rows[2].Report.KernelFraction, r.Rows[3].Report.KernelFraction)
 	if fdMin <= fvMax {
@@ -41,7 +48,7 @@ func TestTable1FullScaleOrdering(t *testing.T) {
 }
 
 func TestTable2Quick(t *testing.T) {
-	r, err := Table2(quickCfg)
+	r, err := Table2(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +65,7 @@ func TestTable2Quick(t *testing.T) {
 }
 
 func TestTable3Quick(t *testing.T) {
-	r := Table3(quickCfg)
+	r := Table3(context.Background(), quickCfg)
 	s := r.String()
 	for _, want := range []string{"nonlinear function", "Jacobian matrix", "quotient feedback loop", "Newton method feedback loop", "total"} {
 		if !strings.Contains(s, want) {
@@ -68,7 +75,7 @@ func TestTable3Quick(t *testing.T) {
 }
 
 func TestTable4Quick(t *testing.T) {
-	r, err := Table4(quickCfg)
+	r, err := Table4(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +88,7 @@ func TestTable4Quick(t *testing.T) {
 }
 
 func TestFig2Quick(t *testing.T) {
-	r, err := Fig2(quickCfg)
+	r, err := Fig2(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +103,7 @@ func TestFig2Quick(t *testing.T) {
 }
 
 func TestFig3Quick(t *testing.T) {
-	r, err := Fig3(quickCfg)
+	r, err := Fig3(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +118,7 @@ func TestFig3Quick(t *testing.T) {
 }
 
 func TestFig6Quick(t *testing.T) {
-	r, err := Fig6(quickCfg)
+	r, err := Fig6(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +131,7 @@ func TestFig6Quick(t *testing.T) {
 }
 
 func TestFig7Quick(t *testing.T) {
-	r, err := Fig7(quickCfg)
+	r, err := Fig7(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +157,7 @@ func TestFig7Quick(t *testing.T) {
 }
 
 func TestFig8Quick(t *testing.T) {
-	r, err := Fig8(quickCfg)
+	r, err := Fig8(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +175,7 @@ func TestFig8Quick(t *testing.T) {
 }
 
 func TestFig9Quick(t *testing.T) {
-	r, err := Fig9(quickCfg)
+	r, err := Fig9(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +202,7 @@ func TestFig9Quick(t *testing.T) {
 }
 
 func TestCSVExports(t *testing.T) {
-	f7, err := Fig7(quickCfg)
+	f7, err := Fig7(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +223,7 @@ func TestCSVExports(t *testing.T) {
 }
 
 func TestAblationsQuick(t *testing.T) {
-	r, err := Ablations(quickCfg)
+	r, err := Ablations(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -78,7 +79,7 @@ type Fig2Result struct {
 
 // Fig2 sweeps the 2-D plane of initial conditions, solving Equation 1 on
 // the chip model (continuous Newton) and with classical digital Newton.
-func Fig2(cfg Config) (Fig2Result, error) {
+func Fig2(ctx context.Context, cfg Config) (Fig2Result, error) {
 	pixels := pick(cfg, 256, 24)
 	res := Fig2Result{Pixels: pixels}
 	res.Analog = img.New(pixels, pixels)
@@ -111,7 +112,7 @@ func Fig2(cfg Config) (Fig2Result, error) {
 			}
 			res.Analog.Set(px, py, aCol)
 
-			dres, derr := nonlin.Newton(cfg.ctx(), sys, u0, nonlin.NewtonOptions{Tol: 1e-10, MaxIter: 60})
+			dres, derr := nonlin.Newton(ctx, sys, u0, nonlin.NewtonOptions{Tol: 1e-10, MaxIter: 60})
 			var dCol img.Color
 			if derr != nil || !dres.Converged {
 				dCol = img.NoConverge

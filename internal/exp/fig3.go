@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -47,7 +48,7 @@ const (
 )
 
 // Fig3 runs the chip model over the plane of initial conditions.
-func Fig3(cfg Config) (Fig3Result, error) {
+func Fig3(ctx context.Context, cfg Config) (Fig3Result, error) {
 	pixels := pick(cfg, 128, 12)
 	res := Fig3Result{
 		Pixels:   pixels,

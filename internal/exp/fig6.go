@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,7 +26,7 @@ type Fig6Result struct {
 // in ±3, solved on the prototype board model, error measured by Equation 6
 // against the certified digital solution and normalised by the dynamic
 // range.
-func Fig6(cfg Config) (Fig6Result, error) {
+func Fig6(ctx context.Context, cfg Config) (Fig6Result, error) {
 	trials := pick(cfg, 400, 40)
 	res := Fig6Result{
 		Trials:      trials,
@@ -55,13 +56,13 @@ func Fig6(cfg Config) (Fig6Result, error) {
 		for i := range u0 {
 			u0[i] = bound * (2*rng.Float64() - 1)
 		}
-		sol, err := acc.SolveSparse(cfg.ctx(), b, u0, analog.SolveOptions{DynamicRange: 1.5 * bound})
+		sol, err := acc.SolveSparse(ctx, b, u0, analog.SolveOptions{DynamicRange: 1.5 * bound})
 		if err != nil || !sol.Converged {
 			continue
 		}
 		// Certified digital reference: polish from the analog answer so
 		// both solvers describe the same root.
-		golden, err := core.GoldenSolve(cfg.ctx(), b, sol.U)
+		golden, err := core.GoldenSolve(ctx, b, sol.U)
 		if err != nil {
 			continue
 		}

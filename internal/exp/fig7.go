@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -58,7 +59,7 @@ type Fig7Result struct {
 }
 
 // Fig7 runs the grid×Re sweep.
-func Fig7(cfg Config) (Fig7Result, error) {
+func Fig7(ctx context.Context, cfg Config) (Fig7Result, error) {
 	res := Fig7Result{TargetRMS: 0.0538}
 	grids := pick(cfg, []int{2, 4, 8, 16}, []int{2, 4})
 	reValues := pick(cfg,
@@ -82,7 +83,7 @@ func Fig7(cfg Config) (Fig7Result, error) {
 					return res, err
 				}
 				// Equal-accuracy digital run (CPU baseline protocol).
-				dig, derr := core.DigitalToAccuracy(cfg.ctx(), b, u0, root, res.TargetRMS, bound)
+				dig, derr := core.DigitalToAccuracy(ctx, b, u0, root, res.TargetRMS, bound)
 				if derr != nil {
 					continue // the paper's sparse data points at high Re
 				}
@@ -93,7 +94,7 @@ func Fig7(cfg Config) (Fig7Result, error) {
 				}, b.Dim()))
 
 				// Analog run from the same start.
-				sol, aerr := acc.SolveSparse(cfg.ctx(), b, u0, analog.SolveOptions{
+				sol, aerr := acc.SolveSparse(ctx, b, u0, analog.SolveOptions{
 					DynamicRange: 1.5 * bound,
 				})
 				if aerr != nil || !sol.Converged {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -37,7 +38,7 @@ type Fig8Result struct {
 }
 
 // Fig8 runs the Reynolds sweep on the 16×16 problem (8×8 in quick mode).
-func Fig8(cfg Config) (Fig8Result, error) {
+func Fig8(ctx context.Context, cfg Config) (Fig8Result, error) {
 	n := pick(cfg, 16, 4)
 	trials := pick(cfg, 16, 2)
 	reValues := pick(cfg,
@@ -69,10 +70,10 @@ func Fig8(cfg Config) (Fig8Result, error) {
 			}
 			opts := core.Options{Perf: core.PerfCPU, InitialGuess: u0, Seeder: seeder}
 			opts.Analog.DynamicRange = 1.5 * bound
-			repSeeded, errS := core.Solve(cfg.ctx(), b, opts)
+			repSeeded, errS := core.Solve(ctx, b, opts)
 			optsCold := opts
 			optsCold.SkipAnalog = true
-			repCold, errC := core.Solve(cfg.ctx(), b, optsCold)
+			repCold, errC := core.Solve(ctx, b, optsCold)
 			if errS != nil || errC != nil {
 				continue // count only mutually solvable draws, like the paper's 16 trials
 			}

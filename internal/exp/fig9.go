@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -42,7 +43,7 @@ type Fig9Result struct {
 }
 
 // Fig9 runs the GPU-scale comparison.
-func Fig9(cfg Config) (Fig9Result, error) {
+func Fig9(ctx context.Context, cfg Config) (Fig9Result, error) {
 	res := Fig9Result{Re: 2.0}
 	sizes := pick(cfg, []int{16, 32}, []int{4, 8})
 	accGrid := pick(cfg, 16, 4) // accelerator capacity grid (Table 4 limit)
@@ -67,10 +68,10 @@ func Fig9(cfg Config) (Fig9Result, error) {
 			}
 			opts := core.Options{Perf: core.PerfGPU, InitialGuess: u0, Seeder: seeder}
 			opts.Analog.DynamicRange = 1.5 * bound
-			seeded, errS := core.Solve(cfg.ctx(), b, opts)
+			seeded, errS := core.Solve(ctx, b, opts)
 			optsCold := opts
 			optsCold.SkipAnalog = true
-			cold, errC := core.Solve(cfg.ctx(), b, optsCold)
+			cold, errC := core.Solve(ctx, b, optsCold)
 			if errS != nil || errC != nil {
 				continue
 			}

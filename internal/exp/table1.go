@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,17 +25,28 @@ type Table1Result struct {
 // on this machine; the property the table demonstrates — finite-difference
 // implicit solvers are dominated by the algebraic kernel, while finite
 // volume/element assembly dilutes it — is machine-independent.
-func Table1(cfg Config) Table1Result {
+func Table1(_ context.Context, cfg Config) (Table1Result, error) {
 	// Even the quick grid stays moderately large: the FD-vs-FV kernel
 	// share ordering is an asymptotic property that tiny grids invert.
 	n := pick(cfg, 48, 32)
 	steps := pick(cfg, 6, 2)
-	return Table1Result{Rows: []Table1Row{
-		{Report: pde.RunBwavesLike(n, steps), PaperFraction: 0.767 + 0.117},
-		{Report: pde.RunHartmannLike(n, 4*steps), PaperFraction: 0.458},
-		{Report: pde.RunCavityLike(n, 4*steps), PaperFraction: 0.131},
-		{Report: pde.RunCookLike(n/2, steps), PaperFraction: 0.153},
-	}}
+	var r Table1Result
+	for _, w := range []struct {
+		run   func() (pde.WorkloadReport, error)
+		paper float64
+	}{
+		{func() (pde.WorkloadReport, error) { return pde.RunBwavesLike(n, steps) }, 0.767 + 0.117},
+		{func() (pde.WorkloadReport, error) { return pde.RunHartmannLike(n, 4*steps) }, 0.458},
+		{func() (pde.WorkloadReport, error) { return pde.RunCavityLike(n, 4*steps) }, 0.131},
+		{func() (pde.WorkloadReport, error) { return pde.RunCookLike(n/2, steps) }, 0.153},
+	} {
+		rep, err := w.run()
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, Table1Row{Report: rep, PaperFraction: w.paper})
+	}
+	return r, nil
 }
 
 // String renders the table with paper references.

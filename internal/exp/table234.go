@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,7 +18,7 @@ type Table2Result struct {
 
 // Table2 measures operator balance across a Reynolds sweep on a reference
 // random field.
-func Table2(cfg Config) (Table2Result, error) {
+func Table2(ctx context.Context, cfg Config) (Table2Result, error) {
 	var out Table2Result
 	n := pick(cfg, 8, 4)
 	for _, re := range []float64{0.001, 0.01, 0.1, 1, 10, 100} {
@@ -52,7 +53,7 @@ type Table3Result struct {
 
 // Table3 returns the encoded component budget (static data validated
 // against the tile inventory by the analog package's tests).
-func Table3(Config) Table3Result {
+func Table3(_ context.Context, _ Config) Table3Result {
 	return Table3Result{Budget: analog.PrototypeBudget}
 }
 
@@ -87,7 +88,7 @@ type Table4Result struct {
 }
 
 // Table4 evaluates the scaling model at the paper's design points.
-func Table4(Config) (Table4Result, error) {
+func Table4(_ context.Context, _ Config) (Table4Result, error) {
 	var out Table4Result
 	for _, n := range []int{1, 2, 4, 8, 16} {
 		m, err := analog.ScaleModelFor(n)

@@ -1,3 +1,8 @@
+// Numerical kernel file: the exact zero comparisons below are pivot,
+// breakdown and structural-sparsity tests against values that are zero by
+// assignment or would divide by zero — exactness is the point.
+//pdevet:allow floateq pivot/breakdown/structural zero tests are exact by construction
+
 // Package la provides the dense and sparse linear-algebra substrate used by
 // every other layer of the hybrid solver: dense factorizations for the small
 // Newton systems that fit on the analog accelerator model, and sparse storage

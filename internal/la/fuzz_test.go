@@ -1,0 +1,188 @@
+package la
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// The fuzz targets assert totality and numerical sanity of the direct
+// solvers: arbitrary inputs must produce a solution or a sentinel error,
+// never a panic, and when the fuzzer happens to build a strictly
+// diagonally dominant system — where the condition number is provably
+// bounded — the residual must actually be small.
+
+// floatsFrom decodes data as little-endian float64s.
+func floatsFrom(data []byte) []float64 {
+	vals := make([]float64, len(data)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return vals
+}
+
+func allFinite(xs ...[]float64) bool {
+	for _, x := range xs {
+		for _, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func maxAbs(xs []float64) float64 {
+	m := 0.0
+	for _, v := range xs {
+		m = math.Max(m, math.Abs(v))
+	}
+	return m
+}
+
+func FuzzSolveTridiagonal(f *testing.F) {
+	seed := make([]byte, 16*8)
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint64(seed[8*i:], math.Float64bits(1))                 // sub
+		binary.LittleEndian.PutUint64(seed[8*(4+i):], math.Float64bits(4))             // diag
+		binary.LittleEndian.PutUint64(seed[8*(8+i):], math.Float64bits(1))             // super
+		binary.LittleEndian.PutUint64(seed[8*(12+i):], math.Float64bits(1+float64(i))) // rhs
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := floatsFrom(data)
+		n := len(vals) / 4
+		if n == 0 {
+			return
+		}
+		a, b, c, rhs := vals[:n], vals[n:2*n], vals[2*n:3*n], vals[3*n:4*n]
+		dst := make([]float64, n)
+		if err := SolveTridiagonal(dst, a, b, c, rhs); err != nil {
+			return // ErrSingular and length mismatches are in-contract
+		}
+		if !allFinite(a, b, c, rhs) {
+			return
+		}
+		// Strict diagonal dominance with unit margin bounds ‖A⁻¹‖∞ ≤ 1,
+		// so the Thomas algorithm must deliver a small residual here.
+		for i := 0; i < n; i++ {
+			sub, sup := 0.0, 0.0
+			if i > 0 {
+				sub = math.Abs(a[i])
+			}
+			if i < n-1 {
+				sup = math.Abs(c[i])
+			}
+			if math.Abs(b[i]) < sub+sup+1 {
+				return
+			}
+		}
+		tol := 1e-8 * float64(n) * (1 + maxAbs(rhs) + maxAbs(dst))
+		for i := 0; i < n; i++ {
+			r := b[i]*dst[i] - rhs[i]
+			if i > 0 {
+				r += a[i] * dst[i-1]
+			}
+			if i < n-1 {
+				r += c[i] * dst[i+1]
+			}
+			if math.Abs(r) > tol {
+				t.Fatalf("row %d residual %g exceeds %g on a diagonally dominant system", i, r, tol)
+			}
+		}
+	})
+}
+
+// fuzzCSRFrom builds an n×n CSR from a byte-stream of (row, col, value)
+// triplets with small-integer values, so duplicate accumulation is exact.
+func fuzzCSRFrom(n int, data []byte) (*CSR, int) {
+	coo := NewCOO(n, n)
+	appended := 0
+	for len(data) >= 3 {
+		i, j, v := int(data[0])%n, int(data[1])%n, float64(int8(data[2]))
+		coo.Append(i, j, v)
+		appended++
+		data = data[3:]
+	}
+	return coo.ToCSR(), appended
+}
+
+func FuzzBandLU(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 0, 4, 1, 1, 4, 2, 2, 4, 0, 1, 1, 1, 0, 1})
+	f.Add(uint8(1), []byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, nRaw uint8, data []byte) {
+		n := 1 + int(nRaw)%8
+		m, _ := fuzzCSRFrom(n, data)
+		lu, err := FactorBandLU(m)
+		if err != nil {
+			return // singular systems are in-contract
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i + 1)
+		}
+		x := make([]float64, n)
+		if err := lu.Solve(x, b); err != nil {
+			return
+		}
+		if !allFinite(x) {
+			return // overflow on near-singular input is acceptable
+		}
+		// Integer matrix, modest size: dominance again certifies the residual.
+		for i := 0; i < n; i++ {
+			off := 0.0
+			for j := 0; j < n; j++ {
+				if j != i {
+					off += math.Abs(m.At(i, j))
+				}
+			}
+			if math.Abs(m.At(i, i)) < off+1 {
+				return
+			}
+		}
+		r := make([]float64, n)
+		m.Residual(r, b, x)
+		tol := 1e-8 * float64(n) * (1 + maxAbs(b) + maxAbs(x))
+		if maxAbs(r) > tol {
+			t.Fatalf("residual %g exceeds %g on a diagonally dominant system", maxAbs(r), tol)
+		}
+	})
+}
+
+func FuzzCSR(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 0, 2, 1, 1, 3, 0, 0, 1, 3, 2, 5})
+	f.Add(uint8(1), []byte{})
+	f.Fuzz(func(t *testing.T, nRaw uint8, data []byte) {
+		n := 1 + int(nRaw)%8
+		m, appended := fuzzCSRFrom(n, data)
+		if m.NNZ() > appended {
+			t.Fatalf("NNZ %d exceeds appended triplets %d", m.NNZ(), appended)
+		}
+		// Transposing twice is the identity; values are exact integers.
+		tt := m.Transpose().Transpose()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if m.At(i, j) != tt.At(i, j) { //pdevet:allow floateq integer-valued entries are exact
+					t.Fatalf("transpose^2 mismatch at (%d,%d): %g vs %g", i, j, m.At(i, j), tt.At(i, j))
+				}
+			}
+		}
+		// MulVec with the all-ones vector returns exact integer row sums.
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		got := make([]float64, n)
+		m.MulVec(got, ones)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += m.At(i, j)
+			}
+			if got[i] != sum { //pdevet:allow floateq integer-valued entries are exact
+				t.Fatalf("row %d: MulVec %g, At-sum %g", i, got[i], sum)
+			}
+		}
+	})
+}

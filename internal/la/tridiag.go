@@ -1,3 +1,8 @@
+// Numerical kernel file: the exact zero comparisons below are pivot,
+// breakdown and structural-sparsity tests against values that are zero by
+// assignment or would divide by zero — exactness is the point.
+//pdevet:allow floateq pivot/breakdown/structural zero tests are exact by construction
+
 package la
 
 import "fmt"

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation grammar. Two directives, written as ordinary line comments with
+// no space after `//` (the Go convention for machine directives):
+//
+//	//pdevet:noalloc
+//	    In a function's doc comment: the function body must stay free of
+//	    allocating constructs (see the noalloc analyzer).
+//
+//	//pdevet:allow <rule> [reason]
+//	    Suppresses findings of <rule>. Scope follows placement:
+//	      - trailing on a line, or alone on the line directly above a
+//	        statement: suppresses that line (and the next);
+//	      - in a function's doc comment: suppresses the whole function;
+//	      - before the package clause: suppresses the whole file.
+//	    The free-text reason is encouraged — it is the written justification
+//	    reviewers see.
+
+const (
+	directiveNoalloc = "//pdevet:noalloc"
+	directiveAllow   = "//pdevet:allow"
+)
+
+// parseAllow extracts the rule name of an allow directive, or "" when the
+// comment is not one.
+func parseAllow(text string) string {
+	if !strings.HasPrefix(text, directiveAllow) {
+		return ""
+	}
+	rest := strings.TrimPrefix(text, directiveAllow)
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return ""
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+// hasNoallocDirective reports whether the function declaration carries
+// //pdevet:noalloc in its doc comment.
+func hasNoallocDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directiveNoalloc {
+			return true
+		}
+	}
+	return false
+}
+
+// allowKey identifies a line-scoped suppression.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// span is a position range of a function-scoped suppression.
+type span struct {
+	file       string
+	start, end int
+	rule       string
+}
+
+// allowSet is the suppression index of one package.
+type allowSet struct {
+	lines map[allowKey]bool
+	files map[string]map[string]bool // file -> rule -> allowed
+	funcs []span
+}
+
+// allowed reports whether d is suppressed by an annotation.
+func (s *allowSet) allowed(d Diagnostic) bool {
+	if s.files[d.Pos.Filename][d.Rule] {
+		return true
+	}
+	if s.lines[allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}] {
+		return true
+	}
+	for _, sp := range s.funcs {
+		if sp.rule == d.Rule && sp.file == d.Pos.Filename && d.Pos.Line >= sp.start && d.Pos.Line <= sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows indexes every //pdevet:allow directive of the package.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	s := &allowSet{
+		lines: map[allowKey]bool{},
+		files: map[string]map[string]bool{},
+	}
+	for _, f := range files {
+		pkgLine := fset.Position(f.Package).Line
+		fname := fset.Position(f.Package).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule := parseAllow(strings.TrimSpace(c.Text))
+				if rule == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if pos.Line < pkgLine {
+					// File-scoped: directive above the package clause.
+					m := s.files[fname]
+					if m == nil {
+						m = map[string]bool{}
+						s.files[fname] = m
+					}
+					m[rule] = true
+					continue
+				}
+				// Line-scoped: the directive's own line and the next, so
+				// both trailing comments and a comment line directly above
+				// the offending statement work.
+				s.lines[allowKey{fname, pos.Line, rule}] = true
+				s.lines[allowKey{fname, pos.Line + 1, rule}] = true
+			}
+		}
+		// Function-scoped: allow directives in a declaration's doc comment.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				rule := parseAllow(strings.TrimSpace(c.Text))
+				if rule == "" {
+					continue
+				}
+				s.funcs = append(s.funcs, span{
+					file:  fname,
+					start: fset.Position(fn.Pos()).Line,
+					end:   fset.Position(fn.End()).Line,
+					rule:  rule,
+				})
+			}
+		}
+	}
+	return s
+}

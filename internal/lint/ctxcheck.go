@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck enforces the standard context discipline that PR 1 threaded
+// through the pipeline: context.Context travels as the first parameter of a
+// call chain and is never parked in a struct. A stored context outlives the
+// call it belonged to, so cancellation and deadlines stop corresponding to
+// the operation in flight — exactly the bug class the exp.Config.Ctx field
+// used to invite before it was refactored away.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "context.Context is a first parameter, never a struct field",
+	Run:  runCtxCheck,
+}
+
+func runCtxCheck(p *Pass) {
+	p.forEachNode(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				if p.isContextType(field.Type) {
+					p.Reportf(field.Pos(), "context.Context stored in a struct field outlives its call; pass ctx as the first parameter instead")
+				}
+			}
+		case *ast.FuncType:
+			p.checkCtxParams(n)
+		}
+		return true
+	})
+}
+
+// checkCtxParams reports context parameters that are not in first position.
+func (p *Pass) checkCtxParams(ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, counting each name in a grouped field
+	for _, field := range ft.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1 // unnamed parameter
+		}
+		if p.isContextType(field.Type) && pos != 0 {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += width
+	}
+}
+
+// isContextType reports whether e denotes context.Context.
+func (p *Pass) isContextType(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop catches the two quiet ways this codebase has lost error
+// information: assigning an existing error to the blank identifier
+// (`_ = err` — the swallow that hid six non-converged solves in the Table 1
+// workloads), and re-wrapping an error through fmt.Errorf with %v or %s so
+// that errors.Is/As can no longer see la.ErrSingular or
+// context.Canceled through the chain. Every fmt.Errorf that receives an
+// error operand must thread it through %w. A deliberate swallow — a
+// solver that is specified to keep marching on a near-breakdown — carries
+// `//pdevet:allow errdrop <justification>`.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no `_ = err` discards; fmt.Errorf wraps error operands with %w",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	p.forEachNode(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			p.checkBlankErr(n)
+		case *ast.CallExpr:
+			p.checkErrorfWrap(n)
+		}
+		return true
+	})
+}
+
+// checkBlankErr flags `_ = err`-style discards: a blank LHS assigned an
+// existing error value (identifier or selector, not a call — `_, err :=`
+// patterns and deliberate result drops of functions are a different idiom).
+func (p *Pass) checkBlankErr(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		rhs := as.Rhs[i]
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			continue
+		}
+		if t := p.Info.TypeOf(rhs); t != nil && isErrorType(t) {
+			p.Reportf(as.Pos(), "error discarded with `_ = ...`; propagate it or annotate the justification")
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose format has fewer %w verbs
+// than error operands.
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	if name, ok := p.pkgSelector(call.Fun, "fmt"); !ok || name != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	wraps := strings.Count(format, "%w")
+	errArgs := 0
+	for _, arg := range call.Args[1:] {
+		if t := p.Info.TypeOf(arg); t != nil && isErrorType(t) {
+			errArgs++
+		}
+	}
+	if errArgs > wraps {
+		p.Reportf(call.Pos(), "fmt.Errorf receives %d error operand(s) but wraps %d with %%w; errors.Is/As cannot see through %%v", errArgs, wraps)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. After an analog
+// seed, a Newton polish, or a red-black sweep, two mathematically equal
+// quantities differ in their last bits; exact comparison then flips
+// depending on solver path, optimization level, and FMA contraction, which
+// is precisely the nondeterminism the evaluation cannot afford. Compare
+// against a tolerance (math.Abs(a-b) <= tol) or, where an exact comparison
+// is genuinely meant — sentinel zeros in stencil weight tables, singularity
+// checks against a value that was assigned (not computed) — annotate the
+// line with `//pdevet:allow floateq <why exactness holds>`. Constant-only
+// comparisons are folded at compile time and exempt, as are tests (never
+// loaded).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on floating-point operands outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	p.forEachNode(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]
+		if !isFloat(xt.Type) && !isFloat(yt.Type) {
+			return true
+		}
+		if xt.Value != nil && yt.Value != nil {
+			return true // constant-folded
+		}
+		p.Reportf(be.Pos(), "%s on float operands is exact-bit comparison; use a tolerance or annotate why exactness holds", be.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc enforces the zero-allocation contract of the stepping hot path.
+// PR 1 made the steady Newton step and the hybrid time loop 0 allocs/op,
+// and the allocation benchmarks (`make bench`) guard that dynamically; this
+// rule guards it structurally. A function annotated `//pdevet:noalloc` may
+// not contain the constructs that heap-allocate (or that escape analysis
+// routinely fails to keep on the stack):
+//
+//   - make, new, append (growth reallocates)
+//   - function literals (closure environments allocate)
+//   - &T{...} composite literals, and slice/map composite literals
+//   - calls into package fmt (every verb boxes its operands)
+//
+// Cold branches inside an annotated function — grow-on-first-use buffer
+// sizing, error returns — are justified line by line with
+// `//pdevet:allow noalloc <reason>`.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //pdevet:noalloc must not contain allocating constructs",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasNoallocDirective(fn) {
+				continue
+			}
+			checkNoAllocBody(p, fn)
+		}
+	}
+}
+
+func checkNoAllocBody(p *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						p.Reportf(n.Pos(), "%s is //pdevet:noalloc but calls make", name)
+					case "new":
+						p.Reportf(n.Pos(), "%s is //pdevet:noalloc but calls new", name)
+					case "append":
+						p.Reportf(n.Pos(), "%s is //pdevet:noalloc but calls append (growth reallocates)", name)
+					}
+				}
+			}
+			if sel, ok := p.pkgSelector(n.Fun, "fmt"); ok {
+				p.Reportf(n.Pos(), "%s is //pdevet:noalloc but calls fmt.%s (boxes operands)", name, sel)
+			}
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "%s is //pdevet:noalloc but contains a closure", name)
+			return false // the literal's body is the closure's problem
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "%s is //pdevet:noalloc but heap-allocates a &composite literal", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := p.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					p.Reportf(n.Pos(), "%s is //pdevet:noalloc but allocates a slice literal", name)
+				case *types.Map:
+					p.Reportf(n.Pos(), "%s is //pdevet:noalloc but allocates a map literal", name)
+				}
+			}
+		}
+		return true
+	})
+}

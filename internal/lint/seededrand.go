@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SeededRand keeps every random draw reproducible. The evaluation protocol
+// (EXPERIMENTS.md) and the analog mismatch model both promise bit-identical
+// reruns for a given -seed; one call to the global math/rand source breaks
+// that silently, because the global generator is shared, lockstepped across
+// goroutines, and auto-seeded since Go 1.20. Noise must come from an
+// injected *rand.Rand (constructed with rand.New(rand.NewSource(seed))), so
+// the constructors New/NewSource/NewZipf are the only permitted package-
+// level calls. Test files are outside the rule (the loader never parses
+// them): tests may shuffle however they like.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "no global math/rand top-level functions; inject a seeded *rand.Rand",
+	Run:  runSeededRand,
+}
+
+// seededRandOK are the math/rand package-level functions that do not touch
+// the global source.
+var seededRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSeededRand(p *Pass) {
+	p.forEachNode(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, path := range []string{"math/rand", "math/rand/v2"} {
+			if name, ok := p.pkgSelector(call.Fun, path); ok && !seededRandOK[name] {
+				p.Reportf(call.Pos(), "global rand.%s uses the shared auto-seeded source; draw from an injected *rand.Rand", name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,28 @@
+// Package ctxcheck exercises the ctxcheck analyzer: context.Context must
+// be a function's first parameter and never a struct field.
+package ctxcheck
+
+import "context"
+
+type worker struct {
+	ctx context.Context // want
+	n   int
+}
+
+func badOrder(n int, ctx context.Context) error { // want
+	return ctx.Err()
+}
+
+func goodOrder(ctx context.Context, n int) error {
+	_ = worker{n: n}
+	return ctx.Err()
+}
+
+// legacy keeps a frozen public signature; the doc-comment annotation
+// suppresses the rule for the whole function.
+//
+//pdevet:allow ctxcheck frozen legacy signature, fixture demonstrates suppression
+func legacy(n int, ctx context.Context) error {
+	_ = n
+	return ctx.Err()
+}

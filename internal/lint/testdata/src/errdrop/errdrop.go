@@ -1,0 +1,29 @@
+// Package errdrop exercises the errdrop analyzer: assigning an existing
+// error to the blank identifier is flagged, as is fmt.Errorf formatting an
+// error operand without %w.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errProbe = errors.New("probe")
+
+func swallow() {
+	err := errProbe
+	_ = err // want
+}
+
+func rewrap(err error) error {
+	return fmt.Errorf("context lost: %v", err) // want
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("context kept: %w", err)
+}
+
+func deliberate() {
+	err := errProbe
+	_ = err //pdevet:allow errdrop solver is specified to march on non-convergence
+}

@@ -1,0 +1,18 @@
+// Package floateq exercises the floateq analyzer: ==/!= with a
+// floating-point operand is flagged; integer comparison and all-constant
+// comparison are not.
+package floateq
+
+func equal(a, b float64) bool {
+	return a == b // want
+}
+
+func notZero(x float32) bool {
+	return x != 0 // want
+}
+
+func ints(i, j int) bool { return i == j }
+
+func exactSentinel(x float64) bool {
+	return x == 0 //pdevet:allow floateq sentinel is zero by assignment, exactness intended
+}

@@ -1,0 +1,33 @@
+// Package noalloc exercises the noalloc analyzer: functions annotated
+// //pdevet:noalloc may not contain allocating constructs; unannotated
+// functions are never inspected. Marked lines must be flagged.
+package noalloc
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+var scratch []float64
+
+//pdevet:noalloc
+func hot(buf []float64) float64 {
+	tmp := make([]float64, 4)        // want
+	tmp = append(tmp, 1)             // want
+	p := new(point)                  // want
+	q := &point{x: 1}                // want
+	f := func() float64 { return 1 } // want
+	fmt.Println(len(buf))            // want
+	return p.x + q.x + f() + tmp[0]
+}
+
+//pdevet:noalloc
+func hotAllowed(n int) []float64 {
+	if n > cap(scratch) {
+		scratch = make([]float64, n) //pdevet:allow noalloc grow-on-first-use resize
+	}
+	return scratch[:n]
+}
+
+func cold() []int {
+	return make([]int, 8) // unannotated function: allocation is fine
+}

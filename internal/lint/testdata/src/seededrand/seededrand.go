@@ -1,0 +1,23 @@
+// Package seededrand exercises the seededrand analyzer: top-level
+// math/rand functions draw from the shared global source and are flagged;
+// constructing an injected seeded generator is the sanctioned idiom.
+package seededrand
+
+import "math/rand"
+
+func noise() float64 {
+	return rand.Float64() // want
+}
+
+func pickIndex(n int) int {
+	return rand.Intn(n) // want
+}
+
+// seeded shows the sanctioned pattern: constructors are exempt.
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func legacy() float64 {
+	return rand.NormFloat64() //pdevet:allow seededrand fixture demonstrates suppression
+}

@@ -1,0 +1,22 @@
+// Package walltime exercises the walltime analyzer: wall-clock reads
+// (time.Now/Since/Until) are flagged wherever they appear, including bare
+// method-value references; duration arithmetic and sleeping are fine.
+package walltime
+
+import "time"
+
+var clock = time.Now // want
+
+func stamp() time.Time {
+	return time.Now() // want
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) //pdevet:allow walltime fixture demonstrates suppression
+}
+
+func pause() { time.Sleep(time.Millisecond) }

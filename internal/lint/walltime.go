@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallTime fences off wall-clock reads. The paper's speed and energy
+// numbers are *modeled*, not measured: analog settle time comes from the
+// calibrated internal/perfmodel scaling and digital cost from the
+// PerfBackend op counts, so results are machine-independent. A time.Now or
+// time.Since anywhere in the solve pipeline leaks host wall-clock into the
+// simulated-time model and silently turns a reproducible figure into a
+// benchmark of the CI machine. The single sanctioned consumer is the
+// instrumentation package internal/prof (which measures real kernel-share
+// fractions for Table 1 and annotates itself //pdevet:allow walltime).
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no time.Now/time.Since/time.Until outside internal/prof; simulated time flows through internal/perfmodel",
+	Run:  runWallTime,
+}
+
+// wallClockFuncs are the package time functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallTime(p *Pass) {
+	p.forEachNode(func(n ast.Node) bool {
+		// Match any mention (call or function value) so `f := time.Now`
+		// cannot smuggle the clock past the rule.
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := p.pkgSelector(sel, "time"); ok && wallClockFuncs[name] {
+			p.Reportf(n.Pos(), "time.%s reads the wall clock; solver timing must flow through internal/perfmodel (only internal/prof may measure)", name)
+		}
+		return true
+	})
+}

@@ -98,7 +98,7 @@ func NonlinearGaussSeidel(sys SparseSystem, u0 []float64, opts GaussSeidelOption
 					return res, err
 				}
 				d := j.At(i, i)
-				if d == 0 {
+				if d == 0 { //pdevet:allow floateq exact-zero diagonal would divide by zero; any tolerance is arbitrary here
 					break // leave the equation to its neighbours this sweep
 				}
 				u[i] -= f[i] / d

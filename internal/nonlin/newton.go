@@ -133,12 +133,16 @@ func NewSparseSolver() *SparseSolver { return &SparseSolver{} }
 // Solve runs the damped Newton iteration on sys from u0, reusing the
 // workspace buffers. ctx may be nil; a cancelled context aborts between
 // iterations with an error wrapping the context's error.
+//
+//pdevet:noalloc
 func (w *SparseSolver) Solve(ctx context.Context, sys SparseSystem, u0 []float64, opts NewtonOptions) (Result, error) {
 	n := sys.Dim()
 	if len(w.u) != n {
-		w.u = make([]float64, n)
-		w.f = make([]float64, n)
-		w.delta = make([]float64, n)
+		// Grow-on-first-use: buffers are sized once per system shape and
+		// reused across every subsequent step of the time loop.
+		w.u = make([]float64, n)     //pdevet:allow noalloc grow-on-first-use
+		w.f = make([]float64, n)     //pdevet:allow noalloc grow-on-first-use
+		w.delta = make([]float64, n) //pdevet:allow noalloc grow-on-first-use
 	}
 	w.sys = sys
 	return newtonLoop(ctx, w, u0, opts, w.u, w.f, w.delta)
@@ -147,6 +151,7 @@ func (w *SparseSolver) Solve(ctx context.Context, sys SparseSystem, u0 []float64
 func (w *SparseSolver) dim() int                  { return w.sys.Dim() }
 func (w *SparseSolver) eval(u, f []float64) error { return w.sys.Eval(u, f) }
 
+//pdevet:noalloc
 func (w *SparseSolver) solveStep(u, f, delta []float64) (int64, error) {
 	j, err := w.sys.JacobianCSR(u)
 	if err != nil {
@@ -180,6 +185,7 @@ func NewtonSparse(ctx context.Context, sys SparseSystem, u0 []float64, opts Newt
 	return NewSparseSolver().Solve(ctx, sys, u0, opts)
 }
 
+//pdevet:noalloc
 func newtonLoop(ctx context.Context, s jacSolver, u0 []float64, opts NewtonOptions, u, f, delta []float64) (Result, error) {
 	opts.defaults()
 	n := s.dim()
@@ -246,6 +252,7 @@ type attempt struct {
 	FactorOps    int64
 }
 
+//pdevet:noalloc
 func newtonAttempt(ctx context.Context, s jacSolver, u0 []float64, h float64, opts NewtonOptions, u, f, delta []float64) (attempt, error) {
 	copy(u, u0)
 	att := attempt{U: u}
@@ -269,7 +276,8 @@ func newtonAttempt(ctx context.Context, s jacSolver, u0 []float64, h float64, op
 		ops, err := s.solveStep(u, f, delta)
 		if err != nil {
 			if errors.Is(err, la.ErrSingular) {
-				return att, &JacobianSingularError{Iteration: att.Iterations, Err: err}
+				// Failure path: the allocation happens once, on abort.
+				return att, &JacobianSingularError{Iteration: att.Iterations, Err: err} //pdevet:allow noalloc error path
 			}
 			return att, err
 		}

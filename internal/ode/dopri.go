@@ -68,7 +68,7 @@ func DormandPrince(f System, y0 []float64, t0, tEnd float64, opts AdaptiveOption
 	y := make([]float64, n)
 	copy(y, y0)
 	res := Result{T: t0, Y: y}
-	if tEnd == t0 {
+	if tEnd == t0 { //pdevet:allow floateq degenerate interval check on caller-passed bounds, not computed values
 		return res, nil
 	}
 
@@ -119,7 +119,8 @@ func DormandPrince(f System, y0 []float64, t0, tEnd float64, opts AdaptiveOption
 		if t+h > tEnd {
 			h = tEnd - t
 		}
-		if h <= math.SmallestNonzeroFloat64*16 || t+h == t {
+		// The t+h == t comparison is the canonical exact step-underflow test.
+		if h <= math.SmallestNonzeroFloat64*16 || t+h == t { //pdevet:allow floateq
 			return res, ErrStepUnderflow
 		}
 		if firstSameAsLast {
@@ -132,7 +133,7 @@ func DormandPrince(f System, y0 []float64, t0, tEnd float64, opts AdaptiveOption
 			for i := 0; i < n; i++ {
 				acc := y[i]
 				for j := 0; j < s; j++ {
-					if dpA[s][j] != 0 {
+					if dpA[s][j] != 0 { //pdevet:allow floateq Butcher-tableau entries are structural zeros by assignment
 						acc += h * dpA[s][j] * k[j][i]
 					}
 				}
@@ -158,10 +159,10 @@ func DormandPrince(f System, y0 []float64, t0, tEnd float64, opts AdaptiveOption
 		for i := 0; i < n; i++ {
 			s5, s4 := 0.0, 0.0
 			for s := 0; s < 7; s++ {
-				if dpB5[s] != 0 {
+				if dpB5[s] != 0 { //pdevet:allow floateq Butcher-tableau entries are structural zeros by assignment
 					s5 += dpB5[s] * k[s][i]
 				}
-				if dpB4[s] != 0 {
+				if dpB4[s] != 0 { //pdevet:allow floateq Butcher-tableau entries are structural zeros by assignment
 					s4 += dpB4[s] * k[s][i]
 				}
 			}

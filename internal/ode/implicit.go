@@ -113,7 +113,7 @@ func denseSolveInPlace(a, b, dst []float64, n int) error {
 				p, max = i, v
 			}
 		}
-		if max == 0 {
+		if max == 0 { //pdevet:allow floateq exact-zero pivot column means a singular stage Jacobian
 			return fmt.Errorf("ode: singular stage Jacobian")
 		}
 		if p != k {
@@ -125,7 +125,7 @@ func denseSolveInPlace(a, b, dst []float64, n int) error {
 		piv := a[k*n+k]
 		for i := k + 1; i < n; i++ {
 			m := a[i*n+k] / piv
-			if m == 0 {
+			if m == 0 { //pdevet:allow floateq skipping exact-zero multipliers is the banded-fill optimisation
 				continue
 			}
 			for j := k; j < n; j++ {

@@ -180,7 +180,7 @@ func (b *Burgers) advDiff(w []float64, c, i, j int) float64 {
 	var dx, dy, lap float64
 	for k := -2; k <= 2; k++ {
 		w1, w2 := d1[k+2], d2[k+2]
-		if w1 == 0 && w2 == 0 {
+		if w1 == 0 && w2 == 0 { //pdevet:allow floateq derivative-weight tables hold assigned structural zeros
 			continue
 		}
 		cx := b.stateAt(w, c, i+k, j)
@@ -194,9 +194,11 @@ func (b *Burgers) advDiff(w []float64, c, i, j int) float64 {
 
 // Eval computes the Crank–Nicolson residual
 // F(w) = w − w_prev + ½[A(w) + A(w_prev)] − RHS.
+//
+//pdevet:noalloc
 func (b *Burgers) Eval(w, f []float64) error {
 	if len(w) != b.Dim() || len(f) != b.Dim() {
-		return fmt.Errorf("pde: Burgers Eval dimension mismatch")
+		return fmt.Errorf("pde: Burgers Eval dimension mismatch") //pdevet:allow noalloc error path
 	}
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < b.N; j++ {
@@ -223,12 +225,15 @@ func (b *Burgers) Eval(w, f []float64) error {
 // node) is built once; subsequent calls refresh the values in place, which
 // keeps the analog circuit simulation (thousands of Jacobian evaluations
 // per solve) allocation-free on the hot path.
+//
+//pdevet:noalloc
 func (b *Burgers) JacobianCSR(w []float64) (*la.CSR, error) {
 	if len(w) != b.Dim() {
-		return nil, fmt.Errorf("pde: Burgers Jacobian dimension mismatch")
+		return nil, fmt.Errorf("pde: Burgers Jacobian dimension mismatch") //pdevet:allow noalloc error path
 	}
 	if b.cache.jac == nil {
-		b.cache.build(b.Dim(), func(e jacEmitter) { b.assembleJacobian(w, e, 1, 0.5) })
+		// One-time pattern build; every later call refreshes in place.
+		b.cache.build(b.Dim(), func(e jacEmitter) { b.assembleJacobian(w, e, 1, 0.5) }) //pdevet:allow noalloc grow-on-first-use
 		return b.cache.jac, nil
 	}
 	// Refresh: zero, then accumulate — assembly may emit the same entry
@@ -254,6 +259,8 @@ func (b *Burgers) JacobianCSR(w []float64) (*la.CSR, error) {
 //	∂F/∂v_{i,j}  += opW·D₁ᵧc
 //
 // plus the time-derivative identity (weight idW) on the node centre.
+//
+//pdevet:noalloc
 func (b *Burgers) assembleJacobian(w []float64, e jacEmitter, idW, opW float64) {
 	n := b.N
 	for i := 0; i < n; i++ {
@@ -271,7 +278,7 @@ func (b *Burgers) assembleJacobian(w []float64, e jacEmitter, idW, opW float64) 
 				var dx, dy float64
 				for k := -2; k <= 2; k++ {
 					w1, w2 := d1[k+2], d2[k+2]
-					if w1 == 0 && w2 == 0 {
+					if w1 == 0 && w2 == 0 { //pdevet:allow floateq derivative-weight tables hold assigned structural zeros
 						continue
 					}
 					dx += w1 * b.stateAt(w, c, i+k, j)

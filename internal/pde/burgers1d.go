@@ -82,9 +82,11 @@ func (b *Burgers1D) opA(w []float64, i int) float64 {
 }
 
 // Eval computes F(w) = w − w_prev + ½[A(w) + A(w_prev)] − RHS.
+//
+//pdevet:noalloc
 func (b *Burgers1D) Eval(w, f []float64) error {
 	if len(w) != b.N || len(f) != b.N {
-		return fmt.Errorf("pde: Burgers1D Eval dimension mismatch")
+		return fmt.Errorf("pde: Burgers1D Eval dimension mismatch") //pdevet:allow noalloc error path
 	}
 	for i := 0; i < b.N; i++ {
 		f[i] = w[i] - b.UPrev[i] + 0.5*(b.opA(w, i)+b.opA(b.UPrev, i)) - b.RHS[i]
@@ -93,6 +95,8 @@ func (b *Burgers1D) Eval(w, f []float64) error {
 }
 
 // assembleJacobian walks the tridiagonal stencil in deterministic order.
+//
+//pdevet:noalloc
 func (b *Burgers1D) assembleJacobian(w []float64, e jacEmitter) {
 	for i := 0; i < b.N; i++ {
 		uC := b.at(w, i)
@@ -109,12 +113,14 @@ func (b *Burgers1D) assembleJacobian(w []float64, e jacEmitter) {
 }
 
 // JacobianCSR returns the tridiagonal Jacobian, refreshing a cached pattern.
+//
+//pdevet:noalloc
 func (b *Burgers1D) JacobianCSR(w []float64) (*la.CSR, error) {
 	if len(w) != b.N {
-		return nil, fmt.Errorf("pde: Burgers1D Jacobian dimension mismatch")
+		return nil, fmt.Errorf("pde: Burgers1D Jacobian dimension mismatch") //pdevet:allow noalloc error path
 	}
 	if b.cache.jac == nil {
-		b.cache.build(b.N, func(e jacEmitter) { b.assembleJacobian(w, e) })
+		b.cache.build(b.N, func(e jacEmitter) { b.assembleJacobian(w, e) }) //pdevet:allow noalloc grow-on-first-use
 		return b.cache.jac, nil
 	}
 	b.cache.beginRefresh()

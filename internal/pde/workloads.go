@@ -1,6 +1,7 @@
 package pde
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -25,6 +26,20 @@ type WorkloadReport struct {
 func (r WorkloadReport) String() string {
 	return fmt.Sprintf("%-22s %-28s kernel=%-28s %5.1f%%",
 		r.Discipline, r.Problem, r.DominantKernel, 100*r.KernelFraction)
+}
+
+// tolerateNonConvergence filters iterative-solver outcomes the mini-apps
+// deliberately march through: production codes (SPEC bwaves, OpenFOAM)
+// continue time stepping from the solver's best iterate when an inner
+// solve stalls or nearly breaks down, and the mini-apps model that — the
+// measured quantity here is the kernel-share profile, not the solution.
+// Anything else (dimension mismatch, singular preconditioner) is a bug in
+// the workload itself and propagates.
+func tolerateNonConvergence(err error) error {
+	if errors.Is(err, la.ErrNoConvergence) || errors.Is(err, la.ErrBreakdown) {
+		return nil
+	}
+	return err
 }
 
 // laplacianMatrix assembles the 5-point −∇² operator plus diag·I on an
@@ -58,7 +73,7 @@ func laplacianMatrix(n int, diag float64) *la.CSR {
 // where each step's linearised coupled system is handed to BiCGSTAB — the
 // kernel that dominates SPEC 410.bwaves. Three coupled fields (density and
 // two velocity components) are advanced `steps` times on an n×n grid.
-func RunBwavesLike(n, steps int) WorkloadReport {
+func RunBwavesLike(n, steps int) (WorkloadReport, error) {
 	p := prof.New()
 	nn := n * n
 	dim := 3 * nn
@@ -126,17 +141,20 @@ func RunBwavesLike(n, steps int) WorkloadReport {
 			}
 			copy(rhs, r)
 		})
+		var solveErr error
 		p.Section("Bi-CGstab", func() {
 			copy(x, r)
 			// SPEC bwaves' MSR Bi-CGstab runs unpreconditioned; the
-			// Krylov iterations dominate the step.
+			// Krylov iterations dominate the step. Near-breakdowns leave
+			// x at its best iterate and the workload keeps marching like
+			// the real code would; structural failures abort the run.
 			opts := la.CGOptions{Tol: 1e-8, MaxIter: 2000}
-			if _, err := la.BiCGSTAB(a, x, rhs, opts); err != nil {
-				// Near-breakdowns leave x at its best iterate; the
-				// workload keeps marching like the real code would.
-				_ = err
-			}
+			_, err := la.BiCGSTAB(a, x, rhs, opts)
+			solveErr = tolerateNonConvergence(err)
 		})
+		if solveErr != nil {
+			return WorkloadReport{}, solveErr
+		}
 		p.Section("time stepping", func() {
 			copy(r, x)
 		})
@@ -149,14 +167,14 @@ func RunBwavesLike(n, steps int) WorkloadReport {
 		DominantKernel: "Bi-CGstab",
 		KernelFraction: p.Fraction("Bi-CGstab"),
 		Profile:        p,
-	}
+	}, nil
 }
 
 // RunHartmannLike reproduces the second Table 1 row: the 2-D Hartmann
 // problem (magnetohydrodynamic channel flow), incompressible viscous flow
 // coupled with Maxwell's equations, iterating preconditioned CG solves of
 // the two coupled elliptic fields.
-func RunHartmannLike(n, outer int) WorkloadReport {
+func RunHartmannLike(n, outer int) (WorkloadReport, error) {
 	p := prof.New()
 	nn := n * n
 	const ha, g = 3.0, 1.0
@@ -192,14 +210,18 @@ func RunHartmannLike(n, outer int) WorkloadReport {
 				}
 			}
 		})
+		var solveErr error
 		p.Section("preconditioned CG", func() {
-			if _, err := la.CG(lap, u, rhsU, la.CGOptions{Tol: 1e-10, M: pre}); err != nil {
-				_ = err
-			}
-			if _, err := la.CG(lap, b, rhsB, la.CGOptions{Tol: 1e-10, M: pre}); err != nil {
-				_ = err
-			}
+			// Unconverged CG leaves the coupled fields at their best
+			// iterate and the outer Picard loop carries on, as OpenFOAM's
+			// segregated solver does.
+			_, errU := la.CG(lap, u, rhsU, la.CGOptions{Tol: 1e-10, M: pre})
+			_, errB := la.CG(lap, b, rhsB, la.CGOptions{Tol: 1e-10, M: pre})
+			solveErr = errors.Join(tolerateNonConvergence(errU), tolerateNonConvergence(errB))
 		})
+		if solveErr != nil {
+			return WorkloadReport{}, solveErr
+		}
 	}
 	return WorkloadReport{
 		Discipline:     "Magnetohydrodynamics",
@@ -209,7 +231,7 @@ func RunHartmannLike(n, outer int) WorkloadReport {
 		DominantKernel: "preconditioned conjugate gradients",
 		KernelFraction: p.Fraction("preconditioned CG"),
 		Profile:        p,
-	}
+	}, nil
 }
 
 // RunCavityLike reproduces the third Table 1 row: lid-driven cavity flow
@@ -217,7 +239,7 @@ func RunHartmannLike(n, outer int) WorkloadReport {
 // with limiter arithmetic makes assembly expensive relative to the pressure
 // PCG solve, pulling the kernel share down exactly as the paper observes
 // for less structured discretisations.
-func RunCavityLike(n, steps int) WorkloadReport {
+func RunCavityLike(n, steps int) (WorkloadReport, error) {
 	p := prof.New()
 	nn := n * n
 	u := make([]float64, nn)
@@ -226,16 +248,16 @@ func RunCavityLike(n, steps int) WorkloadReport {
 	div := make([]float64, nn)
 	var lap *la.CSR
 	var pre *la.ILU0
+	var setupErr error
 	p.Section("face flux reconstruction", func() {
 		lap = laplacianMatrix(n, 0)
 		// Pin one pressure node to make the Poisson system nonsingular.
 		lap.SetExisting(0, 0, lap.At(0, 0)+1)
-		var err error
-		pre, err = la.NewILU0(lap)
-		if err != nil {
-			panic(err)
-		}
+		pre, setupErr = la.NewILU0(lap)
 	})
+	if setupErr != nil {
+		return WorkloadReport{}, setupErr
+	}
 	// Velocity accessor: the lid at j = n drives u = 1, v = 0; all other
 	// walls are no-slip. The pressure accessor uses homogeneous ghost
 	// values — a constant-pressure "lid" would pump energy into the cavity.
@@ -315,13 +337,17 @@ func RunCavityLike(n, steps int) WorkloadReport {
 				}
 			}
 		})
+		var solveErr error
 		p.Section("preconditioned CG", func() {
 			// FV codes solve the pressure equation loosely inside each
-			// outer iteration.
-			if _, err := la.CG(lap, pr, div, la.CGOptions{Tol: 1e-4, M: pre}); err != nil {
-				_ = err
-			}
+			// outer iteration; a loose solve that runs out of iterations
+			// still improves the pressure and the projection continues.
+			_, err := la.CG(lap, pr, div, la.CGOptions{Tol: 1e-4, M: pre})
+			solveErr = tolerateNonConvergence(err)
 		})
+		if solveErr != nil {
+			return WorkloadReport{}, solveErr
+		}
 		p.Section("velocity correction", func() {
 			// Under-relaxed projection keeps the explicit outer loop
 			// stable over long runs.
@@ -343,14 +369,14 @@ func RunCavityLike(n, steps int) WorkloadReport {
 		DominantKernel: "preconditioned conjugate gradients",
 		KernelFraction: p.Fraction("preconditioned CG"),
 		Profile:        p,
-	}
+	}, nil
 }
 
 // RunCookLike reproduces the fourth Table 1 row: Cook's membrane with
 // finite elements and nonlinear spring forces; each Picard iteration
 // re-assembles the element matrices with Gauss quadrature and solves a
 // Helmholtz system with SOR-preconditioned CG.
-func RunCookLike(n, outer int) WorkloadReport {
+func RunCookLike(n, outer int) (WorkloadReport, error) {
 	p := prof.New()
 	nn := n * n
 	u := make([]float64, nn)
@@ -411,16 +437,18 @@ func RunCookLike(n, outer int) WorkloadReport {
 			}
 			a = bld.ToCSR()
 		})
+		var solveErr error
 		p.Section("SOR+CG solve", func() {
 			// A few SOR smoothing sweeps followed by Jacobi-PCG, the
-			// "preconditioned SOR and CG" combination of Table 1.
-			if _, err := la.SOR(a, u, f, la.SOROptions{Omega: 1.3, MaxIter: 4, Tol: 1e-16}); err != nil {
-				_ = err
-			}
-			if _, err := la.CG(a, u, f, la.CGOptions{Tol: 1e-10, M: la.NewJacobi(a)}); err != nil {
-				_ = err
-			}
+			// "preconditioned SOR and CG" combination of Table 1. The SOR
+			// stage is a smoother: MaxIter=4 never converges by design.
+			_, errS := la.SOR(a, u, f, la.SOROptions{Omega: 1.3, MaxIter: 4, Tol: 1e-16})
+			_, errC := la.CG(a, u, f, la.CGOptions{Tol: 1e-10, M: la.NewJacobi(a)})
+			solveErr = errors.Join(tolerateNonConvergence(errS), tolerateNonConvergence(errC))
 		})
+		if solveErr != nil {
+			return WorkloadReport{}, solveErr
+		}
 	}
 	return WorkloadReport{
 		Discipline:     "Engineering mechanics",
@@ -430,5 +458,5 @@ func RunCookLike(n, outer int) WorkloadReport {
 		DominantKernel: "Helmholtz solve with preconditioned SOR and CG",
 		KernelFraction: p.Fraction("SOR+CG solve"),
 		Profile:        p,
-	}
+	}, nil
 }

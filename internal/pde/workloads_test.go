@@ -6,7 +6,10 @@ import (
 )
 
 func TestBwavesLikeSolverDominates(t *testing.T) {
-	r := RunBwavesLike(20, 3)
+	r, err := RunBwavesLike(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.KernelFraction <= 0.3 || r.KernelFraction >= 1 {
 		t.Fatalf("Bi-CGstab share %.2f; the FD implicit workload must be solver-dominated (>0.3)", r.KernelFraction)
 	}
@@ -19,21 +22,30 @@ func TestBwavesLikeSolverDominates(t *testing.T) {
 }
 
 func TestHartmannLikeRuns(t *testing.T) {
-	r := RunHartmannLike(20, 4)
+	r, err := RunHartmannLike(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.KernelFraction <= 0.2 || r.KernelFraction >= 1 {
 		t.Fatalf("PCG share %.2f out of expected range", r.KernelFraction)
 	}
 }
 
 func TestCavityLikeRuns(t *testing.T) {
-	r := RunCavityLike(20, 4)
+	r, err := RunCavityLike(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.KernelFraction <= 0 || r.KernelFraction >= 1 {
 		t.Fatalf("PCG share %.2f out of range", r.KernelFraction)
 	}
 }
 
 func TestCookLikeRuns(t *testing.T) {
-	r := RunCookLike(16, 3)
+	r, err := RunCookLike(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.KernelFraction <= 0 || r.KernelFraction >= 1 {
 		t.Fatalf("SOR+CG share %.2f out of range", r.KernelFraction)
 	}
@@ -43,7 +55,10 @@ func TestCookLikeRuns(t *testing.T) {
 }
 
 func TestWorkloadReportString(t *testing.T) {
-	r := RunHartmannLike(10, 2)
+	r, err := RunHartmannLike(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := r.String()
 	if !strings.Contains(s, "Hartmann") || !strings.Contains(s, "%") {
 		t.Fatalf("report string malformed: %q", s)

@@ -12,6 +12,9 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== pdevet ./..."
+go run ./cmd/pdevet ./...
+
 echo "== gofmt -l ."
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -22,5 +25,11 @@ fi
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== fuzz smoke (3s per target)"
+go test -run '^$' -fuzz FuzzSolveTridiagonal -fuzztime 3s ./internal/la/
+go test -run '^$' -fuzz FuzzBandLU -fuzztime 3s ./internal/la/
+go test -run '^$' -fuzz FuzzCSR -fuzztime 3s ./internal/la/
+go test -run '^$' -fuzz FuzzParseNetlist -fuzztime 3s ./internal/analog/
 
 echo "OK"
