@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fuzz check bench
+.PHONY: all build test race vet fmt lint fuzz check bench serve serve-smoke bench-serve
 
 all: build
 
@@ -41,3 +41,23 @@ check:
 # Newton step must report 0 allocs/op).
 bench:
 	$(GO) test ./internal/core/ -run XXX -bench 'BenchmarkNewtonSparseSteadyStep|BenchmarkHybridTimeLoop' -benchtime 100x
+
+# Run the solve service locally (Ctrl-C drains in-flight solves).
+serve:
+	$(GO) run ./cmd/pdeserved
+
+# End-to-end service smoke: boot pdeserved, drive it with pdeload, assert
+# 2xx traffic and a clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Regenerate the committed service benchmark (BENCH_serve.json): 400 rps of
+# warm-cache steady solves for 8 s against a freshly-booted local server.
+bench-serve:
+	$(GO) build -o /tmp/pdeserved ./cmd/pdeserved
+	$(GO) build -o /tmp/pdeload ./cmd/pdeload
+	/tmp/pdeserved -addr 127.0.0.1:18080 -debug-addr "" & \
+	SRV=$$!; sleep 1; \
+	/tmp/pdeload -url http://127.0.0.1:18080 -rate 400 -duration 8s \
+		-problem burgers-steady -n 5 -out BENCH_serve.json; \
+	RC=$$?; kill -TERM $$SRV; wait $$SRV; exit $$RC

@@ -1,0 +1,208 @@
+// Command pdeload drives open-loop load against a pdeserved instance and
+// reports throughput and latency percentiles.
+//
+// Usage:
+//
+//	pdeload [-url http://127.0.0.1:8080] [-rate 200] [-duration 10s]
+//	        [-concurrency 64] [-problem burgers-steady] [-n 5] [-analog]
+//	        [-seed-spread 16] [-out BENCH_serve.json]
+//
+// Open-loop means request launch times come from a fixed-rate ticker, not
+// from completions: when the service is saturated the client keeps firing,
+// which is what exposes the 429 load-shedding path instead of politely
+// adapting to it. Launches beyond -concurrency outstanding requests are
+// counted as local drops (the client's own backpressure) rather than
+// blocking the schedule.
+//
+// The exit code is 1 when the run saw zero successful (2xx) responses, so
+// smoke scripts can assert liveness with the shell alone.
+//
+//pdevet:allow walltime a load generator's whole job is measuring real wall-clock latency
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridpde/internal/serve"
+	"hybridpde/internal/stats"
+)
+
+// Report is the machine-readable result, written as JSON to -out.
+type Report struct {
+	URL         string  `json:"url"`
+	Problem     string  `json:"problem"`
+	N           int     `json:"n"`
+	Analog      bool    `json:"analog,omitempty"`
+	RateRPS     float64 `json:"offered_rate_rps"`
+	Duration    float64 `json:"duration_seconds"`
+	Concurrency int     `json:"concurrency"`
+
+	Sent        int `json:"sent"`
+	LocalDrops  int `json:"local_drops"`
+	OK          int `json:"ok_2xx"`
+	Shed        int `json:"shed_429"`
+	ClientErr   int `json:"client_4xx"`
+	ServerErr   int `json:"server_5xx"`
+	TransportEr int `json:"transport_errors"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+
+	Codes map[string]int `json:"codes"`
+}
+
+func main() {
+	var (
+		url        = flag.String("url", "http://127.0.0.1:8080", "pdeserved base URL")
+		rate       = flag.Float64("rate", 200, "offered load in requests per second")
+		duration   = flag.Duration("duration", 10*time.Second, "how long to offer load")
+		conc       = flag.Int("concurrency", 64, "max outstanding requests before the client drops locally")
+		problem    = flag.String("problem", serve.KindBurgersSteady, "problem kind to request")
+		n          = flag.Int("n", 5, "grid size of the requested problem")
+		analog     = flag.Bool("analog", false, "request analog seeding")
+		seedSpread = flag.Int64("seed-spread", 16, "cycle request seeds through [1, spread]")
+		out        = flag.String("out", "", "write the JSON report to this file as well as stdout")
+	)
+	flag.Parse()
+	if *rate <= 0 || *duration <= 0 || *conc <= 0 {
+		fmt.Fprintln(os.Stderr, "pdeload: -rate, -duration and -concurrency must be positive")
+		os.Exit(2)
+	}
+
+	body := func(seed int64) []byte {
+		b, err := json.Marshal(serve.Request{Problem: *problem, N: *n, Seed: seed, Analog: *analog})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdeload:", err)
+			os.Exit(2)
+		}
+		return b
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	type result struct {
+		code    int
+		seconds float64
+		err     error
+	}
+	results := make(chan result, 4096)
+	slots := make(chan struct{}, *conc)
+
+	rep := Report{
+		URL: *url, Problem: *problem, N: *n, Analog: *analog,
+		RateRPS: *rate, Duration: duration.Seconds(), Concurrency: *conc,
+		Codes: map[string]int{},
+	}
+
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / *rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	stop := time.After(*duration)
+	begin := time.Now()
+
+launch:
+	for seed := int64(1); ; seed++ {
+		select {
+		case <-stop:
+			break launch
+		case <-ticker.C:
+		}
+		select {
+		case slots <- struct{}{}:
+		default:
+			rep.LocalDrops++ // open loop: never block the schedule
+			continue
+		}
+		rep.Sent++
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			start := time.Now()
+			hr, err := client.Post(*url+"/v1/solve", "application/json",
+				bytes.NewReader(body(1+seed%*seedSpread)))
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			io.Copy(io.Discard, hr.Body)
+			hr.Body.Close()
+			results <- result{code: hr.StatusCode, seconds: time.Since(start).Seconds()}
+		}(seed)
+	}
+	ticker.Stop()
+	go func() { wg.Wait(); close(results) }()
+
+	var latencies []float64
+	for r := range results {
+		if r.err != nil {
+			rep.TransportEr++
+			continue
+		}
+		rep.Codes[fmt.Sprintf("%d", r.code)]++
+		switch {
+		case r.code >= 200 && r.code < 300:
+			rep.OK++
+			latencies = append(latencies, r.seconds)
+		case r.code == http.StatusTooManyRequests:
+			rep.Shed++
+		case r.code >= 400 && r.code < 500:
+			rep.ClientErr++
+		default:
+			rep.ServerErr++
+		}
+	}
+	elapsed := time.Since(begin).Seconds()
+
+	if rep.OK > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / elapsed
+		rep.LatencyP50Ms = 1000 * stats.Percentile(latencies, 50)
+		rep.LatencyP90Ms = 1000 * stats.Percentile(latencies, 90)
+		rep.LatencyP99Ms = 1000 * stats.Percentile(latencies, 99)
+		sort.Float64s(latencies)
+		rep.LatencyMaxMs = 1000 * latencies[len(latencies)-1]
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "pdeload:", err)
+		os.Exit(2)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdeload:", err)
+			os.Exit(2)
+		}
+		fenc := json.NewEncoder(f)
+		fenc.SetIndent("", "  ")
+		if err := fenc.Encode(rep); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "pdeload:", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pdeload:", err)
+			os.Exit(2)
+		}
+	}
+	if rep.OK == 0 {
+		fmt.Fprintln(os.Stderr, "pdeload: no successful responses")
+		os.Exit(1)
+	}
+}

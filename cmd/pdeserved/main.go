@@ -1,0 +1,99 @@
+// Command pdeserved runs the hybrid-solve HTTP service (internal/serve).
+//
+// Usage:
+//
+//	pdeserved [-addr :8080] [-debug-addr 127.0.0.1:8081] [-workers N]
+//	          [-queue N] [-max-grid N] [-timeout D] [-max-timeout D]
+//	          [-seed N] [-drain-timeout D]
+//
+// The API listener serves POST /v1/solve, GET /v1/problems, GET /healthz
+// and GET /metrics (Prometheus text exposition). The debug listener, bound
+// to loopback by default, adds net/http/pprof. On SIGINT/SIGTERM the
+// server stops admitting work (healthz flips to 503 so load balancers
+// de-route), finishes every admitted solve, and exits 0; solves still
+// running past -drain-timeout are abandoned and the exit code is 1.
+//
+//pdevet:allow walltime the process entry point owns the shutdown clock; all other wall reads live in internal/serve/clock.go
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridpde/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "API listen address")
+		debugAddr    = flag.String("debug-addr", "127.0.0.1:8081", "pprof/debug listen address (empty disables)")
+		workers      = flag.Int("workers", 0, "solve workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue depth beyond the worker count")
+		maxGrid      = flag.Int("max-grid", 12, "largest 2-D grid size a request may ask for")
+		timeout      = flag.Duration("timeout", 5*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp on client-supplied deadlines")
+		seed         = flag.Int64("seed", 1, "base seed for worker fabrics and accelerators")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
+	)
+	flag.Parse()
+
+	s := serve.NewServer(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxGridN:       *maxGrid,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Seed:           *seed,
+	})
+
+	api := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 2)
+	go func() {
+		fmt.Fprintf(os.Stderr, "pdeserved: serving on %s\n", *addr)
+		errc <- api.ListenAndServe()
+	}()
+	var debug *http.Server
+	if *debugAddr != "" {
+		debug = &http.Server{Addr: *debugAddr, Handler: s.DebugHandler()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "pdeserved: debug/pprof on %s\n", *debugAddr)
+			errc <- debug.ListenAndServe()
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "pdeserved:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	stop() // a second signal kills the process immediately
+
+	fmt.Fprintln(os.Stderr, "pdeserved: draining")
+	s.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := api.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pdeserved: shutdown:", err)
+	}
+	if debug != nil {
+		debug.Shutdown(shutdownCtx)
+	}
+	if err := s.Drain(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pdeserved: drain incomplete:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "pdeserved: drained cleanly")
+}

@@ -216,6 +216,22 @@ func (f *Fabric) FreeAll() {
 	}
 }
 
+// AllocatedComponents counts the components currently claimed across the
+// board — the utilisation figure a netlist-validation service reports.
+func (f *Fabric) AllocatedComponents() int {
+	n := 0
+	for _, t := range f.Tiles() {
+		for _, pool := range t.components {
+			for _, c := range pool {
+				if c.used {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
 // NewtonCell is the per-variable datapath of Figure 1: the allocated
 // components implementing the nonlinear function, the Jacobian row, the
 // quotient feedback loop and the Newton feedback loop for one unknown. It

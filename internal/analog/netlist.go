@@ -184,6 +184,9 @@ func (n *Netlist) ExecStop() error {
 	return nil
 }
 
+// Committed reports whether the configuration has been frozen.
+func (n *Netlist) Committed() bool { return n.committed }
+
 // Running reports whether the integrators are released.
 func (n *Netlist) Running() bool { return n.running }
 

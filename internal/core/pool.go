@@ -1,0 +1,36 @@
+package core
+
+import "sync"
+
+// WorkspacePool recycles Workspaces across concurrent solve paths. A single
+// Workspace must never be shared between concurrent Solve calls (its buffers
+// are per-call scratch), but a pool of them turns a fleet of request
+// handlers into the same allocation profile as one long time-stepping loop:
+// each handler checks a Workspace out, solves, and returns it, and after
+// warm-up the steady-state path performs no allocation as long as the
+// problem shapes recur (a Workspace re-sizes itself on shape change).
+//
+// The zero value is ready to use. WorkspacePool is safe for concurrent use.
+type WorkspacePool struct {
+	pool sync.Pool
+}
+
+// NewWorkspacePool returns an empty pool.
+func NewWorkspacePool() *WorkspacePool { return &WorkspacePool{} }
+
+// Get checks out a Workspace, allocating a fresh one only when the pool is
+// empty. The caller owns it until Put.
+func (p *WorkspacePool) Get() *Workspace {
+	if ws, ok := p.pool.Get().(*Workspace); ok {
+		return ws
+	}
+	return NewWorkspace()
+}
+
+// Put returns a Workspace to the pool. The caller must not use ws (or any
+// Report.U that aliases its storage) afterwards. Put(nil) is a no-op.
+func (p *WorkspacePool) Put(ws *Workspace) {
+	if ws != nil {
+		p.pool.Put(ws)
+	}
+}

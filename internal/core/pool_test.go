@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hybridpde/internal/nonlin"
+	"hybridpde/internal/pde"
+)
+
+// steadyFixture is one same-shaped repeated-solve workload: a rooted steady
+// Burgers problem plus the perturbed start the benchmarks use, so every
+// solve converges in a handful of Newton iterations.
+type steadyFixture struct {
+	steady *pde.BurgersSteady
+	u0     []float64
+}
+
+func newSteadyFixture(t testing.TB, seed int64) *steadyFixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	burgers, err := pde.NewBurgers(6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := pde.NewBurgersSteady(burgers)
+	root := make([]float64, steady.Dim())
+	for i := range root {
+		root[i] = 2*rng.Float64() - 1
+	}
+	if err := steady.SetRHSForRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	u0 := make([]float64, steady.Dim())
+	for i := range root {
+		u0[i] = root[i] + 0.05*(2*rng.Float64()-1)
+	}
+	return &steadyFixture{steady: steady, u0: u0}
+}
+
+func (f *steadyFixture) solve(t testing.TB, ws *Workspace) {
+	opts := Options{
+		SkipAnalog: true,
+		Workspace:  ws,
+		Newton:     nonlin.NewtonOptions{Tol: 1e-12, MaxIter: 60},
+	}
+	rep, err := Solve(nil, f.steady, opts)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	if !rep.Digital.Converged {
+		t.Errorf("steady solve did not converge: residual %g", rep.FinalResidual)
+	}
+}
+
+// TestWorkspacePoolConcurrentReuse is the serving-path contract: repeated
+// same-shaped solves from many goroutines, each holding its own pooled
+// Workspace, must be race-clean. Run under `go test -race ./internal/core/`
+// (scripts/check.sh does). Workspaces cycle through the shared pool between
+// rounds, so the test also covers cross-goroutine Workspace hand-off.
+func TestWorkspacePoolConcurrentReuse(t *testing.T) {
+	const goroutines = 4
+	const rounds = 3
+	const solvesPerRound = 5
+	pool := NewWorkspacePool()
+	fixtures := make([]*steadyFixture, goroutines)
+	for g := range fixtures {
+		fixtures[g] = newSteadyFixture(t, int64(100+g))
+	}
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ws := pool.Get()
+				defer pool.Put(ws)
+				for i := 0; i < solvesPerRound; i++ {
+					fixtures[g].solve(t, ws)
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+// TestWorkspaceSteadyPathZeroAlloc pins the steady-state allocation contract
+// the pool exists for: once a pooled Workspace has solved one problem of a
+// given shape, further same-shaped solves through it allocate nothing. The
+// assertion is skipped under -race (instrumentation perturbs allocation
+// counts); `make bench` guards the same property on the benchmark path.
+func TestWorkspaceSteadyPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is not meaningful under -race")
+	}
+	pool := NewWorkspacePool()
+	fix := newSteadyFixture(t, 7)
+	ws := pool.Get()
+	fix.solve(t, ws) // warm-up sizes every buffer
+	pool.Put(ws)
+	ws = pool.Get()
+	allocs := testing.AllocsPerRun(10, func() {
+		fix.solve(t, ws)
+	})
+	pool.Put(ws)
+	if allocs != 0 {
+		t.Fatalf("steady path allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestWorkspacePoolZeroValueAndNilPut covers the pool edge cases: the zero
+// value is usable, Get on an empty pool hands out a fresh Workspace, and
+// Put(nil) is a no-op.
+func TestWorkspacePoolZeroValueAndNilPut(t *testing.T) {
+	var pool WorkspacePool
+	pool.Put(nil)
+	ws := pool.Get()
+	if ws == nil {
+		t.Fatal("Get returned nil workspace")
+	}
+	fix := newSteadyFixture(t, 11)
+	fix.solve(t, ws)
+	pool.Put(ws)
+}

@@ -19,6 +19,10 @@ type BurgersSteady struct {
 	B *Burgers
 
 	cache jacCache
+	// rhsScratch is SetRHSForRoot's residual buffer, grown on first use so
+	// repeated re-rooting (a solve service refreshing a cached problem per
+	// request) stays off the allocator.
+	rhsScratch []float64
 }
 
 // NewBurgersSteady wraps b in its steady method-of-lines form.
@@ -75,7 +79,8 @@ func (s *BurgersSteady) MaxField() float64 { return s.B.MaxField() }
 func (s *BurgersSteady) Tiles(maxVars int) ([]problem.Tile, error) { return s.B.Tiles(maxVars) }
 
 // SetRHSForRoot overwrites the forcing so wRoot is an exact steady solution:
-// RHS := A(wRoot).
+// RHS := A(wRoot). After the first call on a given shape it does not
+// allocate, so callers may re-root a cached problem per solve.
 func (s *BurgersSteady) SetRHSForRoot(wRoot []float64) error {
 	b := s.B
 	if len(wRoot) != b.Dim() {
@@ -83,7 +88,10 @@ func (s *BurgersSteady) SetRHSForRoot(wRoot []float64) error {
 	}
 	la.Fill(b.RHS0, 0)
 	la.Fill(b.RHS1, 0)
-	f := make([]float64, b.Dim())
+	if len(s.rhsScratch) != b.Dim() {
+		s.rhsScratch = make([]float64, b.Dim())
+	}
+	f := s.rhsScratch
 	if err := s.Eval(wRoot, f); err != nil {
 		return err
 	}

@@ -14,11 +14,15 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
-// Profile accumulates wall-clock time per named section.
+// Profile accumulates wall-clock time per named section. All methods are
+// safe for concurrent use: a serving stack hands one Profile to many
+// request handlers, so the section map is guarded by a mutex.
 type Profile struct {
+	mu       sync.Mutex
 	sections map[string]time.Duration
 	order    []string
 }
@@ -29,6 +33,8 @@ func New() *Profile {
 }
 
 // Section times fn under the given name, accumulating across calls.
+// Concurrent sections overlap in wall time, so their fractions can sum
+// above 1; callers that want exclusive shares must serialise externally.
 func (p *Profile) Section(name string, fn func()) {
 	start := time.Now()
 	fn()
@@ -37,14 +43,16 @@ func (p *Profile) Section(name string, fn func()) {
 
 // Add accumulates a duration directly, for callers that time themselves.
 func (p *Profile) Add(name string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, ok := p.sections[name]; !ok {
 		p.order = append(p.order, name)
 	}
 	p.sections[name] += d
 }
 
-// Total returns the summed time across all sections.
-func (p *Profile) Total() time.Duration {
+// total sums all sections. Callers hold p.mu.
+func (p *Profile) total() time.Duration {
 	var t time.Duration
 	for _, d := range p.sections {
 		t += d
@@ -52,10 +60,19 @@ func (p *Profile) Total() time.Duration {
 	return t
 }
 
+// Total returns the summed time across all sections.
+func (p *Profile) Total() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total()
+}
+
 // Fraction returns the share of total time spent in the named section,
 // in [0, 1]. Zero-total profiles report 0.
 func (p *Profile) Fraction(name string) float64 {
-	tot := p.Total()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tot := p.total()
 	if tot == 0 {
 		return 0
 	}
@@ -64,6 +81,8 @@ func (p *Profile) Fraction(name string) float64 {
 
 // Sections returns names in first-use order.
 func (p *Profile) Sections() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]string, len(p.order))
 	copy(out, p.order)
 	return out
@@ -71,6 +90,8 @@ func (p *Profile) Sections() []string {
 
 // String renders the profile sorted by descending share.
 func (p *Profile) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	type row struct {
 		name string
 		d    time.Duration
@@ -80,7 +101,7 @@ func (p *Profile) String() string {
 		rows = append(rows, row{n, d})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
-	tot := p.Total()
+	tot := p.total()
 	var b strings.Builder
 	for _, r := range rows {
 		pct := 0.0

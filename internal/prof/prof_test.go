@@ -2,6 +2,7 @@ package prof
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -57,5 +58,45 @@ func TestSectionsOrderAndString(t *testing.T) {
 	// equals — ties fine); just check both present.
 	if !strings.Contains(s, "b") {
 		t.Fatalf("String missing section: %q", s)
+	}
+}
+
+// TestConcurrentUse hammers one Profile from many goroutines mixing writers
+// (Add, Section) and readers (Total, Fraction, Sections, String). The test
+// exists for `go test -race`: a shared Profile is exactly what concurrent
+// request handlers produce, and the section map must not race.
+func TestConcurrentUse(t *testing.T) {
+	p := New()
+	const goroutines = 8
+	const ops = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g%4))
+			for i := 0; i < ops; i++ {
+				switch i % 5 {
+				case 0:
+					p.Add(name, time.Microsecond)
+				case 1:
+					p.Section(name, func() {})
+				case 2:
+					_ = p.Total()
+				case 3:
+					_ = p.Fraction(name)
+				default:
+					_ = p.Sections()
+					_ = p.String()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.Fraction("a"); got <= 0 {
+		t.Fatalf("fraction of hammered section = %g, want > 0", got)
+	}
+	if len(p.Sections()) != 4 {
+		t.Fatalf("Sections = %v, want 4 names", p.Sections())
 	}
 }

@@ -1,0 +1,20 @@
+// This file is the serving stack's single sanctioned wall-clock consumer,
+// extending the walltime allowlist beyond internal/prof on purpose: a
+// service's queue-wait and solve-latency metrics are *measured* quantities —
+// real time experienced by real clients — unlike the solver pipeline, whose
+// speed/energy figures are modeled by internal/perfmodel and must stay
+// machine-independent. Keeping every clock read behind these two helpers
+// preserves that split: pipeline code cannot accidentally time itself,
+// because only this file may mention time.Now/time.Since, and everything it
+// measures flows into the metrics plane, never into a Report.
+//
+//pdevet:allow walltime request latency is a measured quantity; this file is the serving stack's only clock reader
+package serve
+
+import "time"
+
+// now returns the current wall-clock instant for latency measurement.
+func now() time.Time { return time.Now() }
+
+// since returns the elapsed seconds from a now() instant.
+func since(start time.Time) float64 { return time.Since(start).Seconds() }

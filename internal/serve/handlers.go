@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/nonlin"
+)
+
+// handleSolve is POST /v1/solve: decode → validate → admit (or shed) →
+// acquire a worker → execute under the request deadline → account → encode.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.reject(w, "", http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req Request
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.reject(w, req.Problem, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if err := normalize(&req, &s.cfg); err != nil {
+		s.reject(w, req.Problem, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	release, ok := s.admit()
+	if !ok {
+		s.m.queueRejects.inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+		s.reject(w, req.Problem, http.StatusTooManyRequests, "admission queue full")
+		return
+	}
+	defer release()
+
+	enqueued := now()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&req))
+	defer cancel()
+
+	wk, err := s.acquireWorker(ctx)
+	if err != nil {
+		s.reject(w, req.Problem, queueFailureCode(ctx, err), "timed out waiting for a worker")
+		return
+	}
+	resp := Response{Problem: req.Problem, QueueSeconds: since(enqueued)}
+
+	started := now()
+	solveErr := wk.run(ctx, &req, &resp)
+	resp.SolveSeconds = since(started)
+	s.releaseWorker(wk)
+
+	code := s.account(&req, &resp, solveErr)
+	if solveErr != nil && code != http.StatusOK {
+		resp.Error = solveErr.Error()
+	}
+	s.writeJSON(w, code, &resp)
+}
+
+// account classifies the solve outcome into an HTTP status and feeds the
+// metrics plane. Non-convergence is a completed solve (200, converged
+// false): the client asked a question and got a faithful answer.
+func (s *Server) account(req *Request, resp *Response, err error) int {
+	code := http.StatusOK
+	switch {
+	case err == nil:
+	case errors.Is(err, nonlin.ErrNoConvergence):
+		resp.Error = "solver did not converge: " + err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is never seen but is still counted.
+		code = http.StatusBadRequest
+	case errors.Is(err, analog.ErrInsufficientHardware), isClientSolveError(err):
+		code = http.StatusUnprocessableEntity
+	default:
+		code = http.StatusInternalServerError
+	}
+	s.m.requests.with(req.Problem, strconv.Itoa(code)).inc()
+	if code == http.StatusOK {
+		s.m.solveLatency.observe(resp.SolveSeconds)
+		if resp.Iterations > 0 {
+			s.m.newtonIters.observe(float64(resp.Iterations))
+		}
+		if resp.AnalogUsed {
+			s.m.seedsTotal.inc()
+			if resp.SeedAccepted {
+				s.m.seedsAccepted.inc()
+			}
+		}
+	}
+	return code
+}
+
+// isClientSolveError recognises failures caused by the request content
+// rather than the service: netlist parse/validation errors and capacity
+// mismatches surface as positioned analog/core errors.
+func isClientSolveError(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "netlist line") ||
+		strings.Contains(msg, "exceeds accelerator capacity")
+}
+
+// queueFailureCode distinguishes a queue-wait deadline (504) from a client
+// disconnect while queued.
+func queueFailureCode(ctx context.Context, err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
+// handleProblems is GET /v1/problems: the registry listing.
+func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, Kinds(s.cfg.MaxGridN))
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining, so
+// load balancers stop routing before shutdown completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics is GET /metrics: Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.writeProm(w)
+}
+
+// reject counts and encodes an error-only response.
+func (s *Server) reject(w http.ResponseWriter, problem string, code int, msg string) {
+	if problem == "" {
+		problem = "unknown"
+	}
+	s.m.requests.with(problem, strconv.Itoa(code)).inc()
+	s.writeJSON(w, code, &Response{Problem: problem, Error: msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	// The status line is committed before encoding, so a failure here can
+	// only mean the client hung up; the connection teardown reports that.
+	json.NewEncoder(w).Encode(v)
+}

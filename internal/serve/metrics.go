@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the service's metrics plane: a deliberately small, stdlib-only
+// implementation of the Prometheus text exposition format (version 0.0.4).
+// The repo's dependency rule forbids client_golang, and the subset a solve
+// service needs — counters, gauges, cumulative histograms, one label pair —
+// is ~200 lines. Metric values are atomics or mutex-guarded maps, so every
+// type here is safe for concurrent request handlers.
+
+// counter is a monotonically increasing event count.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) inc()          { c.v.Add(1) }
+func (c *counter) value() uint64 { return c.v.Load() }
+
+// gauge is an instantaneous level (queue depth, in-flight solves).
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) inc()         { g.v.Add(1) }
+func (g *gauge) dec()         { g.v.Add(-1) }
+func (g *gauge) set(x int64)  { g.v.Store(x) }
+func (g *gauge) value() int64 { return g.v.Load() }
+
+// histogram accumulates observations into fixed cumulative buckets, the
+// Prometheus histogram shape (le="..." upper bounds plus +Inf, _sum, _count).
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds, +Inf implicit
+	counts []uint64  // len(bounds)+1; last element is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// counterVec is a counter family with a fixed label-name set; children are
+// created on first use and rendered in sorted label order.
+type counterVec struct {
+	mu     sync.Mutex
+	labels []string // label names, in render order
+	vals   map[string]*counter
+}
+
+func newCounterVec(labels ...string) *counterVec {
+	return &counterVec{labels: labels, vals: map[string]*counter{}}
+}
+
+// with returns the child counter for the given label values (same order as
+// the label names).
+func (v *counterVec) with(values ...string) *counter {
+	key := strings.Join(values, "\xff")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.vals[key]
+	if !ok {
+		c = &counter{}
+		v.vals[key] = c
+	}
+	return c
+}
+
+// metrics is the fixed metric set of the solve service.
+type metrics struct {
+	requests      *counterVec // labels: problem, code
+	queueRejects  counter     // 429s: admission queue full
+	queueDepth    gauge       // requests admitted but not yet executing
+	inflight      gauge       // solves executing on a worker
+	draining      gauge       // 1 while the server refuses new work
+	solveLatency  *histogram  // seconds, measured wall time on the worker
+	newtonIters   *histogram  // Newton iterations of the digital polish
+	seedsTotal    counter     // solves that ran the analog seeding stage
+	seedsAccepted counter     // seeds that improved on the initial residual
+}
+
+func newServeMetrics() *metrics {
+	return &metrics{
+		requests: newCounterVec("problem", "code"),
+		// 250 µs to ~8 s, doubling: spans a cached tiny solve through an
+		// analog-seeded decomposed one.
+		solveLatency: newHistogram(0.00025, 0.0005, 0.001, 0.002, 0.004,
+			0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048,
+			4.096, 8.192),
+		newtonIters: newHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+	}
+}
+
+// writeProm renders the exposition page. Families appear in a fixed order
+// and labelled children in sorted order, so scrapes are deterministic.
+func (m *metrics) writeProm(w io.Writer) {
+	writeHeader := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	writeHeader("pdeserve_requests_total", "Solve requests by problem kind and HTTP status code.", "counter")
+	m.requests.mu.Lock()
+	keys := make([]string, 0, len(m.requests.vals))
+	for k := range m.requests.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		values := strings.Split(k, "\xff")
+		parts := make([]string, len(values))
+		for i, lv := range values {
+			parts[i] = fmt.Sprintf("%s=%q", m.requests.labels[i], lv)
+		}
+		fmt.Fprintf(w, "pdeserve_requests_total{%s} %d\n",
+			strings.Join(parts, ","), m.requests.vals[k].value())
+	}
+	m.requests.mu.Unlock()
+
+	writeHeader("pdeserve_queue_rejects_total", "Requests rejected with 429 because the admission queue was full.", "counter")
+	fmt.Fprintf(w, "pdeserve_queue_rejects_total %d\n", m.queueRejects.value())
+
+	writeHeader("pdeserve_queue_depth", "Requests admitted and waiting for a worker.", "gauge")
+	fmt.Fprintf(w, "pdeserve_queue_depth %d\n", m.queueDepth.value())
+
+	writeHeader("pdeserve_inflight_solves", "Solves currently executing on a worker.", "gauge")
+	fmt.Fprintf(w, "pdeserve_inflight_solves %d\n", m.inflight.value())
+
+	writeHeader("pdeserve_draining", "1 while the server is draining and refusing new work.", "gauge")
+	fmt.Fprintf(w, "pdeserve_draining %d\n", m.draining.value())
+
+	m.writeHistogram(w, "pdeserve_solve_latency_seconds",
+		"Wall-clock seconds a request spent executing on a worker.", m.solveLatency)
+	m.writeHistogram(w, "pdeserve_newton_iterations",
+		"Newton iterations of the digital polish stage, per completed solve.", m.newtonIters)
+
+	writeHeader("pdeserve_analog_seeds_total", "Solves that ran the analog seeding stage.", "counter")
+	fmt.Fprintf(w, "pdeserve_analog_seeds_total %d\n", m.seedsTotal.value())
+
+	writeHeader("pdeserve_analog_seeds_accepted_total", "Analog seeds that improved on the initial residual (acceptance rate = accepted/total).", "counter")
+	fmt.Fprintf(w, "pdeserve_analog_seeds_accepted_total %d\n", m.seedsAccepted.value())
+}
+
+func (m *metrics) writeHistogram(w io.Writer, name, help string, h *histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", b), "0"), ".")
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := newHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.observe(v)
+	}
+	var sb strings.Builder
+	(&metrics{}).writeHistogram(&sb, "x", "help", h)
+	out := sb.String()
+	for _, want := range []string{
+		`x_bucket{le="1"} 1`,
+		`x_bucket{le="2"} 3`,
+		`x_bucket{le="4"} 4`,
+		`x_bucket{le="+Inf"} 5`,
+		`x_sum 106.5`,
+		`x_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := newHistogram(1, 2)
+	h.observe(1) // le="1" is inclusive, Prometheus semantics
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts[0] != 1 {
+		t.Fatalf("observation at bound landed in counts %v, want first bucket", h.counts)
+	}
+}
+
+func TestCounterVecChildrenAndRenderOrder(t *testing.T) {
+	m := newServeMetrics()
+	m.requests.with("burgers2d", "200").inc()
+	m.requests.with("burgers2d", "200").inc()
+	m.requests.with("netlist", "422").inc()
+	var sb strings.Builder
+	m.writeProm(&sb)
+	out := sb.String()
+	i := strings.Index(out, `pdeserve_requests_total{problem="burgers2d",code="200"} 2`)
+	j := strings.Index(out, `pdeserve_requests_total{problem="netlist",code="422"} 1`)
+	if i < 0 || j < 0 {
+		t.Fatalf("labelled children missing:\n%s", out)
+	}
+	if i > j {
+		t.Fatal("labelled children not rendered in sorted order")
+	}
+	// Every family must carry HELP and TYPE headers.
+	for _, typ := range []string{"counter", "gauge", "histogram"} {
+		if !strings.Contains(out, " "+typ+"\n") {
+			t.Errorf("no %s TYPE header in exposition", typ)
+		}
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := newServeMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.requests.with("burgers2d", "200").inc()
+				m.queueDepth.inc()
+				m.solveLatency.observe(float64(i) * 1e-4)
+				m.queueDepth.dec()
+			}
+		}(g)
+	}
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		sb.Reset()
+		m.writeProm(&sb) // scrape concurrently with writes
+	}
+	wg.Wait()
+	if got := m.requests.with("burgers2d", "200").value(); got != 4000 {
+		t.Fatalf("requests counter = %d, want 4000", got)
+	}
+	if got := m.queueDepth.value(); got != 0 {
+		t.Fatalf("queue depth gauge = %d, want 0", got)
+	}
+	m.solveLatency.mu.Lock()
+	defer m.solveLatency.mu.Unlock()
+	if m.solveLatency.count != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", m.solveLatency.count)
+	}
+}
+
+func TestFormatBound(t *testing.T) {
+	cases := map[float64]string{0.00025: "0.00025", 1.024: "1.024", 8.192: "8.192", 1: "1", 512: "512"}
+	for in, want := range cases {
+		if got := formatBound(in); got != want {
+			t.Errorf("formatBound(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

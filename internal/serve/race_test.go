@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled mirrors internal/core's pattern: strict allocation assertions
+// are skipped under -race, where instrumentation perturbs the counts.
+const raceEnabled = true

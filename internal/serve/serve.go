@@ -1,0 +1,231 @@
+// Package serve is the network-facing entry point of the hybrid pipeline: a
+// stdlib-only HTTP/JSON service that treats the accelerator the way the
+// paper pitches it (§2, §7) — as a shared co-processor for PDE workloads
+// behind a queueing discipline. Requests against a problem registry
+// (Burgers steady/MOL, the 2-D grid problems, netlist programs) are
+// admitted into a bounded queue with explicit backpressure (429 +
+// Retry-After when full), executed by a worker pool sized to GOMAXPROCS
+// where each worker owns a pooled core.Workspace and per-shape problem
+// caches so the steady-state request path stays allocation-free, honor
+// per-request deadlines through context, and drain in flight on graceful
+// shutdown. A metrics plane (/metrics in Prometheus text exposition,
+// /healthz, pprof on the debug mux) rides alongside.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"hybridpde/internal/core"
+)
+
+// Config tunes the service. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// Workers is the solve concurrency. Default: runtime.GOMAXPROCS(0),
+	// the sizing that keeps one CPU-bound solve per core.
+	Workers int
+	// QueueDepth bounds requests admitted but not yet executing. Beyond
+	// Workers+QueueDepth outstanding requests the service sheds load with
+	// 429. Default 64.
+	QueueDepth int
+	// MaxGridN caps the 2-D grid size a request may ask for. Default 12
+	// (2·12² = 288 unknowns per solve).
+	MaxGridN int
+	// DefaultTimeout bounds a solve (queue wait included) when the request
+	// carries no deadline_ms. Default 5s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-supplied deadlines. Default 30s.
+	MaxTimeout time.Duration
+	// Seed is the base seed of worker fabrics and accelerators; worker i
+	// uses Seed+i so hardware mismatch draws are independent per worker
+	// yet the whole fleet is reproducible. Default 1.
+	Seed int64
+	// MaxBodyBytes bounds the request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// RetryAfterSeconds is the Retry-After hint on 429 responses.
+	// Default 1.
+	RetryAfterSeconds int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxGridN <= 0 {
+		c.MaxGridN = 12
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 1
+	}
+}
+
+// Server is the solve service. Create with NewServer, expose via Handler
+// (API) and DebugHandler (pprof), shut down with BeginDrain + Drain.
+type Server struct {
+	cfg Config
+	m   *metrics
+	// workers is the pool: checking a worker out grants the right to
+	// execute one solve. Capacity Workers.
+	workers chan *worker
+	// queueSlots bounds outstanding (waiting + executing) requests at
+	// Workers+QueueDepth; a failed non-blocking acquire is the load-shed
+	// signal.
+	queueSlots chan struct{}
+	// draining is set by BeginDrain; the admission gate then sheds
+	// everything new while in-flight requests finish.
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+	pool     *core.WorkspacePool
+}
+
+// NewServer builds the service: the worker fleet is created eagerly (each
+// with its pooled Workspace) so the first request of each worker pays no
+// setup beyond its problem-shape cache fill.
+func NewServer(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:        cfg,
+		m:          newServeMetrics(),
+		workers:    make(chan *worker, cfg.Workers),
+		queueSlots: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		pool:       core.NewWorkspacePool(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers <- newWorker(s.pool, cfg.Seed+int64(i))
+	}
+	return s
+}
+
+// Handler returns the API mux: POST /v1/solve, GET /v1/problems,
+// GET /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/problems", s.handleProblems)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// DebugHandler returns the debug mux: net/http/pprof plus a second mount of
+// /metrics, intended for a loopback-only listener.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// BeginDrain closes the admission gate: subsequent requests get 503 while
+// requests already admitted keep their workers. Safe to call repeatedly.
+func (s *Server) BeginDrain() {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if !s.draining {
+		s.draining = true
+		s.m.draining.set(1)
+	}
+}
+
+// Drain blocks until every admitted request has completed or ctx expires.
+// Callers typically pair it with http.Server.Shutdown:
+//
+//	srv.BeginDrain()
+//	httpSrv.Shutdown(ctx) // stops listeners, waits for handlers
+//	err := srv.Drain(ctx) // belt-and-braces on the solve side
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// isDraining reports whether the admission gate is closed.
+func (s *Server) isDraining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// admit tries to claim a queue slot without blocking; ok=false is the
+// backpressure signal. The caller must call the returned release exactly
+// once after the request completes.
+func (s *Server) admit() (release func(), ok bool) {
+	select {
+	case s.queueSlots <- struct{}{}:
+	default:
+		return nil, false
+	}
+	s.inflight.Add(1)
+	s.m.queueDepth.inc()
+	return func() {
+		<-s.queueSlots
+		s.inflight.Done()
+	}, true
+}
+
+// acquireWorker blocks until a worker is free or ctx expires. The admitted
+// request keeps occupying its queue slot while executing, so the queue
+// gauge transitions to the in-flight gauge here.
+func (s *Server) acquireWorker(ctx context.Context) (*worker, error) {
+	select {
+	case wk := <-s.workers:
+		s.m.queueDepth.dec()
+		s.m.inflight.inc()
+		return wk, nil
+	case <-ctx.Done():
+		s.m.queueDepth.dec()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseWorker returns a worker to the pool.
+func (s *Server) releaseWorker(wk *worker) {
+	s.m.inflight.dec()
+	s.workers <- wk
+}
+
+// timeout resolves the effective solve deadline of a request.
+func (s *Server) timeout(req *Request) time.Duration {
+	if req.DeadlineMillis <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(req.DeadlineMillis) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"hybridpde/internal/analog"
+	"hybridpde/internal/core"
+	"hybridpde/internal/la"
+	"hybridpde/internal/pde"
+	"hybridpde/internal/problem"
+)
+
+// maxAnalogVars is the practical accelerator capacity limit (paper Table 4:
+// a 16×16 grid is the largest direct analog solve).
+var maxAnalogVars = analog.VariablesForGrid(analog.MaxPracticalGrid)
+
+// worker is one execution context of the pool. It owns a pooled
+// core.Workspace, a deterministic RNG, per-shape cached problems, and
+// lazily-built analog resources, so the steady-state request path — a
+// same-shaped solve hitting a warm cache — performs no allocation. Workers
+// are checked out of the server's channel for the duration of one request,
+// so none of this state is ever shared between concurrent solves.
+type worker struct {
+	ws   *core.Workspace
+	rng  *rand.Rand
+	grid map[gridKey]*gridEntry
+	// seeders caches one analog seeder per requested capacity; the fabric
+	// mismatch draw is deterministic in the server seed, so equal requests
+	// get equal accelerators regardless of which worker serves them.
+	seeders map[int]core.Seeder
+	// fab is the netlist-validation fabric, allocated on first netlist
+	// request and freed (FreeAll) after each one.
+	fab  *analog.Fabric
+	seed int64 // server base seed for fabrics and accelerators
+}
+
+// gridKey identifies a cached problem shape. Every field the constructors
+// bake into the stencil participates; the per-request seed and bound do not
+// (they only change field values, which refill overwrites in place).
+type gridKey struct {
+	kind  string
+	n     int
+	order int
+	re    float64
+}
+
+// gridEntry is one cached problem with its per-shape scratch vectors.
+type gridEntry struct {
+	sys     problem.SparseSystem
+	burgers *pde.Burgers       // 2-D kinds
+	steady  *pde.BurgersSteady // steady kind only
+	b1d     *pde.Burgers1D     // 1-D kind
+	root    []float64          // steady kind: the planted root
+	u0      []float64          // steady kind: perturbed start (InitialGuess)
+	guess   []float64          // warm-start snapshot for the initial residual
+	f       []float64          // residual scratch
+}
+
+func newWorker(pool *core.WorkspacePool, seed int64) *worker {
+	return &worker{
+		ws:      pool.Get(),
+		rng:     rand.New(rand.NewSource(seed)),
+		grid:    map[gridKey]*gridEntry{},
+		seeders: map[int]core.Seeder{},
+		seed:    seed,
+	}
+}
+
+// run executes one admitted request. Cold paths (first request of a shape,
+// first netlist, first analog capacity) build and cache their resources;
+// everything after that happens in the allocation-free solveGrid.
+func (wk *worker) run(ctx context.Context, req *Request, resp *Response) error {
+	if req.Problem == KindNetlist {
+		return wk.runNetlist(req, resp)
+	}
+	e, err := wk.entry(req)
+	if err != nil {
+		return err
+	}
+	var seeder core.Seeder
+	if req.Analog {
+		if seeder, err = wk.seederFor(req.AnalogVars); err != nil {
+			return err
+		}
+	}
+	resp.Dim = e.sys.Dim()
+	return wk.solveGrid(ctx, req, e, seeder, resp)
+}
+
+// entry returns the cached problem of the request's shape, building it on
+// first use.
+func (wk *worker) entry(req *Request) (*gridEntry, error) {
+	key := gridKey{kind: req.Problem, n: req.N, order: req.Order, re: req.Re}
+	if e, ok := wk.grid[key]; ok {
+		return e, nil
+	}
+	e := &gridEntry{}
+	switch req.Problem {
+	case KindBurgers2D, KindBurgersSteady:
+		b, err := pde.NewBurgers(req.N, req.Re)
+		if err != nil {
+			return nil, err
+		}
+		b.Order = req.Order
+		e.burgers = b
+		e.sys = b
+		if req.Problem == KindBurgersSteady {
+			e.steady = pde.NewBurgersSteady(b)
+			e.sys = e.steady
+			e.root = make([]float64, e.steady.Dim())
+			e.u0 = make([]float64, e.steady.Dim())
+		}
+	case KindBurgers1D:
+		b, err := pde.NewBurgers1D(req.N, req.Re)
+		if err != nil {
+			return nil, err
+		}
+		e.b1d = b
+		e.sys = b
+	default:
+		return nil, fmt.Errorf("serve: unknown problem kind %q", req.Problem)
+	}
+	e.guess = make([]float64, e.sys.Dim())
+	e.f = make([]float64, e.sys.Dim())
+	wk.grid[key] = e
+	return e, nil
+}
+
+// seederFor returns the cached analog seeder for the given accelerator
+// capacity, building the accelerator on first use. The accelerator seed
+// folds in the capacity so differently-sized fabrics draw independent
+// mismatch, while staying deterministic in the server seed.
+func (wk *worker) seederFor(vars int) (core.Seeder, error) {
+	if s, ok := wk.seeders[vars]; ok {
+		return s, nil
+	}
+	tiles := analog.PrototypeChip.Tiles
+	chips := (vars + tiles - 1) / tiles
+	acc := analog.NewAccelerator(analog.Config{Chips: chips, Seed: wk.seed + int64(vars)})
+	s := core.AnalogSeeder(acc)
+	wk.seeders[vars] = s
+	return s, nil
+}
+
+// refill rewrites the cached problem's fields in place from the request
+// seed, so equal requests are bit-identical and repeated requests allocate
+// nothing. Steady problems are additionally re-rooted: a root is planted
+// inside the dynamic range and the forcing set so it solves exactly, with
+// the start perturbed off it (the repeated-Newton benchmark protocol).
+//
+//pdevet:noalloc
+func (wk *worker) refill(req *Request, e *gridEntry) error {
+	wk.rng.Seed(req.Seed)
+	bound := req.Bound
+	switch {
+	case e.b1d != nil:
+		b := e.b1d
+		wk.drawInto(b.UPrev, bound)
+		wk.drawInto(b.RHS, bound)
+		b.Left = bound * (2*wk.rng.Float64() - 1)
+		b.Right = bound * (2*wk.rng.Float64() - 1)
+	case e.steady != nil:
+		b := e.burgers
+		wk.drawInto(b.UPrev, bound)
+		wk.drawInto(b.VPrev, bound)
+		wk.drawInto(e.root, bound)
+		if err := e.steady.SetRHSForRoot(e.root); err != nil {
+			return err
+		}
+		for i := range e.u0 {
+			e.u0[i] = e.root[i] + 0.05*bound*(2*wk.rng.Float64()-1)
+		}
+	default:
+		b := e.burgers
+		wk.drawInto(b.UPrev, bound)
+		wk.drawInto(b.VPrev, bound)
+		wk.drawInto(b.RHS0, bound)
+		wk.drawInto(b.RHS1, bound)
+	}
+	return nil
+}
+
+// drawInto fills dst uniformly from ±bound.
+//
+//pdevet:noalloc
+func (wk *worker) drawInto(dst []float64, bound float64) {
+	for i := range dst {
+		dst[i] = bound * (2*wk.rng.Float64() - 1)
+	}
+}
+
+// solveGrid is the hot request path: refill the cached problem, run the
+// hybrid pipeline with the worker's pooled Workspace, and fill the
+// response. With a warm per-shape cache this stays at 0 allocs/op — the
+// property that lets the service absorb sustained same-shaped traffic
+// without GC pressure (TestServerSteadyPathZeroAlloc pins it dynamically).
+//
+//pdevet:noalloc
+func (wk *worker) solveGrid(ctx context.Context, req *Request, e *gridEntry, seeder core.Seeder, resp *Response) error {
+	if err := wk.refill(req, e); err != nil {
+		return err
+	}
+
+	var opts core.Options
+	opts.Workspace = wk.ws
+	opts.Perf = backendFor(req.Backend)
+	if seeder != nil {
+		opts.Seeder = seeder
+	} else {
+		opts.SkipAnalog = true
+	}
+	if e.u0 != nil {
+		opts.InitialGuess = e.u0
+	}
+
+	// Initial residual at the start the solve will use — the baseline the
+	// analog-seed acceptance metric compares against.
+	start := e.u0
+	if start == nil {
+		if ws, ok := e.sys.(problem.WarmStarter); ok {
+			ws.InitialGuessInto(e.guess)
+		} else {
+			copy(e.guess, e.sys.InitialGuess()) //pdevet:allow noalloc cold fallback: every registry problem implements WarmStarter
+		}
+		start = e.guess
+	}
+	if err := e.sys.Eval(start, e.f); err != nil {
+		return err
+	}
+	resp.InitialResidual = la.Norm2(e.f)
+
+	rep, err := core.Solve(ctx, e.sys, opts)
+	resp.Converged = rep.Digital.Converged
+	resp.Iterations = rep.Digital.TotalIters
+	resp.Residual = rep.FinalResidual
+	resp.SeedResidual = rep.SeedResidual
+	resp.AnalogUsed = rep.AnalogUsed
+	resp.SeedAccepted = rep.AnalogUsed && rep.SeedResidual < resp.InitialResidual
+	resp.Decomposed = rep.Decomposed
+	resp.Subproblems = rep.Subproblems
+	resp.GSSweeps = rep.GSSweeps
+	resp.ModelSeconds = rep.TotalSeconds
+	resp.ModelEnergyJ = rep.TotalEnergyJ
+	return err
+}
+
+// backendFor maps the request backend name to its PerfBackend; normalize
+// has already rejected unknown names.
+func backendFor(name string) core.PerfBackend {
+	switch name {
+	case "gpu":
+		return core.PerfGPU
+	case "analog-la":
+		return core.PerfAnalogLA
+	default:
+		return core.PerfCPU
+	}
+}
+
+// runNetlist parses and validates an analog program text against the
+// worker's calibrated fabric, reporting what the program claimed. The
+// fabric is freed afterwards so requests are independent.
+func (wk *worker) runNetlist(req *Request, resp *Response) error {
+	if wk.fab == nil {
+		wk.fab = analog.NewFabric(analog.Config{Seed: wk.seed})
+		wk.fab.Calibrate()
+	}
+	defer wk.fab.FreeAll()
+	net, err := analog.ParseNetlist(wk.fab, req.Netlist)
+	resp.Components = wk.fab.AllocatedComponents()
+	if net != nil {
+		resp.Connections = len(net.Connections())
+		resp.Committed = net.Committed()
+		resp.Running = net.Running()
+	}
+	return err
+}

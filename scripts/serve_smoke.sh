@@ -1,0 +1,73 @@
+#!/bin/sh
+# Serve smoke: boot pdeserved, drive it with pdeload, assert the run saw
+# successful responses, then check the server drains cleanly on SIGTERM.
+# Run from the repository root; also available as `make serve-smoke`.
+#
+# Env knobs (defaults are CI-sized):
+#   SMOKE_ADDR       API address        (default 127.0.0.1:18080)
+#   SMOKE_RATE       offered rps        (default 200)
+#   SMOKE_DURATION   load duration      (default 5s)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+RATE="${SMOKE_RATE:-200}"
+DURATION="${SMOKE_DURATION:-5s}"
+TMP="$(mktemp -d)"
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$TMP/pdeserved" ./cmd/pdeserved
+go build -o "$TMP/pdeload" ./cmd/pdeload
+
+echo "== boot pdeserved on $ADDR"
+"$TMP/pdeserved" -addr "$ADDR" -debug-addr "" >"$TMP/server.log" 2>&1 &
+SRV_PID=$!
+
+# Wait for /healthz, bounded.
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "server never became healthy" >&2
+		cat "$TMP/server.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+echo "== pdeload: $RATE rps for $DURATION"
+# pdeload exits 1 itself when no request succeeded; that is the liveness gate.
+"$TMP/pdeload" -url "http://$ADDR" -rate "$RATE" -duration "$DURATION" \
+	-problem burgers-steady -n 5 -out "$TMP/bench.json"
+
+echo "== metrics sanity"
+curl -fsS "http://$ADDR/metrics" | grep -q '^pdeserve_requests_total{problem="burgers-steady",code="200"} [1-9]' || {
+	echo "metrics plane did not count successful solves" >&2
+	exit 1
+}
+
+echo "== SIGTERM drain"
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -ge 100 ]; then
+		echo "server did not exit within 10s of SIGTERM" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null || {
+	echo "server exited non-zero on drain" >&2
+	cat "$TMP/server.log" >&2
+	exit 1
+}
+grep -q "drained cleanly" "$TMP/server.log" || {
+	echo "server log missing clean-drain marker" >&2
+	cat "$TMP/server.log" >&2
+	exit 1
+}
+
+echo "OK"
