@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fuzz check bench serve serve-smoke bench-serve
+.PHONY: all build test race vet fmt lint fuzz check bench serve serve-smoke chaos-smoke bench-serve
 
 all: build
 
@@ -31,6 +31,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzBandLU -fuzztime 3s ./internal/la/
 	$(GO) test -run '^$$' -fuzz FuzzCSR -fuzztime 3s ./internal/la/
 	$(GO) test -run '^$$' -fuzz FuzzParseNetlist -fuzztime 3s ./internal/analog/
+	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 3s ./internal/fault/
 
 # Full verification gate: build + vet + pdevet + formatting + race-enabled
 # tests + fuzz smoke.
@@ -50,6 +51,11 @@ serve:
 # 2xx traffic and a clean SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Chaos smoke: boot pdeserved -chaos (live fault injection), drive analog
+# load, assert zero 5xx and live degradation-ladder counters.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # Regenerate the committed service benchmark (BENCH_serve.json): 400 rps of
 # warm-cache steady solves for 8 s against a freshly-booted local server.

@@ -49,6 +49,7 @@ type Report struct {
 	Sent        int `json:"sent"`
 	LocalDrops  int `json:"local_drops"`
 	OK          int `json:"ok_2xx"`
+	Degraded    int `json:"degraded"`
 	Shed        int `json:"shed_429"`
 	ClientErr   int `json:"client_4xx"`
 	ServerErr   int `json:"server_5xx"`
@@ -92,9 +93,10 @@ func main() {
 	client := &http.Client{Timeout: 60 * time.Second}
 
 	type result struct {
-		code    int
-		seconds float64
-		err     error
+		code     int
+		seconds  float64
+		degraded bool
+		err      error
 	}
 	results := make(chan result, 4096)
 	slots := make(chan struct{}, *conc)
@@ -139,9 +141,17 @@ launch:
 				results <- result{err: err}
 				return
 			}
+			degraded := false
+			if hr.StatusCode >= 200 && hr.StatusCode < 300 {
+				var sr struct {
+					Degraded bool `json:"degraded"`
+				}
+				json.NewDecoder(hr.Body).Decode(&sr)
+				degraded = sr.Degraded
+			}
 			io.Copy(io.Discard, hr.Body)
 			hr.Body.Close()
-			results <- result{code: hr.StatusCode, seconds: time.Since(start).Seconds()}
+			results <- result{code: hr.StatusCode, seconds: time.Since(start).Seconds(), degraded: degraded}
 		}(seed)
 	}
 	ticker.Stop()
@@ -157,6 +167,9 @@ launch:
 		switch {
 		case r.code >= 200 && r.code < 300:
 			rep.OK++
+			if r.degraded {
+				rep.Degraded++
+			}
 			latencies = append(latencies, r.seconds)
 		case r.code == http.StatusTooManyRequests:
 			rep.Shed++
@@ -201,6 +214,8 @@ launch:
 			os.Exit(2)
 		}
 	}
+	fmt.Fprintf(os.Stderr, "pdeload: status breakdown: 2xx=%d (degraded=%d) 429=%d other-4xx=%d 5xx=%d transport=%d local-drops=%d\n",
+		rep.OK, rep.Degraded, rep.Shed, rep.ClientErr, rep.ServerErr, rep.TransportEr, rep.LocalDrops)
 	if rep.OK == 0 {
 		fmt.Fprintln(os.Stderr, "pdeload: no successful responses")
 		os.Exit(1)

@@ -4,7 +4,8 @@
 //
 //	pdeserved [-addr :8080] [-debug-addr 127.0.0.1:8081] [-workers N]
 //	          [-queue N] [-max-grid N] [-timeout D] [-max-timeout D]
-//	          [-seed N] [-drain-timeout D]
+//	          [-seed N] [-drain-timeout D] [-chaos] [-chaos-spec SPEC]
+//	          [-retries N] [-seed-gate F]
 //
 // The API listener serves POST /v1/solve, GET /v1/problems, GET /healthz
 // and GET /metrics (Prometheus text exposition). The debug listener, bound
@@ -12,6 +13,12 @@
 // server stops admitting work (healthz flips to 503 so load balancers
 // de-route), finishes every admitted solve, and exits 0; solves still
 // running past -drain-timeout are abandoned and the exit code is 1.
+//
+// -chaos injects the built-in fault specification (internal/fault
+// DefaultChaosText) into every worker accelerator; -chaos-spec replaces it
+// with an inline spec text or, with an @ prefix, a spec file. Faulty seeds
+// are caught by the degradation ladder and served from a lower rung with
+// the degraded flag set, never a 5xx.
 //
 //pdevet:allow walltime the process entry point owns the shutdown clock; all other wall reads live in internal/serve/clock.go
 package main
@@ -27,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"hybridpde/internal/fault"
 	"hybridpde/internal/serve"
 )
 
@@ -41,8 +49,21 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp on client-supplied deadlines")
 		seed         = flag.Int64("seed", 1, "base seed for worker fabrics and accelerators")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
+		chaos        = flag.Bool("chaos", false, "inject the built-in fault spec into every worker accelerator")
+		chaosSpec    = flag.String("chaos-spec", "", "fault spec text, or @file to load one (implies -chaos)")
+		retries      = flag.Int("retries", 0, "per-request retries of transient-fault solves (0 = default 2, negative disables)")
+		seedGate     = flag.Float64("seed-gate", 0, "seed-quality gate factor (0 = default 1: reject seeds worse than the start)")
 	)
 	flag.Parse()
+
+	faults, err := loadFaultSpec(*chaos, *chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdeserved:", err)
+		os.Exit(2)
+	}
+	if faults != nil {
+		fmt.Fprintf(os.Stderr, "pdeserved: chaos mode: %d fault classes injected\n", len(faults.Faults))
+	}
 
 	s := serve.NewServer(serve.Config{
 		Workers:        *workers,
@@ -51,6 +72,9 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Seed:           *seed,
+		Faults:         faults,
+		SeedGate:       *seedGate,
+		MaxRetries:     *retries,
 	})
 
 	api := &http.Server{Addr: *addr, Handler: s.Handler()}
@@ -96,4 +120,29 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "pdeserved: drained cleanly")
+}
+
+// loadFaultSpec resolves the chaos flags into a fault spec: nil when chaos
+// is off, the built-in spec for bare -chaos, or a parsed -chaos-spec value
+// (inline text, or @file to read one).
+func loadFaultSpec(chaos bool, specArg string) (*fault.Spec, error) {
+	if specArg == "" {
+		if !chaos {
+			return nil, nil
+		}
+		return fault.DefaultChaosSpec(), nil
+	}
+	text := specArg
+	if specArg[0] == '@' {
+		b, err := os.ReadFile(specArg[1:])
+		if err != nil {
+			return nil, fmt.Errorf("chaos spec: %w", err)
+		}
+		text = string(b)
+	}
+	spec, err := fault.ParseSpec(text)
+	if err != nil {
+		return nil, fmt.Errorf("chaos spec: %w", err)
+	}
+	return spec, nil
 }

@@ -91,6 +91,9 @@ type Solution struct {
 // allocation, continuous-time evolution, and readout.
 type Accelerator struct {
 	Fabric *Fabric
+	// inj, when non-nil, injects faults beyond the calibrated envelope
+	// (see Injector). Healthy accelerators leave it nil.
+	inj Injector
 }
 
 // NewAccelerator builds a calibrated accelerator with the given config.
@@ -118,8 +121,9 @@ func NewScaled(gridN int, seed int64) (*Accelerator, error) {
 	return NewAccelerator(Config{Chips: chips, Seed: seed}), nil
 }
 
-// Capacity reports the number of scalar variables the accelerator hosts.
-func (a *Accelerator) Capacity() int { return a.Fabric.Capacity() }
+// Capacity reports the number of scalar variables the accelerator hosts,
+// net of any tiles an attached fault injector has marked dead.
+func (a *Accelerator) Capacity() int { return a.usableCapacity() }
 
 // PeakPowerWatts returns the board's peak power for a given active variable
 // count, from the Table 4 per-variable model.
@@ -144,16 +148,20 @@ func (a *Accelerator) Solve(sys nonlin.System, u0 []float64, opts SolveOptions) 
 	if err != nil {
 		return Solution{}, err
 	}
+	if n > a.usableCapacity() {
+		return Solution{}, fmt.Errorf("%w: %d variables exceed %d usable tiles", ErrInsufficientHardware, n, a.usableCapacity())
+	}
 	cells, err := a.Fabric.AllocateCells(n)
 	if err != nil {
 		return Solution{}, err
 	}
 	defer a.Fabric.FreeAll()
+	a.beginRun()
 
 	// DAC-quantised initial conditions in normalised units.
 	w0 := make([]float64, n)
 	for i, v := range u0 {
-		w0[i] = quantize(clamp(v/ss.s, 1), a.Fabric.Config.DACBits)
+		w0[i] = quantize(clamp(a.dacIn(i, v/ss.s), 1), a.Fabric.Config.DACBits)
 	}
 
 	flow := a.hardwareFlow(ss, cells, opts, nil)
@@ -185,7 +193,7 @@ func (a *Accelerator) hardwareFlow(ss *scaledSystem, cells []*NewtonCell, opts S
 	jac := la.NewDense(n, n)
 	jtj := la.NewDense(n, n)
 	jtf := make([]float64, n)
-	sat := a.Fabric.Config.SaturationLimit
+	sat := a.satLimit()
 	slew := a.Fabric.Config.SlewLimit
 	noisy := !opts.DisableNoise
 	return func(t float64, w, dwdt []float64) error {
@@ -248,7 +256,7 @@ func (a *Accelerator) hardwareFlow(ss *scaledSystem, cells []*NewtonCell, opts S
 			if noisy {
 				d += cells[i].IntOffset
 			}
-			dwdt[i] = softClamp(d, slew)
+			dwdt[i] = softClamp(a.drive(t, i, w[i], d), slew)
 		}
 		return nil
 	}
@@ -260,9 +268,9 @@ func (a *Accelerator) readout(sys nonlin.System, ss *scaledSystem, sr ode.Steady
 	// ADC readout with quantisation.
 	wq := make([]float64, n)
 	for i, v := range sr.Y {
-		q := v
+		q := a.adcOut(i, v)
 		if !opts.DisableNoise {
-			q = quantize(clamp(v, 1), a.Fabric.Config.ADCBits)
+			q = quantize(clamp(q, 1), a.Fabric.Config.ADCBits)
 		}
 		wq[i] = q
 	}
@@ -366,11 +374,15 @@ func (a *Accelerator) SolveHomotopy(simple, hard nonlin.System, start []float64,
 	if err != nil {
 		return Solution{}, err
 	}
+	if n > a.usableCapacity() {
+		return Solution{}, fmt.Errorf("%w: %d variables exceed %d usable tiles", ErrInsufficientHardware, n, a.usableCapacity())
+	}
 	cells, err := a.Fabric.AllocateCells(n)
 	if err != nil {
 		return Solution{}, err
 	}
 	defer a.Fabric.FreeAll()
+	a.beginRun()
 
 	blend := &homotopyBlend{
 		simple: ssS, hard: ssH, rampTau: opts.RampTau,
@@ -379,7 +391,7 @@ func (a *Accelerator) SolveHomotopy(simple, hard nonlin.System, start []float64,
 	}
 	w0 := make([]float64, n)
 	for i, v := range start {
-		w0[i] = quantize(clamp(v/ssH.s, 1), a.Fabric.Config.DACBits)
+		w0[i] = quantize(clamp(a.dacIn(i, v/ssH.s), 1), a.Fabric.Config.DACBits)
 	}
 	if opts.Solve.TMaxTau <= opts.RampTau {
 		opts.Solve.TMaxTau = opts.RampTau * 4

@@ -1,0 +1,95 @@
+package analog
+
+// Injector is the fault-injection seam of the behavioural model. The paper's
+// robustness argument (§6) is that the digital Newton stage tolerates analog
+// non-ideality; an Injector lets tests and chaos runs push the model *beyond*
+// its calibrated envelope — stuck or railed integrators, converter drift that
+// calibration never saw, collapsed dynamic range, transient disturbances,
+// dead tiles — without the analog package knowing anything about fault
+// policy. internal/fault provides the standard implementation; analog only
+// defines the contract so the dependency points outward.
+//
+// An injector is owned by exactly one Accelerator and is invoked from the
+// accelerator's (serial) solve path, so implementations need no locking. All
+// hooks must be deterministic given the injector's own seeded state: any
+// randomness is drawn in BeginRun, never per evaluation, so a fixed seed
+// reproduces a run bit for bit.
+type Injector interface {
+	// BeginRun is called once at the start of every solve; transient faults
+	// draw their per-run activation here.
+	BeginRun()
+	// UsableTiles maps the fabric's physical tile count to the number that
+	// still host variables (dead tiles reduce capacity).
+	UsableTiles(total int) int
+	// Saturation returns the effective saturation limit given the healthy
+	// one (a degraded supply shrinks the usable dynamic range).
+	Saturation(base float64) float64
+	// DAC perturbs the normalised value written to variable i's input
+	// converter, before quantisation.
+	DAC(i int, v float64) float64
+	// ADC perturbs the normalised value read from variable i's output
+	// converter, before quantisation.
+	ADC(i int, v float64) float64
+	// Drive transforms the integrator drive of variable i at circuit time t
+	// (time constants): stuck integrators return 0, railed ones slew toward
+	// a rail, bursts superpose a disturbance. w is the current state.
+	Drive(t float64, i int, w, drive float64) float64
+}
+
+// SetInjector attaches a fault injector to the accelerator. Passing nil
+// restores healthy behaviour. Not safe to call concurrently with a solve.
+func (a *Accelerator) SetInjector(inj Injector) { a.inj = inj }
+
+// Injector returns the attached fault injector, or nil when healthy.
+func (a *Accelerator) Injector() Injector { return a.inj }
+
+// usableCapacity is Fabric capacity minus dead tiles.
+func (a *Accelerator) usableCapacity() int {
+	c := a.Fabric.Capacity()
+	if a.inj != nil {
+		c = a.inj.UsableTiles(c)
+	}
+	return c
+}
+
+// beginRun fixes the per-solve transient fault state.
+func (a *Accelerator) beginRun() {
+	if a.inj != nil {
+		a.inj.BeginRun()
+	}
+}
+
+// satLimit is the effective saturation limit for this solve.
+func (a *Accelerator) satLimit() float64 {
+	s := a.Fabric.Config.SaturationLimit
+	if a.inj != nil {
+		s = a.inj.Saturation(s)
+	}
+	return s
+}
+
+// dacIn applies converter drift to one normalised DAC input.
+func (a *Accelerator) dacIn(i int, v float64) float64 {
+	if a.inj != nil {
+		v = a.inj.DAC(i, v)
+	}
+	return v
+}
+
+// adcOut applies converter drift to one normalised ADC output. Faulted
+// values are re-clamped: a drifted converter still cannot read past its
+// rails, even when quantisation noise is disabled.
+func (a *Accelerator) adcOut(i int, v float64) float64 {
+	if a.inj != nil {
+		v = clamp(a.inj.ADC(i, v), 1)
+	}
+	return v
+}
+
+// drive applies integrator-level faults to one drive value.
+func (a *Accelerator) drive(t float64, i int, w, d float64) float64 {
+	if a.inj != nil {
+		d = a.inj.Drive(t, i, w, d)
+	}
+	return d
+}

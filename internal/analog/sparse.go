@@ -103,21 +103,25 @@ func (a *Accelerator) SolveSparse(ctx context.Context, sys nonlin.SparseSystem, 
 	if err != nil {
 		return Solution{}, err
 	}
+	if n > a.usableCapacity() {
+		return Solution{}, fmt.Errorf("%w: %d variables exceed %d usable tiles", ErrInsufficientHardware, n, a.usableCapacity())
+	}
 	cells, err := a.Fabric.AllocateCells(n)
 	if err != nil {
 		return Solution{}, err
 	}
 	defer a.Fabric.FreeAll()
+	a.beginRun()
 
 	w0 := make([]float64, n)
 	for i, v := range u0 {
-		w0[i] = quantize(clamp(v/ss.s, 1), a.Fabric.Config.DACBits)
+		w0[i] = quantize(clamp(a.dacIn(i, v/ss.s), 1), a.Fabric.Config.DACBits)
 	}
 
 	g := make([]float64, n)
 	jtg := make([]float64, n)
 	wsat := make([]float64, n)
-	sat := a.Fabric.Config.SaturationLimit
+	sat := a.satLimit()
 	slew := a.Fabric.Config.SlewLimit
 	noisy := !opts.DisableNoise
 	// The Jacobian pattern is fixed, so one banded workspace (sized for
@@ -168,7 +172,7 @@ func (a *Accelerator) SolveSparse(ctx context.Context, sys nonlin.SparseSystem, 
 			if noisy {
 				d += cells[i].IntOffset
 			}
-			dwdt[i] = softClamp(d, slew)
+			dwdt[i] = softClamp(a.drive(t, i, w[i], d), slew)
 		}
 		return nil
 	}
@@ -191,9 +195,9 @@ func (a *Accelerator) SolveSparse(ctx context.Context, sys nonlin.SparseSystem, 
 	sol := Solution{W: la.Copy(sr.Y)}
 	wq := make([]float64, n)
 	for i, v := range sr.Y {
-		q := v
+		q := a.adcOut(i, v)
 		if noisy {
-			q = quantize(clamp(v, 1), a.Fabric.Config.ADCBits)
+			q = quantize(clamp(q, 1), a.Fabric.Config.ADCBits)
 		}
 		wq[i] = q
 	}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hybridpde/internal/nonlin"
+	"hybridpde/internal/problem"
+)
+
+// Rung names one rung of the degradation ladder, ordered from the paper's
+// preferred pipeline to the most conservative pure-digital fallback.
+type Rung string
+
+const (
+	// RungAnalog is the direct analog seed + digital polish pipeline.
+	RungAnalog Rung = "analog"
+	// RungDecomposed seeds through red-black decomposition (§6.3) — the
+	// planned first rung for oversize problems, and the fallback re-tiling
+	// when a full-capacity analog solve misbehaves.
+	RungDecomposed Rung = "decomposed"
+	// RungDigital is pure digital damped Newton from the original start.
+	RungDigital Rung = "digital"
+	// RungHomotopy is the global Newton homotopy (§3.2) — the last resort
+	// when damped Newton diverges from every available seed.
+	RungHomotopy Rung = "homotopy"
+)
+
+// RungAttempt accounts one attempted rung.
+type RungAttempt struct {
+	Rung Rung
+	// SeedResidual and SeedRejected describe the rung's seeding stage
+	// (zero/false for the unseeded rungs).
+	SeedResidual float64
+	SeedRejected bool
+	Converged    bool
+	Iterations   int
+	// Seconds and EnergyJ are the rung's modelled cost; failed rungs still
+	// accumulate into the final report's totals.
+	Seconds float64
+	EnergyJ float64
+	Err     string
+}
+
+// FallbackReport is the typed degradation-ladder account attached to
+// Report.Fallback.
+type FallbackReport struct {
+	// Attempts lists every rung tried, in order. It aliases ladder-owned
+	// storage; copy it to retain beyond the ladder's next solve.
+	Attempts []RungAttempt
+	// Final is the rung that produced the returned solution (empty when
+	// every rung failed).
+	Final Rung
+	// Degraded reports that Final differs from the planned first rung.
+	Degraded bool
+	// SeedRejections counts analog seeds discarded by the quality gate.
+	SeedRejections int
+}
+
+// LadderOptions tunes the degradation ladder.
+type LadderOptions struct {
+	// GateFactor is the seed-quality gate threshold (Options.SeedGate)
+	// applied to the seeded rungs: a seed is kept only when
+	// ‖F(seed)‖ ≤ GateFactor·‖F(start)‖. Default 1 — accept any seed that
+	// does not make the start worse.
+	GateFactor float64
+	// HomotopyNewton configures the homotopy rung's corrector; the zero
+	// value uses the homotopy defaults. Kept separate from Options.Newton
+	// so a crippled polish configuration cannot drag the last-resort rung
+	// down with it.
+	HomotopyNewton nonlin.NewtonOptions
+	// HomotopySteps is the λ step count of the homotopy rung. Default 30.
+	HomotopySteps int
+	// MaxHomotopyDim bounds the homotopy rung: the corrector runs on a
+	// dense Jacobian, so the rung is skipped for problems larger than
+	// this. Default 512.
+	MaxHomotopyDim int
+	// DisableHomotopy removes the homotopy rung entirely.
+	DisableHomotopy bool
+}
+
+func (o *LadderOptions) defaults() {
+	if o.GateFactor <= 0 {
+		o.GateFactor = 1
+	}
+	if o.HomotopySteps <= 0 {
+		o.HomotopySteps = 30
+	}
+	if o.MaxHomotopyDim <= 0 {
+		o.MaxHomotopyDim = 512
+	}
+}
+
+// Ladder orchestrates the degradation ladder over core.Solve. One Ladder
+// serves repeated solves (it owns reusable buffers and the FallbackReport
+// storage) and must not be shared between concurrent solves. The happy path
+// — first rung converges with an accepted seed — allocates nothing once the
+// buffers are warm, preserving the serving hot path's zero-alloc contract.
+type Ladder struct {
+	start    []float64
+	attempts [4]RungAttempt
+	fb       FallbackReport
+}
+
+// NewLadder returns an empty ladder; buffers grow on first use.
+func NewLadder() *Ladder { return &Ladder{} }
+
+func (l *Ladder) ensure(dim int) {
+	if len(l.start) != dim {
+		l.start = make([]float64, dim)
+	}
+}
+
+//pdevet:noalloc
+func (l *Ladder) push(a RungAttempt) {
+	// The backing array is fixed at the maximum rung count, so this append
+	// never grows.
+	l.fb.Attempts = append(l.fb.Attempts, a) //pdevet:allow noalloc append into fixed [4]RungAttempt backing array, never grows
+	if a.SeedRejected {
+		l.fb.SeedRejections++
+	}
+}
+
+// isCtxErr reports whether err carries a context cancellation or deadline —
+// the one failure class the ladder must not paper over with more rungs.
+func isCtxErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// Solve runs the degradation ladder: analog seed → decomposed seed → pure
+// digital damped Newton → Newton homotopy, stopping at the first rung that
+// converges. Every rung restarts from the same snapshot of the initial
+// guess. Failed rungs are accounted in the returned report's totals (their
+// modelled time and energy were genuinely spent) and itemised in
+// Report.Fallback.
+//
+// A context cancellation or deadline aborts the ladder immediately; any
+// other rung failure falls through to the next rung. When every rung fails
+// the last error is returned wrapped.
+//
+//pdevet:noalloc
+func (l *Ladder) Solve(ctx context.Context, sys problem.SparseSystem, opts Options, lopts LadderOptions) (Report, error) {
+	lopts.defaults()
+	opts.defaults()
+	dim := sys.Dim()
+	l.ensure(dim)
+	// Snapshot the start so every rung begins from the same iterate.
+	if opts.InitialGuess != nil {
+		if len(opts.InitialGuess) != dim {
+			return Report{}, errors.New("core: initial guess has wrong dimension") //pdevet:allow noalloc error path
+		}
+		copy(l.start, opts.InitialGuess)
+	} else if g, ok := sys.(problem.WarmStarter); ok {
+		g.InitialGuessInto(l.start)
+	} else {
+		copy(l.start, sys.InitialGuess())
+	}
+	opts.InitialGuess = l.start
+	if opts.SeedGate <= 0 {
+		opts.SeedGate = lopts.GateFactor
+	}
+
+	l.fb.Attempts = l.attempts[:0]
+	l.fb.Final = ""
+	l.fb.Degraded = false
+	l.fb.SeedRejections = 0
+
+	seeded := opts.Seeder != nil && !opts.SkipAnalog
+	first := RungDigital
+	digitalTried := false
+	var lastErr error
+	var spentSeconds, spentEnergy float64
+
+	if seeded {
+		// Rung 1: the configured seeding policy (direct analog, or already
+		// decomposed for oversize problems).
+		rep, err := Solve(ctx, sys, opts)
+		if isCtxErr(err) {
+			return rep, err
+		}
+		rung := RungAnalog
+		if rep.Decomposed {
+			rung = RungDecomposed
+		}
+		first = rung
+		done, out, outErr := l.seededOutcome(rung, rep, err, first, &digitalTried)
+		if done {
+			return l.finish(out, spentSeconds, spentEnergy), outErr
+		}
+		lastErr = coalesceErr(err, lastErr)
+		spentSeconds += rep.TotalSeconds
+		spentEnergy += rep.TotalEnergyJ
+
+		// Rung 2: forced decomposition with smaller tiles, when rung 1 was
+		// a direct analog solve and the problem can be tiled.
+		if rung == RungAnalog {
+			if fb := FallbackSeeder(opts.Seeder, dim); fb != nil {
+				if _, ok := sys.(problem.Decomposable); ok {
+					dopts := opts
+					dopts.Seeder = fb
+					rep, err = Solve(ctx, sys, dopts)
+					if isCtxErr(err) {
+						return rep, err
+					}
+					done, out, outErr = l.seededOutcome(RungDecomposed, rep, err, first, &digitalTried)
+					if done {
+						return l.finish(out, spentSeconds, spentEnergy), outErr
+					}
+					lastErr = coalesceErr(err, lastErr)
+					spentSeconds += rep.TotalSeconds
+					spentEnergy += rep.TotalEnergyJ
+				}
+			}
+		}
+	}
+
+	// Rung 3: pure digital damped Newton from the pristine start — unless a
+	// rejected seed above already ran exactly this (deterministically).
+	if !digitalTried {
+		dopts := opts
+		dopts.SkipAnalog = true
+		rep, err := Solve(ctx, sys, dopts)
+		if isCtxErr(err) {
+			return rep, err
+		}
+		conv := err == nil && rep.Digital.Converged
+		l.push(RungAttempt{
+			Rung: RungDigital, Converged: conv, Iterations: rep.Digital.TotalIters,
+			Seconds: rep.TotalSeconds, EnergyJ: rep.TotalEnergyJ, Err: errString(err),
+		})
+		if conv {
+			l.fb.Final = RungDigital
+			l.fb.Degraded = first != RungDigital
+			return l.finish(rep, spentSeconds, spentEnergy), nil
+		}
+		lastErr = coalesceErr(err, lastErr)
+		spentSeconds += rep.TotalSeconds
+		spentEnergy += rep.TotalEnergyJ
+	}
+
+	// Rung 4: Newton homotopy on the dense adapter.
+	if !lopts.DisableHomotopy && dim <= lopts.MaxHomotopyDim {
+		rep, err := l.homotopyRung(ctx, sys, opts, lopts, dim, first)
+		if isCtxErr(err) {
+			return rep, err
+		}
+		if err == nil {
+			return l.finish(rep, spentSeconds, spentEnergy), nil
+		}
+		lastErr = coalesceErr(err, lastErr)
+		spentSeconds += rep.TotalSeconds
+		spentEnergy += rep.TotalEnergyJ
+	}
+
+	if lastErr == nil {
+		lastErr = nonlin.ErrNoConvergence
+	}
+	rep := Report{Fallback: &l.fb, TotalSeconds: spentSeconds, TotalEnergyJ: spentEnergy}
+	return rep, fmt.Errorf("core: degradation ladder exhausted after %d rungs: %w", len(l.fb.Attempts), lastErr) //pdevet:allow noalloc error path
+}
+
+// seededOutcome records the attempt rows of one seeded Solve call and
+// decides whether the ladder is finished. A call whose seed was rejected by
+// the gate has already polished from the pristine start, i.e. it ran the
+// digital rung too; both rows are recorded and a converged polish ends the
+// ladder at RungDigital.
+//
+//pdevet:noalloc
+func (l *Ladder) seededOutcome(rung Rung, rep Report, err error, first Rung, digitalTried *bool) (bool, Report, error) {
+	conv := err == nil && rep.Digital.Converged
+	if rep.SeedRejected {
+		l.push(RungAttempt{
+			Rung: rung, SeedResidual: rep.SeedResidual, SeedRejected: true,
+			Seconds: rep.AnalogSeconds, EnergyJ: rep.AnalogEnergyJ,
+		})
+		if *digitalTried {
+			// The polish from the pristine start already ran (and failed)
+			// deterministically in an earlier rejected rung; its repeat
+			// outcome adds no information.
+			return false, rep, err
+		}
+		*digitalTried = true
+		l.push(RungAttempt{
+			Rung: RungDigital, Converged: conv, Iterations: rep.Digital.TotalIters,
+			Seconds: rep.DigitalSeconds, EnergyJ: rep.DigitalEnergyJ, Err: errString(err),
+		})
+		if conv {
+			l.fb.Final = RungDigital
+			l.fb.Degraded = first != RungDigital
+			return true, rep, nil
+		}
+		return false, rep, err
+	}
+	l.push(RungAttempt{
+		Rung: rung, SeedResidual: rep.SeedResidual, Converged: conv,
+		Iterations: rep.Digital.TotalIters,
+		Seconds:    rep.TotalSeconds, EnergyJ: rep.TotalEnergyJ, Err: errString(err),
+	})
+	if conv {
+		l.fb.Final = rung
+		l.fb.Degraded = rung != first
+		return true, rep, nil
+	}
+	return false, rep, err
+}
+
+// homotopyRung runs the last-resort global Newton homotopy and prices it
+// through the configured perf backend as dense Newton work. Only reached
+// after at least one failed rung, so allocation is acceptable here.
+func (l *Ladder) homotopyRung(ctx context.Context, sys problem.SparseSystem, opts Options, lopts LadderOptions, dim int, first Rung) (Report, error) {
+	hopts := nonlin.HomotopyOptions{Steps: lopts.HomotopySteps, Predict: true, Newton: lopts.HomotopyNewton}
+	hr, err := nonlin.NewtonHomotopy(ctx, nonlin.DenseAdapter{S: sys}, l.start, hopts)
+	// Synthesise a dense-Newton work profile for the perf model: one
+	// factorisation and one linear solve per corrector iteration.
+	res := nonlin.Result{
+		U: hr.U, Converged: hr.Converged, Residual: hr.Residual,
+		Iterations: hr.NewtonIters, TotalIters: hr.NewtonIters,
+		LinearSolves: hr.NewtonIters, FactorOps: int64(hr.NewtonIters) * factorOpsDense(dim),
+		Attempts: 1, DampingUsed: 1,
+	}
+	rep := Report{
+		U: hr.U, Digital: res, FinalResidual: hr.Residual,
+		DigitalSeconds: opts.Perf.Time(res, dim),
+		DigitalEnergyJ: opts.Perf.Energy(res, dim),
+	}
+	rep.TotalSeconds = rep.DigitalSeconds
+	rep.TotalEnergyJ = rep.DigitalEnergyJ
+	conv := err == nil && hr.Converged
+	l.push(RungAttempt{
+		Rung: RungHomotopy, Converged: conv, Iterations: hr.NewtonIters,
+		Seconds: rep.TotalSeconds, EnergyJ: rep.TotalEnergyJ, Err: errString(err),
+	})
+	if conv {
+		l.fb.Final = RungHomotopy
+		l.fb.Degraded = first != RungHomotopy
+		return rep, nil
+	}
+	if err == nil {
+		err = nonlin.ErrNoConvergence
+	}
+	return rep, err
+}
+
+// finish attaches the fallback account and folds the cost of earlier failed
+// rungs into the totals.
+//
+//pdevet:noalloc
+func (l *Ladder) finish(rep Report, spentSeconds, spentEnergy float64) Report {
+	rep.TotalSeconds += spentSeconds
+	rep.TotalEnergyJ += spentEnergy
+	rep.Fallback = &l.fb
+	return rep
+}
+
+// factorOpsDense is the ~n³/3 LU cost used to price homotopy correctors.
+func factorOpsDense(n int) int64 {
+	nn := int64(n)
+	return nn * nn * nn / 3
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// coalesceErr keeps the most recent rung failure for the exhausted-ladder
+// wrap.
+func coalesceErr(err, prev error) error {
+	if err != nil {
+		return err
+	}
+	return prev
+}

@@ -61,7 +61,13 @@ func DecomposedSeeder(accels ...*analog.Accelerator) Seeder {
 	return &decomposedSeeder{accels: accels}
 }
 
-type decomposedSeeder struct{ accels []*analog.Accelerator }
+type decomposedSeeder struct {
+	accels []*analog.Accelerator
+	// maxTileVars, when positive, caps tile size below the accelerator
+	// capacity. The degradation ladder uses it to re-tile a problem whose
+	// full-capacity analog solve misbehaved (FallbackSeeder).
+	maxTileVars int
+}
 
 func (d *decomposedSeeder) Seed(ctx context.Context, sys problem.SparseSystem, seed []float64, opts *Options, rep *Report) error {
 	if len(d.accels) == 0 {
@@ -76,6 +82,9 @@ func (d *decomposedSeeder) Seed(ctx context.Context, sys problem.SparseSystem, s
 		if c := a.Capacity(); c < capVars {
 			capVars = c
 		}
+	}
+	if d.maxTileVars > 0 && d.maxTileVars < capVars {
+		capVars = d.maxTileVars
 	}
 	tiles, err := dec.Tiles(capVars)
 	if err != nil {
@@ -189,4 +198,28 @@ func (a *analogSeeder) Seed(ctx context.Context, sys problem.SparseSystem, seed 
 		return (&directSeeder{acc: a.accels[0]}).Seed(ctx, sys, seed, opts, rep)
 	}
 	return (&decomposedSeeder{accels: a.accels}).Seed(ctx, sys, seed, opts, rep)
+}
+
+// FallbackSeeder derives the decomposed-seed rung of the degradation ladder
+// from a configured seeder: the same accelerators, forced through red-black
+// decomposition with tiles capped at roughly half the problem, so a direct
+// analog solve that misbehaved (a localised fault, a saturated region) is
+// retried as smaller subdomain solves whose errors the Gauss-Seidel sweeps
+// can contain. Returns nil when the seeder has no distinct decomposed form
+// (already decomposed, no accelerators, or not an analog seeder at all).
+func FallbackSeeder(s Seeder, dim int) Seeder {
+	maxVars := (dim + 1) / 2
+	if maxVars < 1 {
+		maxVars = 1
+	}
+	switch t := s.(type) {
+	case *analogSeeder:
+		if len(t.accels) == 0 {
+			return nil
+		}
+		return &decomposedSeeder{accels: t.accels, maxTileVars: maxVars}
+	case *directSeeder:
+		return &decomposedSeeder{accels: []*analog.Accelerator{t.acc}, maxTileVars: maxVars}
+	}
+	return nil
 }

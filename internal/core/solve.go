@@ -51,6 +51,13 @@ type Options struct {
 	// SkipAnalog disables seeding regardless of Seeder (pure digital
 	// baseline) — the ablation switch used throughout the evaluation.
 	SkipAnalog bool
+	// SeedGate, when positive, enables residual-based seed-quality gating:
+	// the analog seed is kept only when ‖F(seed)‖ ≤ SeedGate·‖F(start)‖
+	// (NaN or Inf residuals always fail). A rejected seed is discarded and
+	// the digital polish runs from the original start instead, with
+	// Report.SeedRejected set. 1 accepts any seed that does not make the
+	// start worse; the default 0 disables gating (every seed is used).
+	SeedGate float64
 	// DisableAutoDamp keeps the caller's Newton damping settings instead of
 	// forcing the paper's auto-damping schedule on the polish stage. By
 	// default Solve enables AutoDamp (the evaluation protocol); damping
@@ -94,6 +101,9 @@ type Report struct {
 	AnalogSeconds float64
 	AnalogEnergyJ float64
 	SeedResidual  float64 // ‖F(seed)‖₂
+	// Seed-quality gate (only when Options.SeedGate > 0).
+	StartResidual float64 // ‖F(start)‖₂ before seeding
+	SeedRejected  bool    // seed failed the gate; polish ran from start
 	// Decomposition stage (only for oversize problems).
 	Decomposed  bool
 	Subproblems int
@@ -106,6 +116,10 @@ type Report struct {
 	// Totals.
 	TotalSeconds float64
 	TotalEnergyJ float64
+	// Fallback is the degradation-ladder account when the solve ran through
+	// Ladder.Solve; plain Solve leaves it nil. It aliases ladder-owned
+	// storage and is only valid until the ladder's next call.
+	Fallback *FallbackReport
 }
 
 // Workspace carries the reusable buffers of repeated Solve calls: the
@@ -116,7 +130,7 @@ type Workspace struct {
 	// Newton loops (no analog stage) may use it directly.
 	Solver nonlin.SparseSolver
 
-	seed, f []float64
+	seed, f, start []float64
 	// rep and opts are per-call scratch: Seeder.Seed takes them by pointer,
 	// so stack locals would escape and cost two heap allocations per Solve.
 	rep  Report
@@ -130,6 +144,7 @@ func (w *Workspace) ensure(dim int) {
 	if len(w.seed) != dim {
 		w.seed = make([]float64, dim)
 		w.f = make([]float64, dim)
+		w.start = make([]float64, dim)
 	}
 }
 
@@ -177,6 +192,14 @@ func Solve(ctx context.Context, sys problem.SparseSystem, opts Options) (Report,
 			// the fields and constants; leave headroom for transients.
 			opts.Analog.DynamicRange = math.Max(1, 1.5*sys.MaxField())
 		}
+		gated := opts.SeedGate > 0
+		if gated {
+			copy(ws.start, seed)
+			if err := sys.Eval(seed, ws.f); err != nil {
+				return ws.rep, err
+			}
+			ws.rep.StartResidual = la.Norm2(ws.f)
+		}
 		ws.opts = opts
 		if err := seeder.Seed(ctx, sys, seed, &ws.opts, &ws.rep); err != nil {
 			return ws.rep, fmt.Errorf("core: analog stage failed: %w", err) //pdevet:allow noalloc error path
@@ -185,6 +208,13 @@ func Solve(ctx context.Context, sys problem.SparseSystem, opts Options) (Report,
 			return ws.rep, err
 		}
 		ws.rep.SeedResidual = la.Norm2(ws.f)
+		// Seed-quality gate: a seed that fails (or a non-finite residual,
+		// which fails every comparison) is discarded, and the polish runs
+		// from the pristine start.
+		if gated && !(ws.rep.SeedResidual <= opts.SeedGate*ws.rep.StartResidual) {
+			copy(seed, ws.start)
+			ws.rep.SeedRejected = true
+		}
 	}
 
 	res, err := ws.Solver.Solve(ctx, sys, seed, opts.Newton)

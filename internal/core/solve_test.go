@@ -11,6 +11,7 @@ import (
 	"hybridpde/internal/la"
 	"hybridpde/internal/nonlin"
 	"hybridpde/internal/pde"
+	"hybridpde/internal/problem"
 )
 
 func mustRandomBurgers(t *testing.T, n int, re float64, seed int64) *pde.Burgers {
@@ -377,5 +378,49 @@ func TestAnalogLABackendPricesSettleTime(t *testing.T) {
 	}
 	if math.IsNaN(PerfAnalogLA.Time(res, 0)) {
 		t.Fatal("zero-dimension pricing must be finite")
+	}
+}
+
+// cancellingSystem wraps a SparseSystem and cancels the given context after
+// a fixed number of Eval calls — simulating a client disconnect mid-Newton.
+type cancellingSystem struct {
+	problem.SparseSystem
+	cancel context.CancelFunc
+	after  int
+	evals  int
+}
+
+func (c *cancellingSystem) Eval(u, f []float64) error {
+	c.evals++
+	if c.evals == c.after {
+		c.cancel()
+	}
+	return c.SparseSystem.Eval(u, f)
+}
+
+// TestSolveCtxCancelMidNewton is the serving-layer contract on core.Solve: a
+// context cancelled in the middle of the Newton iteration aborts within one
+// iteration and surfaces as a wrapped context.Canceled.
+func TestSolveCtxCancelMidNewton(t *testing.T) {
+	b := mustRandomBurgers(t, 3, 0.5, 17)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The first Eval of the polish computes the initial residual; cancelling
+	// on the second lands mid-iteration.
+	sys := &cancellingSystem{SparseSystem: b, cancel: cancel, after: 2}
+	rep, err := Solve(ctx, sys, Options{SkipAnalog: true})
+	if err == nil {
+		t.Fatal("cancelled solve must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v must wrap context.Canceled (errors.Is)", err)
+	}
+	if rep.Digital.TotalIters > 1 {
+		t.Fatalf("solve ran %d iterations after cancellation, want abort within one", rep.Digital.TotalIters)
+	}
+	// An uncancelled control converges, pinning the wrapper as inert.
+	ctrl := &cancellingSystem{SparseSystem: mustRandomBurgers(t, 3, 0.5, 17), cancel: func() {}, after: -1}
+	if rep, err := Solve(context.Background(), ctrl, Options{SkipAnalog: true}); err != nil || !rep.Digital.Converged {
+		t.Fatalf("control solve failed: %v", err)
 	}
 }

@@ -1,0 +1,42 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFaultSpec asserts the parser's two contracts on arbitrary input:
+// it never panics, and anything it accepts is a valid spec that compiles
+// into an injector. The committed corpus under testdata/fuzz seeds both
+// front-ends (text and JSON) plus the built-in chaos spec.
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add(DefaultChaosText)
+	f.Add("seed 3\nstuck *\ndac-drift 1 0.5 -0.1\n")
+	f.Add("burst 0.5 1.25 0 100\ndead-tile 7\nsaturation 0.01\n")
+	f.Add(`{"seed": 5, "faults": [{"kind": "railed", "var": -1}]}`)
+	f.Add(`{"faults": [{"kind": "burst", "prob": 1, "amp": 2}]}`)
+	f.Add("# only comments\n\n   \n")
+	f.Add("stuck")
+	f.Add("seed 9223372036854775807\nrailed 2147483647\n")
+	f.Add(`{"faults": [{"kind": "dac-drift", "var": 0, "gain": 1e308, "offset": -1e308}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := ParseSpec(src)
+		if err != nil {
+			if spec != nil {
+				t.Fatal("ParseSpec returned both a spec and an error")
+			}
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails Validate: %v\ninput: %q", err, src)
+		}
+		if _, err := New(spec, 1); err != nil {
+			t.Fatalf("accepted spec fails to compile: %v\ninput: %q", err, src)
+		}
+		// The parsed fault count is bounded by the line/element count, so a
+		// pathological input can't smuggle in unbounded state.
+		if len(spec.Faults) > strings.Count(src, "\n")+strings.Count(src, "{")+1 {
+			t.Fatalf("spec has %d faults from %d-byte input", len(spec.Faults), len(src))
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a fault specification from either of its two front-ends
+// and validates it. Input whose first non-blank byte is '{' is decoded as
+// the JSON form of Spec (unknown fields rejected); anything else is the
+// line-oriented text form:
+//
+//	# comment
+//	seed <n>
+//	stuck <var|*>
+//	railed <var|*>
+//	dac-drift <var|*> <gain> <offset>
+//	adc-drift <var|*> <gain> <offset>
+//	saturation <factor>
+//	burst <prob> <amp> [<from> <to>]
+//	dead-tile <tile>
+//
+// Variables are zero-based; "*" applies the fault to every variable.
+func ParseSpec(src string) (*Spec, error) {
+	if t := strings.TrimSpace(src); strings.HasPrefix(t, "{") {
+		return parseJSON(t)
+	}
+	return parseText(src)
+}
+
+func parseJSON(src string) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader([]byte(src)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fault: spec JSON: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("fault: spec JSON: trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func parseText(src string) (*Spec, error) {
+	s := &Spec{}
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseLine(s, line); err != nil {
+			return nil, fmt.Errorf("fault: spec line %d: %w", ln+1, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseLine(s *Spec, line string) error {
+	fields := strings.Fields(line)
+	op, args := fields[0], fields[1:]
+	switch op {
+	case "seed":
+		if len(args) != 1 {
+			return fmt.Errorf("seed wants 1 argument, got %d", len(args))
+		}
+		v, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("seed: %w", err)
+		}
+		s.Seed = v
+	case KindStuck, KindRailed:
+		if len(args) != 1 {
+			return fmt.Errorf("%s wants <var|*>, got %d arguments", op, len(args))
+		}
+		v, err := parseVar(args[0])
+		if err != nil {
+			return err
+		}
+		s.Faults = append(s.Faults, Fault{Kind: op, Var: v})
+	case KindDACDrift, KindADCDrift:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants <var|*> <gain> <offset>, got %d arguments", op, len(args))
+		}
+		v, err := parseVar(args[0])
+		if err != nil {
+			return err
+		}
+		gain, err := parseFloat(args[1], "gain")
+		if err != nil {
+			return err
+		}
+		off, err := parseFloat(args[2], "offset")
+		if err != nil {
+			return err
+		}
+		s.Faults = append(s.Faults, Fault{Kind: op, Var: v, Gain: gain, Offset: off})
+	case KindSaturation:
+		if len(args) != 1 {
+			return fmt.Errorf("saturation wants <factor>, got %d arguments", len(args))
+		}
+		f, err := parseFloat(args[0], "factor")
+		if err != nil {
+			return err
+		}
+		s.Faults = append(s.Faults, Fault{Kind: op, Factor: f})
+	case KindBurst:
+		if len(args) != 2 && len(args) != 4 {
+			return fmt.Errorf("burst wants <prob> <amp> [<from> <to>], got %d arguments", len(args))
+		}
+		prob, err := parseFloat(args[0], "prob")
+		if err != nil {
+			return err
+		}
+		amp, err := parseFloat(args[1], "amp")
+		if err != nil {
+			return err
+		}
+		f := Fault{Kind: op, Prob: prob, Amp: amp}
+		if len(args) == 4 {
+			if f.From, err = parseFloat(args[2], "from"); err != nil {
+				return err
+			}
+			if f.To, err = parseFloat(args[3], "to"); err != nil {
+				return err
+			}
+		}
+		s.Faults = append(s.Faults, f)
+	case KindDeadTile:
+		if len(args) != 1 {
+			return fmt.Errorf("dead-tile wants <tile>, got %d arguments", len(args))
+		}
+		t, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("tile: %w", err)
+		}
+		s.Faults = append(s.Faults, Fault{Kind: op, Tile: t})
+	default:
+		return fmt.Errorf("unknown directive %q", op)
+	}
+	return nil
+}
+
+func parseVar(tok string) (int, error) {
+	if tok == "*" {
+		return AllVars, nil
+	}
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("variable: %w", err)
+	}
+	return v, nil
+}
+
+func parseFloat(tok, what string) (float64, error) {
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", what, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTextGrammar(t *testing.T) {
+	spec, err := ParseSpec(`# header comment
+seed 42
+
+stuck 3
+railed *
+dac-drift 0 0.1 -0.05
+adc-drift * -0.2 0.01
+saturation 0.5
+burst 0.25 1.5 2 10
+burst 1 0.5
+dead-tile 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 42 {
+		t.Fatalf("seed %d, want 42", spec.Seed)
+	}
+	want := []Fault{
+		{Kind: KindStuck, Var: 3},
+		{Kind: KindRailed, Var: AllVars},
+		{Kind: KindDACDrift, Var: 0, Gain: 0.1, Offset: -0.05},
+		{Kind: KindADCDrift, Var: AllVars, Gain: -0.2, Offset: 0.01},
+		{Kind: KindSaturation, Factor: 0.5},
+		{Kind: KindBurst, Prob: 0.25, Amp: 1.5, From: 2, To: 10},
+		{Kind: KindBurst, Prob: 1, Amp: 0.5},
+		{Kind: KindDeadTile, Tile: 2},
+	}
+	if len(spec.Faults) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(spec.Faults), len(want))
+	}
+	for i := range want {
+		if spec.Faults[i] != want[i] {
+			t.Errorf("fault %d: %+v, want %+v", i, spec.Faults[i], want[i])
+		}
+	}
+	if !spec.Transient() {
+		t.Fatal("spec with bursts must report Transient")
+	}
+}
+
+func TestParseJSONForm(t *testing.T) {
+	spec, err := ParseSpec(`{
+  "seed": 7,
+  "faults": [
+    {"kind": "stuck", "var": 0},
+    {"kind": "burst", "prob": 0.5, "amp": 1, "from": 1, "to": 4}
+  ]
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 || len(spec.Faults) != 2 {
+		t.Fatalf("bad JSON parse: %+v", spec)
+	}
+	if spec.Faults[0].Kind != KindStuck || spec.Faults[1].To != 4 {
+		t.Fatalf("bad JSON fields: %+v", spec.Faults)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown directive", "frobnicate 1", "unknown directive"},
+		{"bad seed", "seed x", "seed"},
+		{"stuck arity", "stuck 1 2", "arguments"},
+		{"bad variable", "stuck -5", "out of range"},
+		{"drift arity", "dac-drift 0 0.1", "arguments"},
+		{"collapsing gain", "adc-drift 0 -1.5 0", "collapses"},
+		{"saturation range", "saturation 1.5", "outside (0, 1]"},
+		{"burst probability", "burst 2 1", "outside [0, 1]"},
+		{"burst window", "burst 0.5 1 10 2", "invalid"},
+		{"negative tile", "dead-tile -1", "out of range"},
+		{"json unknown field", `{"faults": [], "bogus": 1}`, "bogus"},
+		{"json trailing data", `{"faults": []} {"faults": []}`, "trailing"},
+		{"json bad kind", `{"faults": [{"kind": "nope", "var": 0}]}`, "unknown kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.src)
+			if err == nil {
+				t.Fatalf("%q parsed without error", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseTextLineNumbersInErrors(t *testing.T) {
+	_, err := ParseSpec("seed 1\n\n# fine\nbogus 2\n")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %v should carry the 1-based line number", err)
+	}
+}
+
+func TestDefaultChaosSpec(t *testing.T) {
+	spec := DefaultChaosSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Faults) == 0 {
+		t.Fatal("built-in chaos spec is empty")
+	}
+	if !spec.Transient() {
+		t.Fatal("built-in chaos spec must contain a transient fault (retry path coverage)")
+	}
+}

@@ -1,0 +1,165 @@
+// Package fault is a deterministic, seeded fault-injection layer for the
+// analog behavioural model. The paper's §6 argues the hybrid method is safe
+// precisely because the digital stage tolerates analog error; this package
+// manufactures that error on demand — beyond the calibrated envelope — so
+// the degradation ladder and the serving layer can prove the claim under
+// live faults.
+//
+// A Spec is a list of fault classes, parsed from a line-oriented text or
+// JSON description (ParseSpec) and compiled into an analog.Injector (New).
+// Every random choice an injector makes is drawn from its own seeded
+// generator, and only at run boundaries, so a fixed seed reproduces a fault
+// sequence bit for bit.
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fault kinds, mirroring the paper's §6 error sources pushed past
+// calibration (see DESIGN.md for the taxonomy table).
+const (
+	// KindStuck pins a variable's integrator: its state never moves.
+	KindStuck = "stuck"
+	// KindRailed drives a variable's integrator toward the positive rail.
+	KindRailed = "railed"
+	// KindDACDrift applies gain/offset drift to input converters.
+	KindDACDrift = "dac-drift"
+	// KindADCDrift applies gain/offset drift to output converters.
+	KindADCDrift = "adc-drift"
+	// KindSaturation shrinks the usable dynamic range by a factor.
+	KindSaturation = "saturation"
+	// KindBurst superposes a transient disturbance on integrator drives,
+	// activated per run with a given probability.
+	KindBurst = "burst"
+	// KindDeadTile removes one tile from the fabric's usable capacity.
+	KindDeadTile = "dead-tile"
+)
+
+// AllVars is the wildcard variable selector ("*" in the text form): the
+// fault applies to every hosted variable.
+const AllVars = -1
+
+// Fault describes one injected non-ideality. Which fields are meaningful
+// depends on Kind; Validate enforces the per-kind constraints.
+type Fault struct {
+	Kind string `json:"kind"`
+	// Var selects the affected variable for stuck/railed/dac-drift/
+	// adc-drift; AllVars (-1) hits every variable.
+	Var int `json:"var"`
+	// Tile is the dead tile index (dead-tile).
+	Tile int `json:"tile,omitempty"`
+	// Gain and Offset are multiplicative (v → v·(1+Gain)+Offset) converter
+	// drift, in normalised full-scale units (dac-drift/adc-drift).
+	Gain   float64 `json:"gain,omitempty"`
+	Offset float64 `json:"offset,omitempty"`
+	// Factor scales the saturation limit, in (0, 1] (saturation).
+	Factor float64 `json:"factor,omitempty"`
+	// Prob is the per-run activation probability of a burst, in [0, 1].
+	Prob float64 `json:"prob,omitempty"`
+	// Amp is the burst disturbance amplitude (normalised units per τ).
+	Amp float64 `json:"amp,omitempty"`
+	// From and To bound the burst window in integrator time constants;
+	// both zero means the whole run.
+	From float64 `json:"from,omitempty"`
+	To   float64 `json:"to,omitempty"`
+}
+
+// Spec is a complete fault-injection description.
+type Spec struct {
+	// Seed drives every random draw of the compiled injector. Injector
+	// owners may salt it (e.g. per worker) via New's salt argument.
+	Seed   int64   `json:"seed,omitempty"`
+	Faults []Fault `json:"faults"`
+}
+
+// Validate checks per-kind field constraints. ParseSpec validates before
+// returning, so hand-built specs are the only ones that need an explicit
+// call.
+func (s *Spec) Validate() error {
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("fault: fault %d (%s): %w", i, f.Kind, err)
+		}
+	}
+	return nil
+}
+
+func (f *Fault) validate() error {
+	switch f.Kind {
+	case KindStuck, KindRailed:
+		if f.Var < AllVars {
+			return fmt.Errorf("variable %d out of range", f.Var)
+		}
+	case KindDACDrift, KindADCDrift:
+		if f.Var < AllVars {
+			return fmt.Errorf("variable %d out of range", f.Var)
+		}
+		if !isFinite(f.Gain) || !isFinite(f.Offset) {
+			return fmt.Errorf("gain/offset must be finite")
+		}
+		if f.Gain <= -1 {
+			return fmt.Errorf("gain %g collapses the converter (must be > -1)", f.Gain)
+		}
+	case KindSaturation:
+		if !(f.Factor > 0 && f.Factor <= 1) {
+			return fmt.Errorf("factor %g outside (0, 1]", f.Factor)
+		}
+	case KindBurst:
+		if !(f.Prob >= 0 && f.Prob <= 1) {
+			return fmt.Errorf("probability %g outside [0, 1]", f.Prob)
+		}
+		if !isFinite(f.Amp) || f.Amp < 0 {
+			return fmt.Errorf("amplitude %g must be finite and non-negative", f.Amp)
+		}
+		if !isFinite(f.From) || !isFinite(f.To) || f.From < 0 || f.To < f.From {
+			return fmt.Errorf("window [%g, %g) invalid", f.From, f.To)
+		}
+	case KindDeadTile:
+		if f.Tile < 0 {
+			return fmt.Errorf("tile %d out of range", f.Tile)
+		}
+	default:
+		return fmt.Errorf("unknown kind")
+	}
+	return nil
+}
+
+// Transient reports whether the spec contains any per-run transient fault
+// (noise bursts) — i.e. whether retrying a degraded solve can hope for a
+// different outcome.
+func (s *Spec) Transient() bool {
+	for i := range s.Faults {
+		if s.Faults[i].Kind == KindBurst {
+			return true
+		}
+	}
+	return false
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// DefaultChaosText is the built-in spec behind pdeserved's -chaos flag: a
+// representative mix of every permanent-versus-transient regime — one
+// integrator railed and one stuck (seeds always fail the gate, exercising
+// the digital rung), mild converter drift, a shrunken dynamic range, and a
+// probabilistic mid-run burst (exercising per-request retries).
+const DefaultChaosText = `# built-in chaos spec (pdeserved -chaos)
+seed 1
+railed 0
+stuck 1
+adc-drift * 0.08 0.02
+saturation 0.7
+burst 0.35 0.5 5 25
+`
+
+// DefaultChaosSpec returns the parsed built-in chaos spec.
+func DefaultChaosSpec() *Spec {
+	s, err := ParseSpec(DefaultChaosText)
+	if err != nil {
+		panic("fault: built-in chaos spec invalid: " + err.Error())
+	}
+	return s
+}

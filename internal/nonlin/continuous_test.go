@@ -165,3 +165,42 @@ func TestNewtonFlowSingularitySurfaced(t *testing.T) {
 		t.Fatal("expected singular Jacobian error at z=0")
 	}
 }
+
+// TestNewtonHomotopyGlobal exercises the global Newton homotopy
+// G(u,λ) = F(u) − (1−λ)F(u₀): the start u₀ is a root of G(·,0) by
+// construction, so the homotopy needs no hand-built simple system. atan is
+// the classic case where undamped Newton diverges from |u₀| ≳ 1.392; the
+// homotopy must still reach the root.
+func TestNewtonHomotopyGlobal(t *testing.T) {
+	res, err := NewtonHomotopy(nil, atanScalar(), []float64{10}, HomotopyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.U[0]) > 1e-8 {
+		t.Fatalf("homotopy missed the atan root: %+v", res)
+	}
+	if res.NewtonIters == 0 || res.LambdaSteps == 0 {
+		t.Fatalf("homotopy accounting empty: %+v", res)
+	}
+}
+
+func TestNewtonHomotopyCoupledQuadratic(t *testing.T) {
+	hard := coupledQuadratic(1.0, -1.0)
+	res, err := NewtonHomotopy(nil, hard, []float64{3, -3}, HomotopyOptions{Steps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := make([]float64, 2)
+	if err := hard.Eval(res.U, f); err != nil {
+		t.Fatal(err)
+	}
+	if la.Norm2(f) > 1e-8 {
+		t.Fatalf("endpoint is not a root of the hard system: ‖F‖=%g", la.Norm2(f))
+	}
+}
+
+func TestNewtonHomotopyDimensionMismatch(t *testing.T) {
+	if _, err := NewtonHomotopy(nil, atanScalar(), []float64{1, 2}, HomotopyOptions{}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}

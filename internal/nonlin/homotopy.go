@@ -296,3 +296,34 @@ func SquareRootsSimple(dim int) System {
 		},
 	}
 }
+
+// NewtonHomotopy runs the global (Newton) homotopy on a single system: the
+// start system S(u) = F(u) − F(u₀) has the known root u₀ and the same
+// Jacobian as F, so G(u, λ) = F(u) − (1−λ)·F(u₀) drags u₀ along a root path
+// toward a root of F as λ ramps 0 → 1. It is the degradation ladder's
+// last-resort rung: when damped Newton has diverged from every available
+// seed, continuation replaces the basin gamble with path tracking.
+func NewtonHomotopy(ctx context.Context, sys System, u0 []float64, opts HomotopyOptions) (HomotopyResult, error) {
+	n := sys.Dim()
+	if len(u0) != n {
+		return HomotopyResult{}, errors.New("nonlin: homotopy start has wrong dimension")
+	}
+	f0 := make([]float64, n)
+	if err := sys.Eval(u0, f0); err != nil {
+		return HomotopyResult{}, err
+	}
+	simple := FuncSystem{
+		N: n,
+		F: func(u, f []float64) error {
+			if err := sys.Eval(u, f); err != nil {
+				return err
+			}
+			for i := range f {
+				f[i] -= f0[i]
+			}
+			return nil
+		},
+		J: sys.Jacobian,
+	}
+	return Homotopy(ctx, simple, sys, u0, opts)
+}

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"hybridpde/internal/analog"
 	"hybridpde/internal/nonlin"
@@ -35,6 +37,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	release, ok := s.admit()
 	if !ok {
+		if s.isDraining() {
+			s.reject(w, req.Problem, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
 		s.m.queueRejects.inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
 		s.reject(w, req.Problem, http.StatusTooManyRequests, "admission queue full")
@@ -55,10 +61,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	started := now()
 	solveErr := wk.run(ctx, &req, &resp)
+	// Transient-fault rungs are worth a bounded number of retries while the
+	// worker is still held: a degraded solve under a transient fault spec
+	// (or a non-client solve failure) may succeed cleanly on the next run.
+	// Backoff is capped and jittered, and always bounded by the request
+	// deadline.
+	for retry := 0; retry < s.cfg.MaxRetries && s.shouldRetry(solveErr, &resp); retry++ {
+		if !sleepBackoff(ctx, wk.rng, retry, s.cfg.RetryBackoff) {
+			break
+		}
+		s.m.retries.inc()
+		resp = Response{Problem: req.Problem, QueueSeconds: resp.QueueSeconds}
+		solveErr = wk.run(ctx, &req, &resp)
+	}
 	resp.SolveSeconds = since(started)
-	s.releaseWorker(wk)
 
+	// account consumes resp.fallback, which aliases worker-owned ladder
+	// storage — it must run before the worker can serve another request.
 	code := s.account(&req, &resp, solveErr)
+	s.releaseWorker(wk)
+	resp.fallback = nil
 	if solveErr != nil && code != http.StatusOK {
 		resp.Error = solveErr.Error()
 	}
@@ -72,7 +94,7 @@ func (s *Server) account(req *Request, resp *Response, err error) int {
 	code := http.StatusOK
 	switch {
 	case err == nil:
-	case errors.Is(err, nonlin.ErrNoConvergence):
+	case errors.Is(err, nonlin.ErrNoConvergence), errors.Is(err, nonlin.ErrDiverged):
 		resp.Error = "solver did not converge: " + err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
@@ -85,6 +107,18 @@ func (s *Server) account(req *Request, resp *Response, err error) int {
 		code = http.StatusInternalServerError
 	}
 	s.m.requests.with(req.Problem, strconv.Itoa(code)).inc()
+	if fb := resp.fallback; fb != nil {
+		for i := range fb.Attempts {
+			s.m.ladderAttempts.with(string(fb.Attempts[i].Rung)).inc()
+		}
+		s.m.seedsRejected.add(uint64(fb.SeedRejections))
+		if code == http.StatusOK && fb.Final != "" {
+			s.m.ladderServed.with(string(fb.Final)).inc()
+			if fb.Degraded {
+				s.m.degraded.inc()
+			}
+		}
+	}
 	if code == http.StatusOK {
 		s.m.solveLatency.observe(resp.SolveSeconds)
 		if resp.Iterations > 0 {
@@ -98,6 +132,44 @@ func (s *Server) account(req *Request, resp *Response, err error) int {
 		}
 	}
 	return code
+}
+
+// shouldRetry decides whether another run of the same request on the same
+// worker could plausibly do better: transient faults make degraded or
+// rejected-seed outcomes luck-of-the-draw (the injector redraws burst
+// activations every run), and non-client solve failures are worth one more
+// attempt regardless. Context errors and client errors never retry.
+func (s *Server) shouldRetry(err error, resp *Response) bool {
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, analog.ErrInsufficientHardware) || isClientSolveError(err) {
+			return false
+		}
+		return true
+	}
+	return s.transientFaults && (resp.Degraded || resp.SeedRejected)
+}
+
+// sleepBackoff waits one rung of the capped exponential jittered backoff
+// (base·2^attempt plus up to 50% jitter, capped at 250ms), returning false
+// if ctx expires first. The RNG belongs to the worker held by this request,
+// so drawing jitter from it is race-free; determinism of solves is
+// unaffected because refill reseeds it per request.
+func sleepBackoff(ctx context.Context, rng *rand.Rand, attempt int, base time.Duration) bool {
+	d := base << attempt
+	const capBackoff = 250 * time.Millisecond
+	if d > capBackoff {
+		d = capBackoff
+	}
+	d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // isClientSolveError recognises failures caused by the request content

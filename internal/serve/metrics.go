@@ -20,6 +20,7 @@ import (
 type counter struct{ v atomic.Uint64 }
 
 func (c *counter) inc()          { c.v.Add(1) }
+func (c *counter) add(n uint64)  { c.v.Add(n) }
 func (c *counter) value() uint64 { return c.v.Load() }
 
 // gauge is an instantaneous level (queue depth, in-flight solves).
@@ -90,6 +91,14 @@ type metrics struct {
 	newtonIters   *histogram  // Newton iterations of the digital polish
 	seedsTotal    counter     // solves that ran the analog seeding stage
 	seedsAccepted counter     // seeds that improved on the initial residual
+
+	// Degradation-ladder plane (see internal/core ladder + internal/fault).
+	ladderAttempts *counterVec // labels: rung — rungs attempted, converged or not
+	ladderServed   *counterVec // labels: rung — final rung of each 200 response
+	degraded       counter     // 200s served below the planned pipeline
+	seedsRejected  counter     // analog seeds rejected by the quality gate
+	retries        counter     // in-handler retries of transient-fault solves
+	faultsActive   gauge       // configured fault count (0 outside chaos mode)
 }
 
 func newServeMetrics() *metrics {
@@ -100,7 +109,9 @@ func newServeMetrics() *metrics {
 		solveLatency: newHistogram(0.00025, 0.0005, 0.001, 0.002, 0.004,
 			0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048,
 			4.096, 8.192),
-		newtonIters: newHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		newtonIters:    newHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		ladderAttempts: newCounterVec("rung"),
+		ladderServed:   newCounterVec("rung"),
 	}
 }
 
@@ -111,23 +122,27 @@ func (m *metrics) writeProm(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	}
 
-	writeHeader("pdeserve_requests_total", "Solve requests by problem kind and HTTP status code.", "counter")
-	m.requests.mu.Lock()
-	keys := make([]string, 0, len(m.requests.vals))
-	for k := range m.requests.vals {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		values := strings.Split(k, "\xff")
-		parts := make([]string, len(values))
-		for i, lv := range values {
-			parts[i] = fmt.Sprintf("%s=%q", m.requests.labels[i], lv)
+	writeVec := func(name, help string, v *counterVec) {
+		writeHeader(name, help, "counter")
+		v.mu.Lock()
+		keys := make([]string, 0, len(v.vals))
+		for k := range v.vals {
+			keys = append(keys, k)
 		}
-		fmt.Fprintf(w, "pdeserve_requests_total{%s} %d\n",
-			strings.Join(parts, ","), m.requests.vals[k].value())
+		sort.Strings(keys)
+		for _, k := range keys {
+			values := strings.Split(k, "\xff")
+			parts := make([]string, len(values))
+			for i, lv := range values {
+				parts[i] = fmt.Sprintf("%s=%q", v.labels[i], lv)
+			}
+			fmt.Fprintf(w, "%s{%s} %d\n",
+				name, strings.Join(parts, ","), v.vals[k].value())
+		}
+		v.mu.Unlock()
 	}
-	m.requests.mu.Unlock()
+
+	writeVec("pdeserve_requests_total", "Solve requests by problem kind and HTTP status code.", m.requests)
 
 	writeHeader("pdeserve_queue_rejects_total", "Requests rejected with 429 because the admission queue was full.", "counter")
 	fmt.Fprintf(w, "pdeserve_queue_rejects_total %d\n", m.queueRejects.value())
@@ -151,6 +166,21 @@ func (m *metrics) writeProm(w io.Writer) {
 
 	writeHeader("pdeserve_analog_seeds_accepted_total", "Analog seeds that improved on the initial residual (acceptance rate = accepted/total).", "counter")
 	fmt.Fprintf(w, "pdeserve_analog_seeds_accepted_total %d\n", m.seedsAccepted.value())
+
+	writeHeader("pdeserve_analog_seeds_rejected_total", "Analog seeds rejected by the degradation ladder's quality gate.", "counter")
+	fmt.Fprintf(w, "pdeserve_analog_seeds_rejected_total %d\n", m.seedsRejected.value())
+
+	writeVec("pdeserve_ladder_attempts_total", "Degradation-ladder rungs attempted, by rung (converged or not).", m.ladderAttempts)
+	writeVec("pdeserve_ladder_served_total", "Final rung that served each successful solve, by rung.", m.ladderServed)
+
+	writeHeader("pdeserve_degraded_total", "Successful solves served below the planned pipeline rung.", "counter")
+	fmt.Fprintf(w, "pdeserve_degraded_total %d\n", m.degraded.value())
+
+	writeHeader("pdeserve_retries_total", "In-handler retries of degraded or transiently failed solves.", "counter")
+	fmt.Fprintf(w, "pdeserve_retries_total %d\n", m.retries.value())
+
+	writeHeader("pdeserve_fault_injection_active", "Number of configured fault classes (0 outside chaos mode).", "gauge")
+	fmt.Fprintf(w, "pdeserve_fault_injection_active %d\n", m.faultsActive.value())
 }
 
 func (m *metrics) writeHistogram(w io.Writer, name, help string, h *histogram) {

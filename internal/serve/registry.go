@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"math"
+
+	"hybridpde/internal/core"
 )
 
 // Problem kinds the service accepts. Each grid kind maps a (n, re, order,
@@ -75,6 +77,18 @@ type Response struct {
 	// Modeled cost (internal/perfmodel), machine-independent.
 	ModelSeconds float64 `json:"model_seconds,omitempty"`
 	ModelEnergyJ float64 `json:"model_energy_j,omitempty"`
+
+	// Degradation-ladder outcome. Degraded means the solve converged on a
+	// rung below the planned pipeline — a 200 with this flag set is the
+	// structured alternative to failing the request.
+	Degraded     bool   `json:"degraded,omitempty"`
+	Rung         string `json:"rung,omitempty"`
+	SeedRejected bool   `json:"seed_rejected,omitempty"`
+	RungAttempts int    `json:"rung_attempts,omitempty"`
+	// fallback is the metrics plane's view of the ladder account. It
+	// aliases worker-owned storage, so it must be consumed (account) before
+	// the worker is released; it is deliberately not serialised.
+	fallback *core.FallbackReport
 
 	// Netlist program outcome.
 	Components  int  `json:"components,omitempty"`

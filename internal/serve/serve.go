@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"hybridpde/internal/core"
+	"hybridpde/internal/fault"
 )
 
 // Config tunes the service. The zero value is usable: every field has a
@@ -50,6 +51,24 @@ type Config struct {
 	// RetryAfterSeconds is the Retry-After hint on 429 responses.
 	// Default 1.
 	RetryAfterSeconds int
+	// Faults, when non-nil, injects the given fault specification into
+	// every worker accelerator (chaos mode). Injector seeds are salted per
+	// worker and capacity, so a fixed Seed reproduces the whole fleet's
+	// fault sequence. The spec must be valid (ParseSpec output is; validate
+	// hand-built specs first).
+	Faults *fault.Spec
+	// SeedGate is the degradation ladder's seed-quality gate factor: an
+	// analog seed is kept only when ‖F(seed)‖ ≤ SeedGate·‖F(start)‖.
+	// Default 1 — reject seeds that make the start worse.
+	SeedGate float64
+	// MaxRetries bounds per-request retries of degraded or transiently
+	// failed solves (only attempted while the fault spec contains transient
+	// faults, or on non-client solve errors). 0 defaults to 2; negative
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the base of the capped exponential jittered backoff
+	// between retries. Default 10ms.
+	RetryBackoff time.Duration
 }
 
 func (c *Config) defaults() {
@@ -77,6 +96,15 @@ func (c *Config) defaults() {
 	if c.RetryAfterSeconds <= 0 {
 		c.RetryAfterSeconds = 1
 	}
+	if c.SeedGate <= 0 {
+		c.SeedGate = 1
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
 }
 
 // Server is the solve service. Create with NewServer, expose via Handler
@@ -97,6 +125,9 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 	pool     *core.WorkspacePool
+	// transientFaults caches Faults.Transient(): whether retrying a
+	// degraded solve can hope for a different outcome.
+	transientFaults bool
 }
 
 // NewServer builds the service: the worker fleet is created eagerly (each
@@ -112,7 +143,11 @@ func NewServer(cfg Config) *Server {
 		pool:       core.NewWorkspacePool(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		s.workers <- newWorker(s.pool, cfg.Seed+int64(i))
+		s.workers <- newWorker(&s.cfg, s.pool, cfg.Seed+int64(i))
+	}
+	if cfg.Faults != nil {
+		s.transientFaults = cfg.Faults.Transient()
+		s.m.faultsActive.set(int64(len(cfg.Faults.Faults)))
 	}
 	return s
 }
@@ -181,15 +216,28 @@ func (s *Server) isDraining() bool {
 }
 
 // admit tries to claim a queue slot without blocking; ok=false is the
-// backpressure signal. The caller must call the returned release exactly
-// once after the request completes.
+// backpressure signal (or, while draining, the shutdown signal — the caller
+// distinguishes via isDraining). The caller must call the returned release
+// exactly once after the request completes.
+//
+// The in-flight count is incremented under drainMu so it strictly precedes
+// BeginDrain's flag flip: every request Drain's Wait can miss is one the
+// admission gate has already refused, which keeps the WaitGroup's
+// Add-versus-Wait ordering sound.
 func (s *Server) admit() (release func(), ok bool) {
 	select {
 	case s.queueSlots <- struct{}{}:
 	default:
 		return nil, false
 	}
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		<-s.queueSlots
+		return nil, false
+	}
 	s.inflight.Add(1)
+	s.drainMu.Unlock()
 	s.m.queueDepth.inc()
 	return func() {
 		<-s.queueSlots

@@ -7,6 +7,7 @@ import (
 
 	"hybridpde/internal/analog"
 	"hybridpde/internal/core"
+	"hybridpde/internal/fault"
 	"hybridpde/internal/la"
 	"hybridpde/internal/pde"
 	"hybridpde/internal/problem"
@@ -34,6 +35,14 @@ type worker struct {
 	// request and freed (FreeAll) after each one.
 	fab  *analog.Fabric
 	seed int64 // server base seed for fabrics and accelerators
+	// ladder orchestrates the degradation ladder over the workspace;
+	// lopts/gate come from the server config.
+	ladder *core.Ladder
+	lopts  core.LadderOptions
+	gate   float64
+	// faults, when non-nil, is attached (salted) to every accelerator this
+	// worker builds.
+	faults *fault.Spec
 }
 
 // gridKey identifies a cached problem shape. Every field the constructors
@@ -58,13 +67,17 @@ type gridEntry struct {
 	f       []float64          // residual scratch
 }
 
-func newWorker(pool *core.WorkspacePool, seed int64) *worker {
+func newWorker(cfg *Config, pool *core.WorkspacePool, seed int64) *worker {
 	return &worker{
 		ws:      pool.Get(),
 		rng:     rand.New(rand.NewSource(seed)),
 		grid:    map[gridKey]*gridEntry{},
 		seeders: map[int]core.Seeder{},
 		seed:    seed,
+		ladder:  core.NewLadder(),
+		lopts:   core.LadderOptions{GateFactor: cfg.SeedGate},
+		gate:    cfg.SeedGate,
+		faults:  cfg.Faults,
 	}
 }
 
@@ -131,7 +144,9 @@ func (wk *worker) entry(req *Request) (*gridEntry, error) {
 // seederFor returns the cached analog seeder for the given accelerator
 // capacity, building the accelerator on first use. The accelerator seed
 // folds in the capacity so differently-sized fabrics draw independent
-// mismatch, while staying deterministic in the server seed.
+// mismatch, while staying deterministic in the server seed. In chaos mode
+// the configured fault spec is compiled into an injector with the same
+// salt, so the fault sequence is equally deterministic.
 func (wk *worker) seederFor(vars int) (core.Seeder, error) {
 	if s, ok := wk.seeders[vars]; ok {
 		return s, nil
@@ -139,6 +154,13 @@ func (wk *worker) seederFor(vars int) (core.Seeder, error) {
 	tiles := analog.PrototypeChip.Tiles
 	chips := (vars + tiles - 1) / tiles
 	acc := analog.NewAccelerator(analog.Config{Chips: chips, Seed: wk.seed + int64(vars)})
+	if wk.faults != nil {
+		inj, err := fault.New(wk.faults, wk.seed+int64(vars))
+		if err != nil {
+			return nil, fmt.Errorf("serve: fault spec: %w", err)
+		}
+		acc.SetInjector(inj)
+	}
 	s := core.AnalogSeeder(acc)
 	wk.seeders[vars] = s
 	return s, nil
@@ -231,18 +253,25 @@ func (wk *worker) solveGrid(ctx context.Context, req *Request, e *gridEntry, see
 	}
 	resp.InitialResidual = la.Norm2(e.f)
 
-	rep, err := core.Solve(ctx, e.sys, opts)
+	rep, err := wk.ladder.Solve(ctx, e.sys, opts, wk.lopts)
 	resp.Converged = rep.Digital.Converged
 	resp.Iterations = rep.Digital.TotalIters
 	resp.Residual = rep.FinalResidual
 	resp.SeedResidual = rep.SeedResidual
 	resp.AnalogUsed = rep.AnalogUsed
-	resp.SeedAccepted = rep.AnalogUsed && rep.SeedResidual < resp.InitialResidual
+	resp.SeedAccepted = rep.AnalogUsed && !rep.SeedRejected && rep.SeedResidual < resp.InitialResidual
 	resp.Decomposed = rep.Decomposed
 	resp.Subproblems = rep.Subproblems
 	resp.GSSweeps = rep.GSSweeps
 	resp.ModelSeconds = rep.TotalSeconds
 	resp.ModelEnergyJ = rep.TotalEnergyJ
+	if fb := rep.Fallback; fb != nil {
+		resp.fallback = fb
+		resp.Degraded = fb.Degraded
+		resp.Rung = string(fb.Final)
+		resp.SeedRejected = fb.SeedRejections > 0
+		resp.RungAttempts = len(fb.Attempts)
+	}
 	return err
 }
 

@@ -1,0 +1,121 @@
+#!/bin/sh
+# Chaos smoke: boot pdeserved with live fault injection (-chaos), drive it
+# with analog-seeded load, and assert the degradation ladder absorbs every
+# fault — zero 5xx responses, non-zero per-rung fallback counters in
+# /metrics, and a clean SIGTERM drain. A fixed -seed keeps the whole fault
+# sequence deterministic, so this smoke is reproducible bit for bit.
+# Run from the repository root; also available as `make chaos-smoke`.
+#
+# Env knobs (defaults are CI-sized):
+#   SMOKE_ADDR       API address        (default 127.0.0.1:18090)
+#   SMOKE_RATE       offered rps        (default 100)
+#   SMOKE_DURATION   load duration      (default 5s)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18090}"
+RATE="${SMOKE_RATE:-100}"
+DURATION="${SMOKE_DURATION:-5s}"
+TMP="$(mktemp -d)"
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$TMP/pdeserved" ./cmd/pdeserved
+go build -o "$TMP/pdeload" ./cmd/pdeload
+
+echo "== boot pdeserved -chaos on $ADDR"
+"$TMP/pdeserved" -addr "$ADDR" -debug-addr "" -chaos -seed 7 -seed-gate 0.5 \
+	>"$TMP/server.log" 2>&1 &
+SRV_PID=$!
+
+# Wait for /healthz, bounded.
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "server never became healthy" >&2
+		cat "$TMP/server.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+grep -q "chaos mode" "$TMP/server.log" || {
+	echo "server log missing chaos-mode banner" >&2
+	cat "$TMP/server.log" >&2
+	exit 1
+}
+
+echo "== pdeload: $RATE rps of analog-seeded solves for $DURATION"
+# 2×2 grids (8 unknowns) fit the prototype accelerator directly, so the
+# planned rung is the analog seed — which the chaos faults then sabotage.
+"$TMP/pdeload" -url "http://$ADDR" -rate "$RATE" -duration "$DURATION" \
+	-problem burgers2d -n 2 -analog -out "$TMP/bench.json"
+
+echo "== zero 5xx"
+grep -q '"server_5xx": 0' "$TMP/bench.json" || {
+	echo "chaos run leaked server errors:" >&2
+	cat "$TMP/bench.json" >&2
+	exit 1
+}
+grep -q '"ok_2xx": 0' "$TMP/bench.json" && {
+	echo "chaos run saw no successful responses" >&2
+	exit 1
+}
+
+echo "== degradation surfaced to clients"
+grep -q '"degraded": 0' "$TMP/bench.json" && {
+	echo "no response carried the degraded flag under live faults" >&2
+	cat "$TMP/bench.json" >&2
+	exit 1
+}
+
+echo "== metrics: fallback counters live"
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.txt"
+grep -q '^pdeserve_fault_injection_active [1-9]' "$TMP/metrics.txt" || {
+	echo "fault-injection gauge is zero in chaos mode" >&2
+	exit 1
+}
+grep -q '^pdeserve_ladder_attempts_total{rung="digital"} [1-9]' "$TMP/metrics.txt" || {
+	echo "no digital-rung ladder attempts counted" >&2
+	grep '^pdeserve_ladder' "$TMP/metrics.txt" >&2 || true
+	exit 1
+}
+grep -q '^pdeserve_ladder_served_total{rung="digital"} [1-9]' "$TMP/metrics.txt" || {
+	echo "no request served from a fallback rung" >&2
+	grep '^pdeserve_ladder' "$TMP/metrics.txt" >&2 || true
+	exit 1
+}
+grep -q '^pdeserve_analog_seeds_rejected_total [1-9]' "$TMP/metrics.txt" || {
+	echo "seed-quality gate never rejected a faulty seed" >&2
+	exit 1
+}
+grep -Eq '^pdeserve_requests_total\{problem="burgers2d",code="5[0-9][0-9]"\}' "$TMP/metrics.txt" && {
+	echo "metrics plane counted 5xx responses" >&2
+	exit 1
+}
+
+echo "== SIGTERM drain"
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -ge 100 ]; then
+		echo "server did not exit within 10s of SIGTERM" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null || {
+	echo "server exited non-zero on drain" >&2
+	cat "$TMP/server.log" >&2
+	exit 1
+}
+grep -q "drained cleanly" "$TMP/server.log" || {
+	echo "server log missing clean-drain marker" >&2
+	cat "$TMP/server.log" >&2
+	exit 1
+}
+
+echo "OK"
