@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fuzz check bench serve serve-smoke chaos-smoke bench-serve
+.PHONY: all build test race vet fmt lint fuzz check bench bench-core serve serve-smoke chaos-smoke bench-serve
 
 all: build
 
@@ -39,9 +39,16 @@ check:
 	./scripts/check.sh
 
 # Allocation benchmarks guarding the time-stepping hot path (the steady
-# Newton step must report 0 allocs/op).
+# Newton step, serial and parallel, must report 0 allocs/op).
 bench:
-	$(GO) test ./internal/core/ -run XXX -bench 'BenchmarkNewtonSparseSteadyStep|BenchmarkHybridTimeLoop' -benchtime 100x
+	$(GO) test ./internal/core/ -run XXX -bench 'BenchmarkNewtonSparseSteadyStep$$|BenchmarkNewtonSparseSteadyStepParallel|BenchmarkHybridTimeLoop' -benchtime 100x
+
+# Regenerate the committed core benchmark baseline (BENCH_core.json):
+# warm Newton solves and time loops across grid sizes and worker counts,
+# with the cross-procs checksum gate. Short mode keeps it CI-sized; run
+# `go run ./cmd/pdebench` directly for the full size sweep.
+bench-core:
+	$(GO) run ./cmd/pdebench -short -out BENCH_core.json
 
 # Run the solve service locally (Ctrl-C drains in-flight solves).
 serve:

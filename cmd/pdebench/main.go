@@ -1,0 +1,342 @@
+// Command pdebench runs the committed core benchmark baseline: the warm
+// repeated sparse-Newton solve and the Crank–Nicolson time loop, each at a
+// range of grid sizes and per-solve worker counts, reporting best/mean
+// wall-clock seconds plus an FNV-64 checksum of the solution bits.
+//
+// Usage:
+//
+//	pdebench [-sizes 8,16,32,48] [-procs 1,2,4] [-reps 5] [-steps 4]
+//	         [-short] [-seed 80] [-out BENCH_core.json]
+//
+// The checksum is the determinism gate: for a given benchmark and grid
+// size, every worker count must produce bit-identical solutions and
+// iteration counts, and pdebench exits 1 when any differ. Timing fields
+// describe whatever machine ran the tool — gomaxprocs and numcpu are
+// recorded so a single-core container's numbers are not mistaken for a
+// parallel speedup measurement. The report carries no timestamps, so
+// regenerating it on identical hardware yields an identical file.
+//
+// -short (the make bench-core configuration) trims the size list and rep
+// count to keep CI smoke runs cheap.
+//
+//pdevet:allow walltime a benchmark driver's whole job is reading the stopwatch
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hybridpde/internal/core"
+	"hybridpde/internal/nonlin"
+	"hybridpde/internal/pde"
+)
+
+// Case is one (benchmark, grid size, procs) measurement.
+type Case struct {
+	Bench       string  `json:"bench"`
+	N           int     `json:"n"`
+	Dim         int     `json:"dim"`
+	Procs       int     `json:"procs"`
+	Reps        int     `json:"reps"`
+	BestSeconds float64 `json:"best_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	Iterations  int     `json:"iterations"`
+	Checksum    string  `json:"checksum"`
+	// SpeedupVsSerial is best-of-serial / best-of-this-procs for the same
+	// bench and size; 0 when no serial case ran.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// Report is the machine-readable result (schema hybridpde-bench-core/v1).
+type Report struct {
+	Schema     string `json:"schema"`
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Short      bool   `json:"short"`
+	Seed       int64  `json:"seed"`
+	Cases      []Case `json:"cases"`
+}
+
+func main() {
+	var (
+		sizesArg = flag.String("sizes", "8,16,32,48", "comma-separated 2-D grid sizes")
+		procsArg = flag.String("procs", "1,2,4", "comma-separated per-solve worker counts")
+		reps     = flag.Int("reps", 5, "timed repetitions per case (best and mean are reported)")
+		steps    = flag.Int("steps", 4, "time steps per repetition of the time-loop benchmark")
+		short    = flag.Bool("short", false, "CI smoke configuration: sizes 8,16 and 3 reps")
+		seed     = flag.Int64("seed", 80, "fixture seed (fields, planted roots, starts)")
+		out      = flag.String("out", "", "write the JSON report to this file as well as stdout")
+	)
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesArg)
+	if err != nil {
+		fatalf("bad -sizes: %v", err)
+	}
+	procsList, err := parseInts(*procsArg)
+	if err != nil {
+		fatalf("bad -procs: %v", err)
+	}
+	if *short {
+		sizes = shortSizes(sizes)
+		if *reps > 3 {
+			*reps = 3
+		}
+	}
+	if *reps < 1 || *steps < 1 || len(sizes) == 0 || len(procsList) == 0 {
+		fatalf("need at least one size, one procs value, one rep and one step")
+	}
+
+	rep := Report{
+		Schema:     "hybridpde-bench-core/v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Short:      *short,
+		Seed:       *seed,
+	}
+	for _, n := range sizes {
+		for _, procs := range procsList {
+			rep.Cases = append(rep.Cases, runNewtonSteady(n, procs, *reps, *seed))
+			rep.Cases = append(rep.Cases, runTimeLoop(n, procs, *reps, *steps, *seed))
+		}
+	}
+	fillSpeedups(rep.Cases)
+
+	ok := checkDeterminism(rep.Cases)
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatalf("encode report: %v", err)
+	}
+	b = append(b, '\n')
+	os.Stdout.Write(b)
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// runNewtonSteady measures the warm repeated sparse-Newton solve: a steady
+// 2-D Burgers system with a planted root, start perturbed off it, solved
+// once cold to build the workspace and then reps timed warm solves.
+func runNewtonSteady(n, procs, reps int, seed int64) Case {
+	rng := rand.New(rand.NewSource(seed))
+	burgers, err := pde.NewBurgers(n, 1.0)
+	if err != nil {
+		fatalf("newton-steady n=%d: %v", n, err)
+	}
+	steady := pde.NewBurgersSteady(burgers)
+	root := make([]float64, steady.Dim())
+	for i := range root {
+		root[i] = 2*rng.Float64() - 1
+	}
+	if err := steady.SetRHSForRoot(root); err != nil {
+		fatalf("newton-steady n=%d: %v", n, err)
+	}
+	u0 := make([]float64, steady.Dim())
+	for i := range root {
+		u0[i] = root[i] + 0.05*(2*rng.Float64()-1)
+	}
+	solver := nonlin.NewSparseSolver()
+	defer solver.Close()
+	opts := nonlin.NewtonOptions{Tol: 1e-12, MaxIter: 60, Procs: procs}
+	warm, err := solver.Solve(nil, steady, u0, opts)
+	if err != nil {
+		fatalf("newton-steady n=%d procs=%d: %v", n, procs, err)
+	}
+	if !warm.Converged {
+		fatalf("newton-steady n=%d procs=%d: warm solve did not converge", n, procs)
+	}
+
+	c := Case{Bench: "newton-steady", N: n, Dim: steady.Dim(), Procs: procs, Reps: reps}
+	var res nonlin.Result
+	c.BestSeconds, c.MeanSeconds = timeReps(reps, func() {
+		res, err = solver.Solve(nil, steady, u0, opts)
+		if err != nil {
+			fatalf("newton-steady n=%d procs=%d: %v", n, procs, err)
+		}
+	})
+	c.Iterations = res.Iterations
+	c.Checksum = checksum(res.U)
+	return c
+}
+
+// runTimeLoop measures the hybrid time loop (pure-digital configuration):
+// steps Crank–Nicolson steps per repetition through core.Solve with a
+// shared Workspace, fields reset to the same start before every rep.
+func runTimeLoop(n, procs, reps, steps int, seed int64) Case {
+	rng := rand.New(rand.NewSource(seed + 1))
+	burgers, err := pde.NewBurgers(n, 0.8)
+	if err != nil {
+		fatalf("time-loop n=%d: %v", n, err)
+	}
+	for i := range burgers.UPrev {
+		burgers.UPrev[i] = 0.5 * (2*rng.Float64() - 1)
+		burgers.VPrev[i] = 0.5 * (2*rng.Float64() - 1)
+	}
+	u0 := append([]float64(nil), burgers.UPrev...)
+	v0 := append([]float64(nil), burgers.VPrev...)
+	opts := core.Options{SkipAnalog: true, Workspace: core.NewWorkspace(), Procs: procs}
+
+	c := Case{Bench: "time-loop", N: n, Dim: burgers.Dim(), Procs: procs, Reps: reps}
+	var iters int
+	var final []float64
+	runOnce := func() {
+		copy(burgers.UPrev, u0)
+		copy(burgers.VPrev, v0)
+		iters = 0
+		for s := 0; s < steps; s++ {
+			rep, err := core.Solve(nil, burgers, opts)
+			if err != nil {
+				fatalf("time-loop n=%d procs=%d: %v", n, procs, err)
+			}
+			iters += rep.Digital.TotalIters
+			final = rep.U
+			if err := burgers.Advance(rep.U); err != nil {
+				fatalf("time-loop n=%d procs=%d: %v", n, procs, err)
+			}
+		}
+	}
+	runOnce() // warm the workspace and Jacobian caches
+	c.BestSeconds, c.MeanSeconds = timeReps(reps, runOnce)
+	c.Iterations = iters
+	c.Checksum = checksum(final)
+	return c
+}
+
+// timeReps runs fn reps times and returns the best and mean wall-clock
+// seconds.
+func timeReps(reps int, fn func()) (best, mean float64) {
+	best = math.Inf(1)
+	var total float64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		fn()
+		s := time.Since(start).Seconds()
+		total += s
+		if s < best {
+			best = s
+		}
+	}
+	return best, total / float64(reps)
+}
+
+// checksum hashes the exact bit pattern of a solution vector (FNV-64a over
+// the little-endian float64 bits), so "bit-identical at every worker
+// count" is checkable from the committed report.
+func checksum(u []float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range u {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fillSpeedups sets SpeedupVsSerial on every case that has a procs=1
+// sibling (same bench and size).
+func fillSpeedups(cases []Case) {
+	type key struct {
+		bench string
+		n     int
+	}
+	serial := map[key]float64{}
+	for _, c := range cases {
+		if c.Procs == 1 {
+			serial[key{c.Bench, c.N}] = c.BestSeconds
+		}
+	}
+	for i := range cases {
+		if s, ok := serial[key{cases[i].Bench, cases[i].N}]; ok && cases[i].BestSeconds > 0 {
+			cases[i].SpeedupVsSerial = s / cases[i].BestSeconds
+		}
+	}
+}
+
+// checkDeterminism verifies the tentpole contract on the measured data:
+// within one bench and size, every procs value produced the same checksum
+// and iteration count.
+func checkDeterminism(cases []Case) bool {
+	type key struct {
+		bench string
+		n     int
+	}
+	type want struct {
+		sum   string
+		iters int
+		procs int
+	}
+	ref := map[key]want{}
+	ok := true
+	for _, c := range cases {
+		k := key{c.Bench, c.N}
+		w, seen := ref[k]
+		if !seen {
+			ref[k] = want{c.Checksum, c.Iterations, c.Procs}
+			continue
+		}
+		if c.Checksum != w.sum || c.Iterations != w.iters {
+			fmt.Fprintf(os.Stderr,
+				"pdebench: DETERMINISM VIOLATION: %s n=%d procs=%d (checksum %s, %d iters) != procs=%d (checksum %s, %d iters)\n",
+				c.Bench, c.N, c.Procs, c.Checksum, c.Iterations, w.procs, w.sum, w.iters)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// shortSizes trims the size list to its two smallest entries.
+func shortSizes(sizes []int) []int {
+	out := append([]int(nil), sizes...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > 2 {
+		out = out[:2]
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d out of range", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pdebench: "+format+"\n", args...)
+	os.Exit(2)
+}

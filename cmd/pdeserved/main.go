@@ -53,6 +53,7 @@ func main() {
 		chaosSpec    = flag.String("chaos-spec", "", "fault spec text, or @file to load one (implies -chaos)")
 		retries      = flag.Int("retries", 0, "per-request retries of transient-fault solves (0 = default 2, negative disables)")
 		seedGate     = flag.Float64("seed-gate", 0, "seed-quality gate factor (0 = default 1: reject seeds worse than the start)")
+		solveProcs   = flag.Int("solve-procs", 0, "per-solve parallel workers (0 = GOMAXPROCS/workers, negative disables)")
 	)
 	flag.Parse()
 
@@ -75,6 +76,7 @@ func main() {
 		Faults:         faults,
 		SeedGate:       *seedGate,
 		MaxRetries:     *retries,
+		SolveProcs:     *solveProcs,
 	})
 
 	api := &http.Server{Addr: *addr, Handler: s.Handler()}

@@ -70,6 +70,12 @@ type Options struct {
 	// same-shaped problems (time stepping). Report.U then aliases workspace
 	// storage and is only valid until the next call.
 	Workspace *Workspace
+	// Procs bounds the per-solve worker count of the digital polish's
+	// parallel kernels (Jacobian assembly, residual walks, band-LU trailing
+	// updates). 0 and 1 run serial; results are bit-identical at every
+	// setting. It fills Newton.Procs when that is unset, and flows through
+	// the degradation ladder to every rung's digital stage.
+	Procs int
 }
 
 func (o *Options) defaults() {
@@ -90,6 +96,9 @@ func (o *Options) defaults() {
 	}
 	if o.Perf == nil {
 		o.Perf = PerfCPU
+	}
+	if o.Newton.Procs == 0 {
+		o.Newton.Procs = o.Procs
 	}
 }
 

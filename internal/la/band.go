@@ -8,6 +8,8 @@ package la
 import (
 	"fmt"
 	"math"
+
+	"hybridpde/internal/par"
 )
 
 // BandLU is an LU factorization with partial pivoting of a banded matrix,
@@ -29,6 +31,65 @@ type BandLU struct {
 	// FactorOps counts the floating-point multiply-adds performed, so the
 	// performance models can price the solve.
 	FactorOps int64
+	// pool, when set, fans the trailing-row updates of each pivot step
+	// across its workers; upd/opsPartial are the persistent runner and the
+	// per-chunk op counters (int64 partials sum exactly, so FactorOps is
+	// identical at every worker count).
+	pool       *par.Pool
+	upd        bandUpdateRun
+	opsPartial []int64
+}
+
+// bandParGrain is the minimum multiply-adds a parallel chunk of trailing-row
+// updates must carry; below it one pivot step's fan-out costs more than it
+// saves and the step runs serial.
+const bandParGrain = 2048
+
+// SetPool attaches a worker pool to the factorization: the trailing
+// submatrix updates of each pivot step (rows k+1..k+kl, which are disjoint
+// working rows) fan out across it. nil restores serial execution. Results —
+// factors, pivots and FactorOps — are bit-identical at every pool size. The
+// pool is used only during Factor* calls, which must not run concurrently.
+func (f *BandLU) SetPool(p *par.Pool) {
+	f.pool = p
+	f.upd.f = f
+	if n := p.Procs(); len(f.opsPartial) < n {
+		f.opsPartial = make([]int64, n)
+	}
+}
+
+// bandUpdateRun is the per-pivot-step elimination runner: index t of the
+// partitioned range maps to working row i = k+1+t, and each such row's band
+// storage (data[i*w … i*w+w)) is written by exactly one chunk while row k is
+// only read — so any fan-out produces the serial loop's bits.
+type bandUpdateRun struct {
+	f     *BandLU
+	k     int
+	span  int
+	pivot float64
+}
+
+func (r *bandUpdateRun) Run(chunk, lo, hi int) {
+	f := r.f
+	w, kl, k := f.w, f.kl, r.k
+	data := f.data
+	rowK := data[k*w+kl : k*w+kl+r.span]
+	var ops int64
+	for t := lo; t < hi; t++ {
+		i := k + 1 + t
+		base := i*w + k - i + kl
+		m := data[base] / r.pivot
+		data[base] = m
+		if m == 0 {
+			continue
+		}
+		rowI := data[base : base+r.span]
+		for s := 1; s < r.span; s++ {
+			rowI[s] -= m * rowK[s]
+		}
+		ops += int64(r.span - 1)
+	}
+	f.opsPartial[chunk] += ops
 }
 
 // Bandwidths returns the lower and upper bandwidths of a sparse matrix.
@@ -96,6 +157,7 @@ func (f *BandLU) factor() error {
 	n, kl, ku, w := f.n, f.kl, f.ku, f.w
 	data := f.data
 	var ops int64
+	procs := f.pool.Procs()
 	for k := 0; k < n; k++ {
 		// Partial pivot among rows k..min(k+kl, n-1); element (i, k) is
 		// at data[i*w + k-i+kl].
@@ -121,6 +183,18 @@ func (f *BandLU) factor() error {
 			}
 		}
 		pivot := rowK[0]
+		rows := iHi - k
+		if procs > 1 && rows > 1 && rows*span >= bandParGrain {
+			// Pivot search and swap above stay serial (they scan shared
+			// state); the per-row eliminations are disjoint and fan out.
+			f.upd.k, f.upd.span, f.upd.pivot = k, span, pivot
+			grain := bandParGrain / span
+			if grain < 1 {
+				grain = 1
+			}
+			f.pool.Run(rows, grain, &f.upd)
+			continue
+		}
 		for i := k + 1; i <= iHi; i++ {
 			base := i*w + k - i + kl
 			m := data[base] / pivot
@@ -135,8 +209,49 @@ func (f *BandLU) factor() error {
 			ops += int64(span - 1)
 		}
 	}
+	// Fold the parallel chunks' op counts: integer partials, so the sum is
+	// exact and order-free.
+	for i := range f.opsPartial {
+		ops += f.opsPartial[i]
+		f.opsPartial[i] = 0
+	}
 	f.FactorOps = ops
 	return nil
+}
+
+// Reset reshapes the workspace for an n×n matrix with bandwidths (kl, ku),
+// reusing the backing storage whenever its capacity suffices. The
+// factorization contents become undefined until the next Factor* call.
+func (f *BandLU) Reset(n, kl, ku int) {
+	w := 2*kl + ku + 1
+	f.n, f.kl, f.ku, f.w = n, kl, ku, w
+	if cap(f.data) < n*w {
+		f.data = make([]float64, n*w)
+	}
+	f.data = f.data[:n*w]
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+	}
+	f.piv = f.piv[:n]
+	f.FactorOps = 0
+}
+
+// FactorBandLUInto factors the banded matrix a into the caller-owned
+// workspace f using the supplied bandwidths, reshaping f as needed without
+// reallocating once warm. Callers that cache Bandwidths per Jacobian pattern
+// (the sparse Newton workspace) skip the O(nnz) rescan FactorBandLU pays on
+// every call, keeping the steady-state iteration alloc-free.
+//
+//pdevet:noalloc
+func FactorBandLUInto(f *BandLU, a *CSR, kl, ku int) error {
+	if a.Rows() != a.Cols() {
+		// Failure path; allocates only on abort.
+		return fmt.Errorf("la: band LU of non-square %d×%d matrix", a.Rows(), a.Cols()) //pdevet:allow noalloc error path
+	}
+	if f.n != a.Rows() || f.kl != kl || f.ku != ku {
+		f.Reset(a.Rows(), kl, ku)
+	}
+	return f.FactorFrom(a)
 }
 
 // Solve solves A·x = b into dst, allocation-free. dst and b may alias fully;

@@ -8,6 +8,8 @@ package la
 import (
 	"fmt"
 	"math"
+
+	"hybridpde/internal/par"
 )
 
 // GMRESOptions configures the restarted GMRES solver.
@@ -16,6 +18,12 @@ type GMRESOptions struct {
 	Restart int            // Krylov subspace size before restart; default 30
 	MaxIter int            // total iteration budget; default 10·n
 	M       Preconditioner // left preconditioner; default identity
+	// Pool, when non-nil, fans the SpMV row loops across the worker pool
+	// and replaces the linear Dot/Norm2 reductions with fixed-block
+	// (ReduceBlock) sums folded in block order. Results are then
+	// bit-identical at every pool size — but differ in final-bit rounding
+	// from the Pool == nil path, whose reductions accumulate linearly.
+	Pool *par.Pool
 }
 
 func (o *GMRESOptions) defaults(n int) {
@@ -47,7 +55,40 @@ func GMRES(a *CSR, x, b []float64, opts GMRESOptions) (IterStats, error) {
 	if m > n {
 		m = n
 	}
-	bnorm := Norm2(b)
+	// Kernel selection: with a pool, every reduction and SpMV goes through
+	// the deterministic parallel variants so the solve's bits do not depend
+	// on the worker count.
+	var partials []float64
+	if opts.Pool != nil {
+		partials = make([]float64, NumReduceBlocks(n))
+	}
+	dot := func(a, b []float64) float64 {
+		if partials != nil {
+			return ParDot(opts.Pool, a, b, partials)
+		}
+		return Dot(a, b)
+	}
+	nrm := func(v []float64) float64 {
+		if partials != nil {
+			return ParNorm2(opts.Pool, v, partials)
+		}
+		return Norm2(v)
+	}
+	resid := func(dst, b, x []float64) {
+		if opts.Pool != nil {
+			a.ResidualPar(opts.Pool, dst, b, x)
+			return
+		}
+		a.Residual(dst, b, x)
+	}
+	mv := func(dst, src []float64) {
+		if opts.Pool != nil {
+			a.MulVecPar(opts.Pool, dst, src)
+			return
+		}
+		a.MulVec(dst, src)
+	}
+	bnorm := nrm(b)
 	if bnorm == 0 {
 		bnorm = 1
 	}
@@ -68,10 +109,10 @@ func GMRES(a *CSR, x, b []float64, opts GMRESOptions) (IterStats, error) {
 	var st IterStats
 	for st.Iterations < opts.MaxIter {
 		// Restart cycle: r = M⁻¹(b − A·x).
-		a.Residual(r, b, x)
+		resid(r, b, x)
 		opts.M.Apply(z, r)
-		beta := Norm2(z)
-		st.Residual = Norm2(r)
+		beta := nrm(z)
+		st.Residual = nrm(r)
 		if st.Residual <= opts.Tol*bnorm {
 			st.Converged = true
 			return st, nil
@@ -90,15 +131,15 @@ func GMRES(a *CSR, x, b []float64, opts GMRESOptions) (IterStats, error) {
 		for ; k < m && st.Iterations < opts.MaxIter; k++ {
 			st.Iterations++
 			// w = M⁻¹·A·v_k.
-			a.MulVec(r, v[k])
+			mv(r, v[k])
 			opts.M.Apply(w, r)
 			// Modified Gram-Schmidt against v_0..v_k.
 			for i := 0; i <= k; i++ {
-				hik := Dot(w, v[i])
+				hik := dot(w, v[i])
 				h.Set(i, k, hik)
 				Axpy(-hik, v[i], w)
 			}
-			wn := Norm2(w)
+			wn := nrm(w)
 			h.Set(k+1, k, wn)
 			if wn > 1e-300 {
 				for i := range w {
@@ -150,8 +191,8 @@ func GMRES(a *CSR, x, b []float64, opts GMRESOptions) (IterStats, error) {
 			Axpy(y[i], v[i], x)
 		}
 	}
-	a.Residual(r, b, x)
-	st.Residual = Norm2(r)
+	resid(r, b, x)
+	st.Residual = nrm(r)
 	st.Converged = st.Residual <= opts.Tol*bnorm
 	if !st.Converged {
 		return st, ErrNoConvergence

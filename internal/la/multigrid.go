@@ -8,6 +8,8 @@ package la
 import (
 	"fmt"
 	"math"
+
+	"hybridpde/internal/par"
 )
 
 // Multigrid is a geometric multigrid V-cycle solver for the 5-point Poisson
@@ -22,6 +24,11 @@ type Multigrid struct {
 	// PreSmooth and PostSmooth are the Gauss-Seidel sweep counts around
 	// each coarse-grid correction. Defaults: 2 and 2.
 	PreSmooth, PostSmooth int
+	// Pool, when non-nil, fans each level's residual SpMV across the worker
+	// pool; the smoothers stay serial (Gauss-Seidel sweeps are
+	// order-dependent). Results are bit-identical at every pool size, nil
+	// included.
+	Pool *par.Pool
 }
 
 type mgLevel struct {
@@ -172,7 +179,7 @@ func (mg *Multigrid) vcycle(level int, x, rhs []float64) error {
 		return nil
 	}
 	mg.smooth(lvl, x, rhs, mg.PreSmooth)
-	lvl.a.Residual(lvl.res, rhs, x)
+	lvl.a.ResidualPar(mg.Pool, lvl.res, rhs, x)
 	coarse := mg.levels[level+1]
 	restrictFullWeight(lvl.res, lvl.n, coarse.rhs, coarse.n)
 	Fill(coarse.x, 0)
@@ -199,7 +206,7 @@ func (mg *Multigrid) Solve(x, rhs []float64, tol float64, maxCycles int) (IterSt
 	}
 	var st IterStats
 	for st.Iterations = 0; st.Iterations < maxCycles; st.Iterations++ {
-		lvl.a.Residual(lvl.res, rhs, x)
+		lvl.a.ResidualPar(mg.Pool, lvl.res, rhs, x)
 		st.Residual = Norm2(lvl.res)
 		if st.Residual <= tol*bnorm {
 			st.Converged = true
@@ -209,7 +216,7 @@ func (mg *Multigrid) Solve(x, rhs []float64, tol float64, maxCycles int) (IterSt
 			return st, err
 		}
 	}
-	lvl.a.Residual(lvl.res, rhs, x)
+	lvl.a.ResidualPar(mg.Pool, lvl.res, rhs, x)
 	st.Residual = Norm2(lvl.res)
 	st.Converged = st.Residual <= tol*bnorm
 	if !st.Converged {

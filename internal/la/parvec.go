@@ -1,0 +1,193 @@
+// Parallel vector and SpMV kernels built on internal/par. Two determinism
+// mechanisms are used, per DESIGN.md §11:
+//
+//   - disjoint-write partitioning (MulVecPar, ResidualPar): each output row
+//     is computed start-to-finish by exactly one chunk, in the same
+//     left-to-right column order as the serial kernel, so results are
+//     bitwise identical to MulVec/Residual at every pool size;
+//   - fixed-block reductions (ParDot, ParNorm2): the vector is cut into
+//     ReduceBlock-sized blocks whose partial sums are computed independently
+//     and folded serially in block order. The block layout depends only on
+//     the vector length — never on the worker count — so results are
+//     bit-identical at any pool size, though they differ in final-bit
+//     rounding from the linear-accumulation Dot/Norm2.
+package la
+
+import (
+	"fmt"
+	"math"
+
+	"hybridpde/internal/par"
+)
+
+// ReduceBlock is the fixed block length of the deterministic reductions.
+// 2048 multiply-adds comfortably amortise one dispatch while keeping enough
+// blocks for load balance on the grid sizes the solvers see.
+const ReduceBlock = 2048
+
+// NumReduceBlocks returns how many fixed reduction blocks a length-n vector
+// spans — the minimum partials-buffer length for ParDot/ParNorm2.
+func NumReduceBlocks(n int) int {
+	return (n + ReduceBlock - 1) / ReduceBlock
+}
+
+// dotRun computes per-block partial dot products; index b of the partitioned
+// range is reduction block b.
+type dotRun struct {
+	x, y     []float64
+	partials []float64
+}
+
+func (r *dotRun) Run(_, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		end := (b + 1) * ReduceBlock
+		if end > len(r.x) {
+			end = len(r.x)
+		}
+		s := 0.0
+		for i := b * ReduceBlock; i < end; i++ {
+			s += r.x[i] * r.y[i]
+		}
+		r.partials[b] = s
+	}
+}
+
+// ParDot computes the fixed-block inner product of x and y on pool p,
+// writing per-block partial sums into partials (length ≥
+// NumReduceBlocks(len(x))) and folding them serially in block order. The
+// result is a function of the inputs alone — identical bits at every pool
+// size, nil pool included.
+func ParDot(p *par.Pool, x, y, partials []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("la: ParDot length mismatch: %d vs %d", len(x), len(y)))
+	}
+	nb := NumReduceBlocks(len(x))
+	r := dotRun{x: x, y: y, partials: partials}
+	p.Run(nb, 1, &r)
+	s := 0.0
+	for b := 0; b < nb; b++ {
+		s += partials[b]
+	}
+	return s
+}
+
+// ssqRun computes per-block partial sums of squares.
+type ssqRun struct {
+	x        []float64
+	partials []float64
+}
+
+func (r *ssqRun) Run(_, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		end := (b + 1) * ReduceBlock
+		if end > len(r.x) {
+			end = len(r.x)
+		}
+		s := 0.0
+		for i := b * ReduceBlock; i < end; i++ {
+			s += r.x[i] * r.x[i]
+		}
+		r.partials[b] = s
+	}
+}
+
+// ParNorm2 computes the Euclidean norm of x by fixed-block sum of squares on
+// pool p (partials as in ParDot). Unlike Norm2 it does not rescale, so it
+// can overflow for |x|ᵢ near √MaxFloat64 — fine for the normalised Krylov
+// vectors it serves; the payoff is pool-size-independent bits.
+func ParNorm2(p *par.Pool, x, partials []float64) float64 {
+	nb := NumReduceBlocks(len(x))
+	r := ssqRun{x: x, partials: partials}
+	p.Run(nb, 1, &r)
+	s := 0.0
+	for b := 0; b < nb; b++ {
+		s += partials[b]
+	}
+	return math.Sqrt(s)
+}
+
+// mulVecRun fans SpMV rows across chunks: each dst row is written by exactly
+// one chunk with the serial kernel's accumulation order.
+type mulVecRun struct {
+	m      *CSR
+	dst, x []float64
+}
+
+func (r *mulVecRun) Run(_, lo, hi int) {
+	r.m.mulVecRows(r.dst, r.x, lo, hi)
+}
+
+// mulVecRows is the serial SpMV inner loop over rows [lo, hi).
+func (m *CSR) mulVecRows(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// spmvGrain returns the minimum rows per SpMV chunk so a chunk carries
+// ~ReduceBlock multiply-adds.
+func (m *CSR) spmvGrain() int {
+	nnz := len(m.vals)
+	if nnz == 0 || m.rows == 0 {
+		return 1
+	}
+	g := ReduceBlock * m.rows / nnz
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// MulVecPar computes dst = M·x with the row loop fanned out across p.
+// Bit-identical to MulVec at every pool size (nil included): rows are
+// disjoint writes and each keeps its serial accumulation order.
+func (m *CSR) MulVecPar(p *par.Pool, dst, x []float64) {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("la: CSR MulVecPar mismatch: %d×%d by %d into %d", m.rows, m.cols, len(x), len(dst)))
+	}
+	if p.Procs() <= 1 {
+		m.mulVecRows(dst, x, 0, m.rows)
+		return
+	}
+	r := mulVecRun{m: m, dst: dst, x: x}
+	p.Run(m.rows, m.spmvGrain(), &r)
+}
+
+// residualRun fuses dst[i] = b[i] − (M·x)[i] per row chunk.
+type residualRun struct {
+	m         *CSR
+	dst, b, x []float64
+}
+
+func (r *residualRun) Run(_, lo, hi int) {
+	r.m.residualRows(r.dst, r.b, r.x, lo, hi)
+}
+
+func (m *CSR) residualRows(dst, b, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
+		}
+		dst[i] = b[i] - s
+	}
+}
+
+// ResidualPar computes dst = b − M·x with rows fanned out across p. The
+// fused subtraction performs the same b[i]−s operation Residual's second
+// pass does, so results are bit-identical to Residual at every pool size.
+func (m *CSR) ResidualPar(p *par.Pool, dst, b, x []float64) {
+	if len(x) != m.cols || len(dst) != m.rows || len(b) != m.rows {
+		panic(fmt.Sprintf("la: CSR ResidualPar mismatch: %d×%d by %d into %d/%d", m.rows, m.cols, len(x), len(dst), len(b)))
+	}
+	if p.Procs() <= 1 {
+		m.residualRows(dst, b, x, 0, m.rows)
+		return
+	}
+	r := residualRun{m: m, dst: dst, b: b, x: x}
+	p.Run(m.rows, m.spmvGrain(), &r)
+}

@@ -12,6 +12,10 @@ type COO struct {
 	rows, cols int
 	ri, ci     []int
 	v          []float64
+	// next is ToCSR's per-row write-cursor scratch, kept on the builder so
+	// repeated conversions (tile extraction, pattern rebuilds in loops)
+	// reuse it instead of reallocating.
+	next []int
 }
 
 // NewCOO returns an empty rows×cols builder.
@@ -37,7 +41,8 @@ func (c *COO) NNZ() int { return len(c.v) }
 // ToCSR converts the builder into compressed sparse row form, summing
 // duplicates and sorting column indices within each row.
 func (c *COO) ToCSR() *CSR {
-	// Count entries per row.
+	// Count entries per row; count doubles as the CSR row-pointer array
+	// (the builder never reads it again).
 	count := make([]int, c.rows+1)
 	for _, i := range c.ri {
 		count[i+1]++
@@ -45,17 +50,20 @@ func (c *COO) ToCSR() *CSR {
 	for i := 0; i < c.rows; i++ {
 		count[i+1] += count[i]
 	}
-	rowPtr := Copy64i(count)
 	colIdx := make([]int, len(c.v))
 	vals := make([]float64, len(c.v))
-	next := Copy64i(count[:c.rows])
+	if cap(c.next) < c.rows {
+		c.next = make([]int, c.rows)
+	}
+	next := c.next[:c.rows]
+	copy(next, count[:c.rows])
 	for k, i := range c.ri {
 		p := next[i]
 		colIdx[p] = c.ci[k]
 		vals[p] = c.v[k]
 		next[i]++
 	}
-	m := &CSR{rows: c.rows, cols: c.cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+	m := &CSR{rows: c.rows, cols: c.cols, rowPtr: count, colIdx: colIdx, vals: vals}
 	m.sortRowsAndDedup()
 	return m
 }
@@ -85,8 +93,32 @@ func (m *CSR) Cols() int { return m.cols }
 // NNZ reports the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.vals) }
 
+// rowSorted reports whether row i's column indices are strictly increasing
+// (sorted with no duplicates).
+func (m *CSR) rowSorted(i int) bool {
+	for k := m.rowPtr[i] + 1; k < m.rowPtr[i+1]; k++ {
+		if m.colIdx[k] <= m.colIdx[k-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // sortRowsAndDedup sorts column indices in each row and merges duplicates.
+// The deterministic stencil walks emit most rows already strictly
+// increasing, so a one-pass check first skips the sort machinery entirely
+// when the whole matrix is clean, and per-row when only some rows need work.
 func (m *CSR) sortRowsAndDedup() {
+	clean := true
+	for i := 0; i < m.rows; i++ {
+		if !m.rowSorted(i) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return
+	}
 	newPtr := make([]int, m.rows+1)
 	nc := m.colIdx[:0]
 	nv := m.vals[:0]
@@ -97,6 +129,16 @@ func (m *CSR) sortRowsAndDedup() {
 	var scratch []ent
 	for i := 0; i < m.rows; i++ {
 		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		if m.rowSorted(i) {
+			// Compact the already-clean row in place: the write cursor never
+			// passes the read cursor, so the aliased copy is safe.
+			for k := lo; k < hi; k++ {
+				nc = append(nc, m.colIdx[k])
+				nv = append(nv, m.vals[k])
+			}
+			newPtr[i+1] = len(nc)
+			continue
+		}
 		scratch = scratch[:0]
 		for k := lo; k < hi; k++ {
 			scratch = append(scratch, ent{m.colIdx[k], m.vals[k]})
@@ -297,3 +339,12 @@ func (m *CSR) ZeroValues() {
 
 // AddSlotValue accumulates v at a Slot index.
 func (m *CSR) AddSlotValue(slot int, v float64) { m.vals[slot] += v }
+
+// ZeroRowsValues clears the stored values of rows [lo, hi), keeping the
+// pattern — the per-shard zeroing step of parallel in-place pattern
+// refreshes, where each shard owns a disjoint row block.
+func (m *CSR) ZeroRowsValues(lo, hi int) {
+	for k := m.rowPtr[lo]; k < m.rowPtr[hi]; k++ {
+		m.vals[k] = 0
+	}
+}

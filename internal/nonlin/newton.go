@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"hybridpde/internal/la"
+	"hybridpde/internal/par"
 )
 
 // NewtonOptions configures the Newton family of solvers.
@@ -32,6 +33,14 @@ type NewtonOptions struct {
 	// DivergeFactor aborts an attempt when the residual exceeds this
 	// multiple of its starting value. Default 1e6.
 	DivergeFactor float64
+	// Procs bounds the worker count of the per-solve parallel kernels: the
+	// band-LU trailing-submatrix updates and — for PoolAware systems — the
+	// Jacobian assembly and residual walks fan out across a pool owned by
+	// the SparseSolver. 0 and 1 run serial. Solutions, residuals and
+	// iteration counts are bit-identical at every setting (the kernels
+	// partition into disjoint writes in serial order). The dense Newton path
+	// ignores it.
+	Procs int
 }
 
 func (o *NewtonOptions) defaults() {
@@ -124,7 +133,17 @@ type SparseSolver struct {
 	u, f, delta []float64
 	lu          *la.BandLU
 	n, kl, ku   int // shape the band workspace was sized for
-	sys         SparseSystem
+	// pat is the Jacobian pattern (by pointer identity) the cached (n, kl,
+	// ku) were scanned from: the stencil systems return the same refreshed
+	// *la.CSR every iteration, so bandwidth scans happen once per pattern,
+	// not once per iteration. The cached pattern pointer keeps the matrix
+	// alive, so address reuse cannot alias a different pattern.
+	pat *la.CSR
+	// pool fans the per-iteration kernels out across procs workers; see
+	// NewtonOptions.Procs.
+	pool  *par.Pool
+	procs int
+	sys   SparseSystem
 }
 
 // NewSparseSolver returns an empty workspace. Equivalent to &SparseSolver{}.
@@ -144,8 +163,45 @@ func (w *SparseSolver) Solve(ctx context.Context, sys SparseSystem, u0 []float64
 		w.f = make([]float64, n)     //pdevet:allow noalloc grow-on-first-use
 		w.delta = make([]float64, n) //pdevet:allow noalloc grow-on-first-use
 	}
+	w.setProcs(opts.Procs)
+	if pa, ok := sys.(PoolAware); ok {
+		pa.SetPool(w.pool)
+	}
 	w.sys = sys
 	return newtonLoop(ctx, w, u0, opts, w.u, w.f, w.delta)
+}
+
+// setProcs installs the worker pool matching the requested per-solve
+// parallelism, replacing the old pool when the setting changes.
+func (w *SparseSolver) setProcs(procs int) {
+	if procs < 1 {
+		procs = 1
+	}
+	if procs == w.procs {
+		return
+	}
+	w.pool.Close()
+	w.pool = nil
+	if procs > 1 {
+		w.pool = par.NewPool(procs)
+	}
+	w.procs = procs
+	if w.lu != nil {
+		w.lu.SetPool(w.pool)
+	}
+}
+
+// Close releases the worker pool's goroutines. The solver stays usable —
+// the next Solve recreates the pool its options ask for. Letting a solver
+// become unreachable without Close is also fine: the pool's workers are
+// reclaimed by the runtime.
+func (w *SparseSolver) Close() {
+	w.pool.Close()
+	w.pool = nil
+	w.procs = 0
+	if w.lu != nil {
+		w.lu.SetPool(nil)
+	}
 }
 
 func (w *SparseSolver) dim() int                  { return w.sys.Dim() }
@@ -157,12 +213,20 @@ func (w *SparseSolver) solveStep(u, f, delta []float64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	kl, ku := la.Bandwidths(j)
-	if w.lu == nil || j.Rows() != w.n || kl > w.kl || ku > w.ku {
-		w.n, w.kl, w.ku = j.Rows(), kl, ku
-		w.lu = la.NewBandLUWorkspace(w.n, w.kl, w.ku)
+	if j != w.pat || j.Rows() != w.n {
+		// New Jacobian pattern: scan the bandwidths once and cache them
+		// under the pattern's identity. The fixed-pattern stencil systems
+		// return the same refreshed matrix every iteration, so the steady
+		// loop never rescans.
+		w.pat = j
+		w.n = j.Rows()
+		w.kl, w.ku = la.Bandwidths(j)
+		if w.lu == nil {
+			w.lu = &la.BandLU{} //pdevet:allow noalloc grow-on-first-use
+			w.lu.SetPool(w.pool)
+		}
 	}
-	if err := w.lu.FactorFrom(j); err != nil {
+	if err := la.FactorBandLUInto(w.lu, j, w.kl, w.ku); err != nil {
 		return 0, err
 	}
 	return w.lu.FactorOps, w.lu.Solve(delta, f)

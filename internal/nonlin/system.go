@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"hybridpde/internal/la"
+	"hybridpde/internal/par"
 )
 
 // System is a square nonlinear algebraic system F(u) = 0 with a dense
@@ -38,6 +39,15 @@ type SparseSystem interface {
 	// JacobianCSR returns J(u). Implementations may reuse internal storage;
 	// the caller must not retain the matrix across calls.
 	JacobianCSR(u []float64) (*la.CSR, error)
+}
+
+// PoolAware is implemented by systems whose residual and Jacobian walks can
+// fan out across a worker pool. The SparseSolver hands its pool to the
+// system at the start of each Solve (nil when running serial); systems must
+// produce bit-identical results at every pool size — the repo-wide
+// determinism contract (DESIGN.md, "Parallel execution model").
+type PoolAware interface {
+	SetPool(p *par.Pool)
 }
 
 // DenseAdapter turns a SparseSystem into a System by expanding the Jacobian.

@@ -1,0 +1,160 @@
+// Package par is the repo's deterministic fan-out primitive: a small
+// fixed-size worker pool plus an arithmetic partitioner whose chunk
+// boundaries depend only on (n, chunks) — never on GOMAXPROCS, scheduling
+// order, or timing. Every parallel kernel in the solve hot path (Jacobian
+// assembly, band-LU trailing updates, SpMV, blocked reductions) is built on
+// Run, and every one of them writes disjoint index ranges, so results are
+// bit-identical at any worker count — including 1, which runs inline with no
+// goroutine handoff at all.
+//
+// The pool is allocation-free once constructed: tasks are small value
+// structs sent over a buffered channel, work units are Runner interface
+// values (persistent structs owned by the caller, not closures), and the
+// WaitGroup is reused across calls. That keeps Run legal inside
+// //pdevet:noalloc hot paths.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner is one fan-out work unit. Run processes indices [lo, hi) of the
+// partitioned range; chunk is the fixed chunk index (0-based), which callers
+// use to address per-chunk partial buffers without synchronisation. Callers
+// implement Runner on a persistent struct they mutate between calls — a
+// closure would allocate on every dispatch.
+//
+// A Runner must not panic: panics in a pool worker goroutine crash the
+// process (there is no recover shim, matching the rest of the repo's
+// fail-fast kernels).
+type Runner interface {
+	Run(chunk, lo, hi int)
+}
+
+// task is one dispatched chunk. Sent by value; contains no pointers to the
+// Pool itself so worker goroutines keep only the channel alive.
+type task struct {
+	r      Runner
+	chunk  int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// Pool is a fixed set of worker goroutines. NewPool(p) starts p−1 workers;
+// the caller's goroutine always executes chunk 0, so p is the total
+// parallelism. The zero value and nil are valid serial pools (Procs()==1,
+// Run inline).
+//
+// A Pool's Run is not reentrant and not safe for concurrent use: it is a
+// per-solver resource, owned by exactly one solve at a time (the
+// nonlin.SparseSolver threads one pool through every kernel of its
+// iteration). Close releases the workers; an unreachable Pool is also
+// cleaned up by the runtime, so dropping one without Close does not leak
+// goroutines.
+type Pool struct {
+	procs   int
+	tasks   chan task
+	wg      sync.WaitGroup
+	cleanup runtime.Cleanup
+	closed  bool
+}
+
+// NewPool returns a pool with the given total parallelism. procs < 1 is
+// treated as 1. procs == 1 starts no goroutines.
+func NewPool(procs int) *Pool {
+	if procs < 1 {
+		procs = 1
+	}
+	p := &Pool{procs: procs}
+	if procs > 1 {
+		p.tasks = make(chan task, procs-1)
+		for i := 1; i < procs; i++ {
+			go workerLoop(p.tasks)
+		}
+		// Workers reference only the channel, so the Pool itself can become
+		// unreachable while they block on receive; the cleanup closes the
+		// channel and lets them exit.
+		p.cleanup = runtime.AddCleanup(p, func(ch chan task) { close(ch) }, p.tasks)
+	}
+	return p
+}
+
+// workerLoop is the body of every pool goroutine. Package-level (not a
+// method) so workers hold no reference to the Pool.
+func workerLoop(tasks chan task) {
+	for t := range tasks {
+		t.r.Run(t.chunk, t.lo, t.hi)
+		t.wg.Done()
+	}
+}
+
+// Procs reports the pool's total parallelism; nil pools are serial.
+func (p *Pool) Procs() int {
+	if p == nil || p.procs < 1 {
+		return 1
+	}
+	return p.procs
+}
+
+// Close stops the worker goroutines. The pool remains usable afterwards —
+// Run degrades to inline serial execution. Safe on nil and on repeat calls.
+func (p *Pool) Close() {
+	if p == nil || p.tasks == nil || p.closed {
+		return
+	}
+	p.closed = true
+	p.cleanup.Stop()
+	close(p.tasks)
+}
+
+// Chunk returns the half-open index range [lo, hi) of chunk k when n items
+// are split into the given chunk count. Boundaries are pure arithmetic —
+// ⌊k·n/chunks⌋ — so the partition is a function of (n, chunks) alone, the
+// ranges tile [0, n) exactly, and sizes differ by at most one.
+func Chunk(n, chunks, k int) (lo, hi int) {
+	return k * n / chunks, (k + 1) * n / chunks
+}
+
+// Run partitions [0, n) into fixed chunks and executes r over them: chunks
+// 1..c−1 on pool workers, chunk 0 on the calling goroutine, returning after
+// all complete. The chunk count is min(Procs, n/grain) (at least 1), so
+// grain is the minimum items per chunk — size it so one chunk amortises the
+// dispatch cost. With one chunk (serial pool, closed pool, or small n) r
+// runs inline as r.Run(0, 0, n).
+//
+// Determinism contract: Run guarantees nothing about execution order, so
+// callers must arrange that chunk results are combined independently of it —
+// in this repo, by writing disjoint ranges or per-chunk partial buffers
+// folded serially in chunk order afterwards.
+//
+//pdevet:noalloc
+func (p *Pool) Run(n, grain int, r Runner) {
+	if n <= 0 {
+		return
+	}
+	chunks := 1
+	if p != nil && p.tasks != nil && !p.closed {
+		chunks = p.procs
+		if grain > 0 {
+			if m := n / grain; m < chunks {
+				chunks = m
+			}
+		}
+		if chunks < 1 {
+			chunks = 1
+		}
+	}
+	if chunks == 1 {
+		r.Run(0, 0, n)
+		return
+	}
+	p.wg.Add(chunks - 1)
+	for c := 1; c < chunks; c++ {
+		lo, hi := Chunk(n, chunks, c)
+		p.tasks <- task{r: r, chunk: c, lo: lo, hi: hi, wg: &p.wg}
+	}
+	lo, hi := Chunk(n, chunks, 0)
+	r.Run(0, lo, hi)
+	p.wg.Wait()
+}

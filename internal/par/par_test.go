@@ -1,0 +1,219 @@
+package par_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hybridpde/internal/par"
+)
+
+func TestChunkTilesRangeExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000, 1001} {
+		for chunks := 1; chunks <= 9; chunks++ {
+			prevHi := 0
+			for k := 0; k < chunks; k++ {
+				lo, hi := par.Chunk(n, chunks, k)
+				if lo != prevHi {
+					t.Fatalf("n=%d chunks=%d k=%d: lo=%d, want %d (gap/overlap)", n, chunks, k, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d chunks=%d k=%d: hi=%d < lo=%d", n, chunks, k, hi, lo)
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d chunks=%d: partition ends at %d, want %d", n, chunks, prevHi, n)
+			}
+		}
+	}
+}
+
+func TestChunkSizesDifferByAtMostOne(t *testing.T) {
+	for _, n := range []int{5, 17, 100} {
+		for chunks := 1; chunks <= 8; chunks++ {
+			minSz, maxSz := n, 0
+			for k := 0; k < chunks; k++ {
+				lo, hi := par.Chunk(n, chunks, k)
+				if sz := hi - lo; sz < minSz {
+					minSz = sz
+				} else if sz > maxSz {
+					maxSz = sz
+				}
+				if hi-lo > maxSz {
+					maxSz = hi - lo
+				}
+			}
+			if maxSz-minSz > 1 {
+				t.Fatalf("n=%d chunks=%d: chunk sizes range [%d,%d]", n, chunks, minSz, maxSz)
+			}
+		}
+	}
+}
+
+// incRun marks every index of its range; disjointness means no index is
+// marked twice.
+type incRun struct {
+	hits []int32
+}
+
+func (r *incRun) Run(_, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		atomic.AddInt32(&r.hits[i], 1)
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, procs := range []int{1, 2, 3, 8} {
+		p := par.NewPool(procs)
+		for _, n := range []int{1, 2, 5, 100, 1000} {
+			for _, grain := range []int{0, 1, 7, 64, 5000} {
+				r := &incRun{hits: make([]int32, n)}
+				p.Run(n, grain, r)
+				for i, h := range r.hits {
+					if h != 1 {
+						t.Fatalf("procs=%d n=%d grain=%d: index %d hit %d times", procs, n, grain, i, h)
+					}
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunZeroAndNegativeN(t *testing.T) {
+	p := par.NewPool(4)
+	defer p.Close()
+	r := &incRun{}
+	p.Run(0, 1, r)  // must not dispatch
+	p.Run(-3, 1, r) // must not dispatch
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *par.Pool
+	if got := p.Procs(); got != 1 {
+		t.Fatalf("nil Procs = %d, want 1", got)
+	}
+	r := &incRun{hits: make([]int32, 10)}
+	p.Run(10, 1, r)
+	for i, h := range r.hits {
+		if h != 1 {
+			t.Fatalf("nil pool: index %d hit %d times", i, h)
+		}
+	}
+	p.Close() // must not panic
+}
+
+// chunkRecRun records which chunk processed each index, to check the
+// partition a Run actually used matches Chunk arithmetic.
+type chunkRecRun struct {
+	owner []int32
+}
+
+func (r *chunkRecRun) Run(chunk, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		atomic.StoreInt32(&r.owner[i], int32(chunk))
+	}
+}
+
+func TestRunUsesFixedChunkBoundaries(t *testing.T) {
+	const n = 103
+	p := par.NewPool(4)
+	defer p.Close()
+	r := &chunkRecRun{owner: make([]int32, n)}
+	p.Run(n, 1, r)
+	// grain 1, n ≥ procs → exactly procs chunks with Chunk boundaries.
+	for k := 0; k < 4; k++ {
+		lo, hi := par.Chunk(n, 4, k)
+		for i := lo; i < hi; i++ {
+			if got := atomic.LoadInt32(&r.owner[i]); got != int32(k) {
+				t.Fatalf("index %d owned by chunk %d, want %d", i, got, k)
+			}
+		}
+	}
+}
+
+func TestGrainCapsChunkCount(t *testing.T) {
+	const n = 10
+	p := par.NewPool(8)
+	defer p.Close()
+	r := &chunkRecRun{owner: make([]int32, n)}
+	p.Run(n, 5, r) // n/grain = 2 chunks despite 8 procs
+	for k := 0; k < 2; k++ {
+		lo, hi := par.Chunk(n, 2, k)
+		for i := lo; i < hi; i++ {
+			if got := atomic.LoadInt32(&r.owner[i]); got != int32(k) {
+				t.Fatalf("index %d owned by chunk %d, want %d", i, got, k)
+			}
+		}
+	}
+}
+
+func TestClosedPoolRunsInline(t *testing.T) {
+	p := par.NewPool(4)
+	p.Close()
+	p.Close() // repeat close is a no-op
+	r := &chunkRecRun{owner: make([]int32, 20)}
+	p.Run(20, 1, r)
+	for i := range r.owner {
+		if got := r.owner[i]; got != 0 {
+			t.Fatalf("closed pool: index %d owned by chunk %d, want 0 (inline)", i, got)
+		}
+	}
+}
+
+// sumRun accumulates per-chunk partial sums, the deterministic-reduction
+// pattern: partials are folded serially in chunk order by the caller.
+type sumRun struct {
+	x        []float64
+	partials []float64
+}
+
+func (r *sumRun) Run(chunk, lo, hi int) {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += r.x[i]
+	}
+	r.partials[chunk] = s
+}
+
+func TestPerChunkPartialsAreDeterministic(t *testing.T) {
+	const n = 997
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1.0 / float64(i+1)
+	}
+	var want float64
+	first := true
+	for _, procs := range []int{2, 3, 8} {
+		p := par.NewPool(procs)
+		r := &sumRun{x: x, partials: make([]float64, p.Procs())}
+		// Force exactly 2 chunks at every pool size so the partial layout —
+		// and hence the folded sum — is identical bit-for-bit.
+		p.Run(n, n/2, r)
+		got := 0.0
+		for _, s := range r.partials {
+			got += s
+		}
+		p.Close()
+		if first {
+			want, first = got, false
+		} else if got != want {
+			t.Fatalf("procs=%d: folded sum %x differs from %x", procs, got, want)
+		}
+	}
+}
+
+func TestRunAllocFree(t *testing.T) {
+	p := par.NewPool(4)
+	defer p.Close()
+	r := &incRun{hits: make([]int32, 64)}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range r.hits {
+			r.hits[i] = 0
+		}
+		p.Run(64, 1, r)
+	})
+	if allocs != 0 {
+		t.Fatalf("Run allocates %v per call, want 0", allocs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"hybridpde/internal/la"
+	"hybridpde/internal/par"
 	"hybridpde/internal/problem"
 )
 
@@ -55,6 +56,84 @@ type Burgers struct {
 	// loop; the pattern is fixed across Newton iterations, so refreshes
 	// write values in place instead of rebuilding and re-sorting.
 	cache jacCache
+	// pool, when set via SetPool, fans the residual and Jacobian walks
+	// across grid-row chunks; evalRun/jacRun are the persistent runners.
+	pool    *par.Pool
+	evalRun burgersEvalRun
+	jacRun  burgersJacRun
+}
+
+// SetPool attaches a worker pool to the residual and Jacobian walks (the
+// nonlin.PoolAware hook). Grid rows partition both walks: every row of f and
+// every Jacobian matrix row is written by exactly one chunk in the serial
+// walk's order, so results are bit-identical at any pool size. nil restores
+// serial execution.
+func (b *Burgers) SetPool(p *par.Pool) { b.pool = p }
+
+// evalGrain returns the minimum grid rows per parallel chunk so one chunk
+// carries ~256 nodes of stencil work.
+func evalGrain(n int) int {
+	g := 256 / n
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// jacGrain is evalGrain's Jacobian counterpart; assembly emits ~14 entries
+// per node, so chunks amortise sooner.
+func jacGrain(n int) int {
+	g := 128 / n
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// burgersEvalRun fans Eval's node loop across grid-row chunks.
+type burgersEvalRun struct {
+	b    *Burgers
+	w, f []float64
+}
+
+func (r *burgersEvalRun) Run(_, lo, hi int) { r.b.evalRows(r.w, r.f, lo, hi) }
+
+// burgersJacRun fans a Jacobian refresh across grid-row chunks: each chunk
+// zeroes and re-accumulates its own matrix-row block through its shard
+// emitter. Shared by Burgers and BurgersSteady (which passes its own cache
+// and weights).
+type burgersJacRun struct {
+	b        *Burgers
+	c        *jacCache
+	w        []float64
+	idW, opW float64
+}
+
+func (r *burgersJacRun) Run(chunk, lo, hi int) {
+	n := r.b.N
+	// Grid row u owns matrix rows [2uN, 2(u+1)N).
+	r.c.jac.ZeroRowsValues(2*lo*n, 2*hi*n)
+	r.b.assembleJacobianRows(r.w, r.c.shard(chunk, lo), r.idW, r.opW, lo, hi)
+}
+
+// refreshJacobian runs one in-place Jacobian refresh of cache — parallel
+// across grid rows when a pool is attached, the classic serial
+// zero-then-accumulate walk otherwise.
+//
+//pdevet:noalloc
+func (b *Burgers) refreshJacobian(cache *jacCache, w []float64, idW, opW float64) {
+	if p := b.pool; p.Procs() > 1 {
+		cache.ensureShards(p.Procs())
+		b.jacRun.b = b
+		b.jacRun.c = cache
+		b.jacRun.w = w
+		b.jacRun.idW = idW
+		b.jacRun.opW = opW
+		p.Run(b.N, jacGrain(b.N), &b.jacRun)
+		return
+	}
+	cache.beginRefresh()
+	b.assembleJacobianRows(w, cache, idW, opW, 0, b.N)
 }
 
 // NewBurgers allocates a problem with zero fields, zero boundaries and zero
@@ -200,7 +279,24 @@ func (b *Burgers) Eval(w, f []float64) error {
 	if len(w) != b.Dim() || len(f) != b.Dim() {
 		return fmt.Errorf("pde: Burgers Eval dimension mismatch") //pdevet:allow noalloc error path
 	}
-	for i := 0; i < b.N; i++ {
+	if p := b.pool; p.Procs() > 1 {
+		b.evalRun.b = b
+		b.evalRun.w = w
+		b.evalRun.f = f
+		p.Run(b.N, evalGrain(b.N), &b.evalRun)
+		return nil
+	}
+	b.evalRows(w, f, 0, b.N)
+	return nil
+}
+
+// evalRows computes the residual of grid rows [iLo, iHi): the serial inner
+// loop of Eval and the chunk body of its parallel fan-out (each f row is
+// written by exactly one chunk).
+//
+//pdevet:noalloc
+func (b *Burgers) evalRows(w, f []float64, iLo, iHi int) {
+	for i := iLo; i < iHi; i++ {
 		for j := 0; j < b.N; j++ {
 			k := b.idx(i, j)
 			node := i*b.N + j
@@ -217,7 +313,6 @@ func (b *Burgers) Eval(w, f []float64) error {
 			}
 		}
 	}
-	return nil
 }
 
 // JacobianCSR returns the analytic Jacobian of the stencil. The sparsity
@@ -232,15 +327,15 @@ func (b *Burgers) JacobianCSR(w []float64) (*la.CSR, error) {
 		return nil, fmt.Errorf("pde: Burgers Jacobian dimension mismatch") //pdevet:allow noalloc error path
 	}
 	if b.cache.jac == nil {
-		// One-time pattern build; every later call refreshes in place.
-		b.cache.build(b.Dim(), func(e jacEmitter) { b.assembleJacobian(w, e, 1, 0.5) }) //pdevet:allow noalloc grow-on-first-use
+		// One-time pattern build, unitised by grid row so refreshes can fan
+		// out; every later call refreshes in place.
+		b.cache.buildUnits(b.Dim(), b.N, func(lo, hi int, e jacEmitter) { b.assembleJacobianRows(w, e, 1, 0.5, lo, hi) }) //pdevet:allow noalloc grow-on-first-use
 		return b.cache.jac, nil
 	}
 	// Refresh: zero, then accumulate — assembly may emit the same entry
 	// several times (time term, diffusion and advection all touch the
 	// node-centre slot).
-	b.cache.beginRefresh()
-	b.assembleJacobian(w, &b.cache, 1, 0.5)
+	b.refreshJacobian(&b.cache, w, 1, 0.5)
 	return b.cache.jac, nil
 }
 
@@ -262,8 +357,17 @@ func (b *Burgers) JacobianCSR(w []float64) (*la.CSR, error) {
 //
 //pdevet:noalloc
 func (b *Burgers) assembleJacobian(w []float64, e jacEmitter, idW, opW float64) {
+	b.assembleJacobianRows(w, e, idW, opW, 0, b.N)
+}
+
+// assembleJacobianRows walks grid rows [iLo, iHi) only. Every emission of
+// row i targets matrix rows idx(i, j)+c of that same grid row — the property
+// the parallel refresh's disjoint row-block partition rests on.
+//
+//pdevet:noalloc
+func (b *Burgers) assembleJacobianRows(w []float64, e jacEmitter, idW, opW float64, iLo, iHi int) {
 	n := b.N
-	for i := 0; i < n; i++ {
+	for i := iLo; i < iHi; i++ {
 		for j := 0; j < n; j++ {
 			base := b.idx(i, j)
 			u := b.stateAt(w, 0, i, j)

@@ -23,20 +23,62 @@ func (f funcEmitter) emit(i, j int, v float64) { f(i, j, v) }
 // refreshes zero the values and re-accumulate in place via the emit method
 // (jacCache is itself the refresh jacEmitter). Walks may emit the same
 // (i, j) several times; slots record every emission in order.
+//
+// For parallel refreshes the walk is split into units (one grid row for the
+// 2-D stencils): buildUnits records the slot-cursor offset of every unit
+// boundary, and each shardEmitter owns the cursor range of a contiguous unit
+// block. Because every emission of a unit targets matrix rows owned by that
+// unit alone (the stencil walks emit only to the emitting node's own rows),
+// the shards write disjoint CSR row blocks in the serial walk's per-row
+// order — bit-identical accumulation at any chunk count.
 type jacCache struct {
 	jac   *la.CSR
 	slots []int
-	k     int // cursor into slots during a refresh walk
+	k     int // cursor into slots during a serial refresh walk
+	// unitStart[u] is the slot cursor at the start of unit u; length
+	// units+1, so unitStart[units] == len(slots).
+	unitStart []int
+	// shards are the per-chunk emitters of a parallel refresh, sized to the
+	// pool by ensureShards.
+	shards []shardEmitter
 }
 
-// build assembles the pattern and slot order from two passes of the same
-// walk. The walk must be deterministic in emission order.
+// shardEmitter replays a unit range's slot cursor independently of the
+// other shards.
+type shardEmitter struct {
+	c *jacCache
+	k int
+}
+
+func (s *shardEmitter) emit(i, j int, v float64) {
+	s.c.jac.AddSlotValue(s.c.slots[s.k], v)
+	s.k++
+}
+
+// build assembles the pattern and slot order from two passes of a monolithic
+// walk (single unit — serial refreshes only).
 func (c *jacCache) build(dim int, walk func(e jacEmitter)) {
+	c.buildUnits(dim, 1, func(lo, hi int, e jacEmitter) { walk(e) })
+}
+
+// buildUnits assembles the pattern and slot order from a unit-ranged walk:
+// walk(lo, hi, e) must emit exactly the contributions of units [lo, hi) in
+// deterministic order, and walk(0, units, e) must equal the concatenation of
+// the per-unit walks.
+func (c *jacCache) buildUnits(dim, units int, walk func(lo, hi int, e jacEmitter)) {
 	coo := la.NewCOO(dim, dim)
-	walk(funcEmitter(func(i, j int, v float64) { coo.Append(i, j, v) }))
+	walk(0, units, funcEmitter(func(i, j int, v float64) { coo.Append(i, j, v) }))
 	c.jac = coo.ToCSR()
 	c.slots = c.slots[:0]
-	walk(funcEmitter(func(i, j int, v float64) { c.slots = append(c.slots, c.jac.Slot(i, j)) }))
+	if cap(c.unitStart) < units+1 {
+		c.unitStart = make([]int, units+1)
+	}
+	c.unitStart = c.unitStart[:units+1]
+	for u := 0; u < units; u++ {
+		c.unitStart[u] = len(c.slots)
+		walk(u, u+1, funcEmitter(func(i, j int, v float64) { c.slots = append(c.slots, c.jac.Slot(i, j)) }))
+	}
+	c.unitStart[units] = len(c.slots)
 }
 
 // beginRefresh zeroes the cached values and resets the slot cursor; the
@@ -49,4 +91,22 @@ func (c *jacCache) beginRefresh() {
 func (c *jacCache) emit(i, j int, v float64) {
 	c.jac.AddSlotValue(c.slots[c.k], v)
 	c.k++
+}
+
+// ensureShards sizes the shard emitters for a pool of n chunks.
+func (c *jacCache) ensureShards(n int) {
+	if cap(c.shards) < n {
+		c.shards = make([]shardEmitter, n)
+	}
+	c.shards = c.shards[:n]
+}
+
+// shard returns chunk's emitter positioned at the slot cursor of unit lo.
+// The caller must have zeroed the chunk's rows (la.CSR.ZeroRowsValues) — the
+// parallel replacement for beginRefresh's global zero.
+func (c *jacCache) shard(chunk, lo int) *shardEmitter {
+	s := &c.shards[chunk]
+	s.c = c
+	s.k = c.unitStart[lo]
+	return s
 }

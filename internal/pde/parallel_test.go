@@ -1,0 +1,179 @@
+package pde
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridpde/internal/par"
+)
+
+// cloneVals snapshots a Jacobian's values through the public accessor.
+func csrVals(t *testing.T, b *Burgers, w []float64) []float64 {
+	t.Helper()
+	j, err := b.JacobianCSR(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 0, j.NNZ())
+	for i := 0; i < j.Rows(); i++ {
+		_, vals := j.RowNNZ(i)
+		out = append(out, vals...)
+	}
+	return out
+}
+
+// TestBurgersParallelBitIdentical pins the tentpole contract at the problem
+// layer: Eval and the in-place Jacobian refresh produce identical bits at
+// every pool size, order 2 and 4, across repeated refreshes.
+func TestBurgersParallelBitIdentical(t *testing.T) {
+	for _, order := range []int{2, 4} {
+		for _, n := range []int{3, 8, 17} {
+			rng := rand.New(rand.NewSource(int64(37 + n + order)))
+			ref, err := RandomBurgers(n, 40, 2.0, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Order = order
+			w := make([]float64, ref.Dim())
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+			fWant := make([]float64, ref.Dim())
+			if err := ref.Eval(w, fWant); err != nil {
+				t.Fatal(err)
+			}
+			jWant := csrVals(t, ref, w)
+			// Second refresh with different state, to catch stale-slot bugs.
+			w2 := make([]float64, len(w))
+			for i := range w2 {
+				w2[i] = w[i] * 1.5
+			}
+			jWant2 := csrVals(t, ref, w2)
+
+			for _, procs := range []int{1, 2, 3, 8} {
+				rng2 := rand.New(rand.NewSource(int64(37 + n + order)))
+				b, err := RandomBurgers(n, 40, 2.0, rng2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b.Order = order
+				p := par.NewPool(procs)
+				b.SetPool(p)
+				f := make([]float64, b.Dim())
+				if err := b.Eval(w, f); err != nil {
+					t.Fatal(err)
+				}
+				for i := range f {
+					if f[i] != fWant[i] {
+						t.Fatalf("order=%d n=%d procs=%d: f[%d] = %x, want %x", order, n, procs, i, f[i], fWant[i])
+					}
+				}
+				got := csrVals(t, b, w)
+				got2 := csrVals(t, b, w2)
+				p.Close()
+				for i := range got {
+					if got[i] != jWant[i] {
+						t.Fatalf("order=%d n=%d procs=%d: jac[%d] = %x, want %x", order, n, procs, i, got[i], jWant[i])
+					}
+					if got2[i] != jWant2[i] {
+						t.Fatalf("order=%d n=%d procs=%d refresh2: jac[%d] = %x, want %x", order, n, procs, i, got2[i], jWant2[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBurgersSteadyParallelBitIdentical is the steady-form counterpart.
+func TestBurgersSteadyParallelBitIdentical(t *testing.T) {
+	n := 10
+	build := func(procs int) (*BurgersSteady, *par.Pool) {
+		rng := rand.New(rand.NewSource(99))
+		b, err := RandomBurgers(n, 40, 2.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewBurgersSteady(b)
+		var p *par.Pool
+		if procs > 1 {
+			p = par.NewPool(procs)
+			s.SetPool(p)
+		}
+		return s, p
+	}
+	rng := rand.New(rand.NewSource(100))
+	sRef, _ := build(1)
+	w := make([]float64, sRef.Dim())
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	fWant := make([]float64, sRef.Dim())
+	if err := sRef.Eval(w, fWant); err != nil {
+		t.Fatal(err)
+	}
+	jRef, err := sRef.JacobianCSR(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{2, 8} {
+		s, p := build(procs)
+		f := make([]float64, s.Dim())
+		if err := s.Eval(w, f); err != nil {
+			t.Fatal(err)
+		}
+		for i := range f {
+			if f[i] != fWant[i] {
+				t.Fatalf("procs=%d: f[%d] = %x, want %x", procs, i, f[i], fWant[i])
+			}
+		}
+		j, err := s.JacobianCSR(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Refresh once more to exercise the warm parallel path.
+		j, err = s.JacobianCSR(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < j.Rows(); i++ {
+			_, got := j.RowNNZ(i)
+			_, want := jRef.RowNNZ(i)
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("procs=%d: row %d slot %d = %x, want %x", procs, i, k, got[k], want[k])
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestParallelRefreshAllocFree pins that the warm parallel Jacobian+Eval
+// path stays off the allocator, the //pdevet:noalloc property measured
+// dynamically.
+func TestParallelRefreshAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b, err := RandomBurgers(12, 40, 2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := par.NewPool(4)
+	defer p.Close()
+	b.SetPool(p)
+	w := make([]float64, b.Dim())
+	f := make([]float64, b.Dim())
+	if _, err := b.JacobianCSR(w); err != nil { // cold build
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := b.Eval(w, f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.JacobianCSR(w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm parallel Eval+Jacobian allocates %v per call, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridpde/internal/la"
+	"hybridpde/internal/par"
 	"hybridpde/internal/problem"
 )
 
@@ -23,6 +24,37 @@ type BurgersSteady struct {
 	// repeated re-rooting (a solve service refreshing a cached problem per
 	// request) stays off the allocator.
 	rhsScratch []float64
+	// evalRun is the persistent residual fan-out runner; the Jacobian
+	// fan-out reuses the wrapped problem's runner with this cache.
+	evalRun steadyEvalRun
+}
+
+// SetPool attaches a worker pool to the steady residual and Jacobian walks
+// (the nonlin.PoolAware hook); it is shared with the wrapped problem's
+// walks. See Burgers.SetPool for the determinism contract.
+func (s *BurgersSteady) SetPool(p *par.Pool) { s.B.SetPool(p) }
+
+// steadyEvalRun fans the steady residual across grid-row chunks.
+type steadyEvalRun struct {
+	s    *BurgersSteady
+	w, f []float64
+}
+
+func (r *steadyEvalRun) Run(_, lo, hi int) { r.s.evalRows(r.w, r.f, lo, hi) }
+
+// evalRows computes the steady residual of grid rows [iLo, iHi).
+//
+//pdevet:noalloc
+func (s *BurgersSteady) evalRows(w, f []float64, iLo, iHi int) {
+	b := s.B
+	for i := iLo; i < iHi; i++ {
+		for j := 0; j < b.N; j++ {
+			k := b.idx(i, j)
+			node := i*b.N + j
+			f[k] = b.advDiff(w, 0, i, j) - b.RHS0[node]
+			f[k+1] = b.advDiff(w, 1, i, j) - b.RHS1[node]
+		}
+	}
 }
 
 // NewBurgersSteady wraps b in its steady method-of-lines form.
@@ -35,33 +67,36 @@ func (s *BurgersSteady) Dim() int { return s.B.Dim() }
 func (s *BurgersSteady) PolynomialDegree() int { return 2 }
 
 // Eval computes F(w) = A(w) − RHS.
+//
+//pdevet:noalloc
 func (s *BurgersSteady) Eval(w, f []float64) error {
 	b := s.B
 	if len(w) != b.Dim() || len(f) != b.Dim() {
-		return fmt.Errorf("pde: BurgersSteady Eval dimension mismatch")
+		return fmt.Errorf("pde: BurgersSteady Eval dimension mismatch") //pdevet:allow noalloc error path
 	}
-	for i := 0; i < b.N; i++ {
-		for j := 0; j < b.N; j++ {
-			k := b.idx(i, j)
-			node := i*b.N + j
-			f[k] = b.advDiff(w, 0, i, j) - b.RHS0[node]
-			f[k+1] = b.advDiff(w, 1, i, j) - b.RHS1[node]
-		}
+	if p := b.pool; p.Procs() > 1 {
+		s.evalRun.s = s
+		s.evalRun.w = w
+		s.evalRun.f = f
+		p.Run(b.N, evalGrain(b.N), &s.evalRun)
+		return nil
 	}
+	s.evalRows(w, f, 0, b.N)
 	return nil
 }
 
 // JacobianCSR returns ∂A/∂w with the cached-pattern refresh.
+//
+//pdevet:noalloc
 func (s *BurgersSteady) JacobianCSR(w []float64) (*la.CSR, error) {
 	if len(w) != s.Dim() {
-		return nil, fmt.Errorf("pde: BurgersSteady Jacobian dimension mismatch")
+		return nil, fmt.Errorf("pde: BurgersSteady Jacobian dimension mismatch") //pdevet:allow noalloc error path
 	}
 	if s.cache.jac == nil {
-		s.cache.build(s.Dim(), func(e jacEmitter) { s.B.assembleJacobian(w, e, 0, 1) })
+		s.cache.buildUnits(s.Dim(), s.B.N, func(lo, hi int, e jacEmitter) { s.B.assembleJacobianRows(w, e, 0, 1, lo, hi) }) //pdevet:allow noalloc grow-on-first-use
 		return s.cache.jac, nil
 	}
-	s.cache.beginRefresh()
-	s.B.assembleJacobian(w, &s.cache, 0, 1)
+	s.B.refreshJacobian(&s.cache, w, 0, 1)
 	return s.cache.jac, nil
 }
 

@@ -69,6 +69,16 @@ type Config struct {
 	// RetryBackoff is the base of the capped exponential jittered backoff
 	// between retries. Default 10ms.
 	RetryBackoff time.Duration
+	// SolveProcs is each solve's intra-solve worker count (core.Options
+	// Procs). Request-level and solve-level parallelism compose
+	// multiplicatively — Workers solves × SolveProcs goroutines each — so
+	// the default budgets the machine instead of oversubscribing it:
+	// max(1, GOMAXPROCS/Workers), which is 1 under the default
+	// Workers = GOMAXPROCS sizing (fully loaded servers want request
+	// throughput) and spends the idle cores on latency when Workers is set
+	// low. Negative disables intra-solve parallelism explicitly. Responses
+	// are bit-identical at every setting.
+	SolveProcs int
 }
 
 func (c *Config) defaults() {
@@ -104,6 +114,12 @@ func (c *Config) defaults() {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.SolveProcs == 0 {
+		c.SolveProcs = runtime.GOMAXPROCS(0) / c.Workers
+	}
+	if c.SolveProcs < 1 {
+		c.SolveProcs = 1
 	}
 }
 

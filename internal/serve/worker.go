@@ -43,6 +43,9 @@ type worker struct {
 	// faults, when non-nil, is attached (salted) to every accelerator this
 	// worker builds.
 	faults *fault.Spec
+	// procs is the per-solve worker count (Config.SolveProcs); the
+	// workspace's sparse solver owns the actual pool.
+	procs int
 }
 
 // gridKey identifies a cached problem shape. Every field the constructors
@@ -78,6 +81,7 @@ func newWorker(cfg *Config, pool *core.WorkspacePool, seed int64) *worker {
 		lopts:   core.LadderOptions{GateFactor: cfg.SeedGate},
 		gate:    cfg.SeedGate,
 		faults:  cfg.Faults,
+		procs:   cfg.SolveProcs,
 	}
 }
 
@@ -228,6 +232,7 @@ func (wk *worker) solveGrid(ctx context.Context, req *Request, e *gridEntry, see
 	var opts core.Options
 	opts.Workspace = wk.ws
 	opts.Perf = backendFor(req.Backend)
+	opts.Procs = wk.procs
 	if seeder != nil {
 		opts.Seeder = seeder
 	} else {
