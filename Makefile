@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fuzz check bench bench-core serve serve-smoke chaos-smoke bench-serve
+.PHONY: all build test race vet fmt lint fuzz check bench bench-core serve serve-smoke chaos-smoke cache-smoke bench-serve
 
 all: build
 
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCSR -fuzztime 3s ./internal/la/
 	$(GO) test -run '^$$' -fuzz FuzzParseNetlist -fuzztime 3s ./internal/analog/
 	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 3s ./internal/fault/
+	$(GO) test -run '^$$' -fuzz FuzzCacheKey -fuzztime 3s ./internal/cache/
 
 # Full verification gate: build + vet + pdevet + formatting + race-enabled
 # tests + fuzz smoke.
@@ -45,10 +46,12 @@ bench:
 
 # Regenerate the committed core benchmark baseline (BENCH_core.json):
 # warm Newton solves and time loops across grid sizes and worker counts,
-# with the cross-procs checksum gate. Short mode keeps it CI-sized; run
+# with the cross-procs checksum gate and the parallel-speedup floor (the
+# floor is skipped with a visible notice on single-CPU machines, where a
+# speedup is unmeasurable). Short mode keeps it CI-sized; run
 # `go run ./cmd/pdebench` directly for the full size sweep.
 bench-core:
-	$(GO) run ./cmd/pdebench -short -out BENCH_core.json
+	$(GO) run ./cmd/pdebench -short -min-speedup 1.1 -out BENCH_core.json
 
 # Run the solve service locally (Ctrl-C drains in-flight solves).
 serve:
@@ -64,13 +67,23 @@ serve-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+# Cache smoke: boot pdeserved with the solve cache on, replay identical and
+# near-identical load, assert nonzero cache/warm hits, byte-identical
+# bodies on exact repeats, and a clean drain.
+cache-smoke:
+	./scripts/cache_smoke.sh
+
 # Regenerate the committed service benchmark (BENCH_serve.json): 400 rps of
-# warm-cache steady solves for 8 s against a freshly-booted local server.
+# repeated parameter-sweep steady solves for 8 s against a freshly-booted
+# local server with the solve cache on. The report carries the cache's
+# cold-versus-repeat latency split and hit counters alongside the overall
+# percentiles.
 bench-serve:
 	$(GO) build -o /tmp/pdeserved ./cmd/pdeserved
 	$(GO) build -o /tmp/pdeload ./cmd/pdeload
 	/tmp/pdeserved -addr 127.0.0.1:18080 -debug-addr "" & \
 	SRV=$$!; sleep 1; \
 	/tmp/pdeload -url http://127.0.0.1:18080 -rate 400 -duration 8s \
-		-problem burgers-steady -n 5 -out BENCH_serve.json; \
+		-problem burgers-steady -n 5 -seed-spread 3 \
+		-re 1.0 -re-step 0.01 -re-count 4 -out BENCH_serve.json; \
 	RC=$$?; kill -TERM $$SRV; wait $$SRV; exit $$RC

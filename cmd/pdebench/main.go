@@ -76,6 +76,7 @@ func main() {
 		short    = flag.Bool("short", false, "CI smoke configuration: sizes 8,16 and 3 reps")
 		seed     = flag.Int64("seed", 80, "fixture seed (fields, planted roots, starts)")
 		out      = flag.String("out", "", "write the JSON report to this file as well as stdout")
+		minSpeed = flag.Float64("min-speedup", 0, "fail unless some parallel case beats serial by this factor (0 disables; skipped with a notice on single-CPU machines)")
 	)
 	flag.Parse()
 
@@ -114,6 +115,7 @@ func main() {
 	fillSpeedups(rep.Cases)
 
 	ok := checkDeterminism(rep.Cases)
+	ok = checkSpeedup(rep.Cases, *minSpeed, rep.NumCPU) && ok
 	b, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fatalf("encode report: %v", err)
@@ -301,6 +303,38 @@ func checkDeterminism(cases []Case) bool {
 		}
 	}
 	return ok
+}
+
+// checkSpeedup asserts that parallelism paid off: the best speedup over
+// serial across all multi-procs cases must reach minSpeed. A machine with
+// one CPU cannot speed anything up, so the assertion is skipped there with
+// a visible notice rather than failing a single-core CI runner.
+func checkSpeedup(cases []Case, minSpeed float64, numCPU int) bool {
+	if minSpeed <= 0 {
+		return true
+	}
+	if numCPU == 1 {
+		fmt.Fprintf(os.Stderr,
+			"pdebench: NOTICE: numcpu=1, skipping the -min-speedup %.2f assertion (parallel speedup is unmeasurable on a single-CPU machine)\n",
+			minSpeed)
+		return true
+	}
+	best := 0.0
+	bestCase := ""
+	for _, c := range cases {
+		if c.Procs > 1 && c.SpeedupVsSerial > best {
+			best = c.SpeedupVsSerial
+			bestCase = fmt.Sprintf("%s n=%d procs=%d", c.Bench, c.N, c.Procs)
+		}
+	}
+	if best < minSpeed {
+		fmt.Fprintf(os.Stderr,
+			"pdebench: SPEEDUP VIOLATION: best parallel speedup %.3f (%s) below the required %.2f on a %d-CPU machine\n",
+			best, bestCase, minSpeed, numCPU)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "pdebench: best parallel speedup %.3f (%s) >= %.2f\n", best, bestCase, minSpeed)
+	return true
 }
 
 // shortSizes trims the size list to its two smallest entries.

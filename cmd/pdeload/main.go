@@ -5,7 +5,8 @@
 //
 //	pdeload [-url http://127.0.0.1:8080] [-rate 200] [-duration 10s]
 //	        [-concurrency 64] [-problem burgers-steady] [-n 5] [-analog]
-//	        [-seed-spread 16] [-out BENCH_serve.json]
+//	        [-seed-spread 16] [-re 1] [-re-step 0] [-re-count 1]
+//	        [-out BENCH_serve.json]
 //
 // Open-loop means request launch times come from a fixed-rate ticker, not
 // from completions: when the service is saturated the client keeps firing,
@@ -14,6 +15,15 @@
 // counted as local drops (the client's own backpressure) rather than
 // blocking the schedule.
 //
+// -re-step/-re-count turn the run into a repeated parameter sweep: request
+// i asks for re = -re + (i mod -re-count)·-re-step, so the same sweep
+// points recur and a cache-enabled server can serve repeats by replay and
+// near-neighbours by warm-started continuation. The report splits latency
+// between first-occurrence (cold) and repeated request identities, and —
+// when the server exposes /metrics — records the cache hit/warm-hit/miss
+// deltas the run produced. Pair sweeps with -seed-spread 1: warm starts
+// only continue solutions of the same random-field realisation.
+//
 // The exit code is 1 when the run saw zero successful (2xx) responses, so
 // smoke scripts can assert liveness with the shell alone.
 //
@@ -21,6 +31,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -29,6 +40,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +59,10 @@ type Report struct {
 	Duration    float64 `json:"duration_seconds"`
 	Concurrency int     `json:"concurrency"`
 
+	ReBase  float64 `json:"re_base,omitempty"`
+	ReStep  float64 `json:"re_step,omitempty"`
+	ReCount int     `json:"re_count,omitempty"`
+
 	Sent        int `json:"sent"`
 	LocalDrops  int `json:"local_drops"`
 	OK          int `json:"ok_2xx"`
@@ -61,6 +78,27 @@ type Report struct {
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 	LatencyMaxMs  float64 `json:"latency_max_ms"`
 
+	// Cold/repeat split: a request identity (problem, n, seed, re) is cold
+	// the first time this run sends it and a repeat afterwards. On a
+	// cache-enabled server repeats are replays, so the gap between the two
+	// p50s is the cache's measured latency win.
+	ColdCount    int     `json:"cold_count,omitempty"`
+	RepeatCount  int     `json:"repeat_count,omitempty"`
+	ColdP50Ms    float64 `json:"cold_p50_ms,omitempty"`
+	RepeatP50Ms  float64 `json:"repeat_p50_ms,omitempty"`
+	ColdMeanMs   float64 `json:"cold_mean_ms,omitempty"`
+	RepeatMeanMs float64 `json:"repeat_mean_ms,omitempty"`
+	// Iteration means stay explicit even at zero: a warm-start mean of 0
+	// ("the continuation start was already converged") is the headline
+	// number of a repeated-sweep run, not an absent one.
+	ColdMeanIters  float64 `json:"cold_mean_newton_iters"`
+	WarmMeanIters  float64 `json:"warm_mean_newton_iters"`
+	CacheHits      uint64  `json:"cache_hits,omitempty"`
+	CacheWarmHits  uint64  `json:"cache_warm_hits,omitempty"`
+	CacheMisses    uint64  `json:"cache_misses,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
+	MetricsScraped bool    `json:"metrics_scraped,omitempty"`
+
 	Codes map[string]int `json:"codes"`
 }
 
@@ -74,6 +112,9 @@ func main() {
 		n          = flag.Int("n", 5, "grid size of the requested problem")
 		analog     = flag.Bool("analog", false, "request analog seeding")
 		seedSpread = flag.Int64("seed-spread", 16, "cycle request seeds through [1, spread]")
+		reBase     = flag.Float64("re", 1, "base Reynolds number of grid requests")
+		reStep     = flag.Float64("re-step", 0, "Reynolds increment between sweep points (0 = no sweep)")
+		reCount    = flag.Int("re-count", 1, "number of sweep points to cycle through")
 		out        = flag.String("out", "", "write the JSON report to this file as well as stdout")
 	)
 	flag.Parse()
@@ -81,9 +122,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdeload: -rate, -duration and -concurrency must be positive")
 		os.Exit(2)
 	}
+	if *reCount < 1 || *reBase <= 0 {
+		fmt.Fprintln(os.Stderr, "pdeload: -re must be positive and -re-count at least 1")
+		os.Exit(2)
+	}
 
-	body := func(seed int64) []byte {
-		b, err := json.Marshal(serve.Request{Problem: *problem, N: *n, Seed: seed, Analog: *analog})
+	body := func(seed int64, re float64) []byte {
+		b, err := json.Marshal(serve.Request{Problem: *problem, N: *n, Seed: seed, Re: re, Analog: *analog})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pdeload:", err)
 			os.Exit(2)
@@ -96,6 +141,9 @@ func main() {
 		code     int
 		seconds  float64
 		degraded bool
+		first    bool
+		warm     bool
+		iters    int
 		err      error
 	}
 	results := make(chan result, 4096)
@@ -104,8 +152,10 @@ func main() {
 	rep := Report{
 		URL: *url, Problem: *problem, N: *n, Analog: *analog,
 		RateRPS: *rate, Duration: duration.Seconds(), Concurrency: *conc,
+		ReBase: *reBase, ReStep: *reStep, ReCount: *reCount,
 		Codes: map[string]int{},
 	}
+	before, scraped := scrapeCacheCounters(client, *url)
 
 	var wg sync.WaitGroup
 	interval := time.Duration(float64(time.Second) / *rate)
@@ -116,8 +166,14 @@ func main() {
 	stop := time.After(*duration)
 	begin := time.Now()
 
+	type identity struct {
+		seed int64
+		re   float64
+	}
+	seen := map[identity]bool{} // touched only by the launch loop
+
 launch:
-	for seed := int64(1); ; seed++ {
+	for i := int64(0); ; i++ {
 		select {
 		case <-stop:
 			break launch
@@ -130,34 +186,45 @@ launch:
 			continue
 		}
 		rep.Sent++
+		seed := 1 + i%*seedSpread
+		re := *reBase + float64(i%int64(*reCount))**reStep
+		id := identity{seed, re}
+		first := !seen[id]
+		seen[id] = true
 		wg.Add(1)
-		go func(seed int64) {
+		go func(seed int64, re float64, first bool) {
 			defer wg.Done()
 			defer func() { <-slots }()
 			start := time.Now()
 			hr, err := client.Post(*url+"/v1/solve", "application/json",
-				bytes.NewReader(body(1+seed%*seedSpread)))
+				bytes.NewReader(body(seed, re)))
 			if err != nil {
 				results <- result{err: err}
 				return
 			}
-			degraded := false
+			degraded, warm, iters := false, false, 0
 			if hr.StatusCode >= 200 && hr.StatusCode < 300 {
 				var sr struct {
-					Degraded bool `json:"degraded"`
+					Degraded bool   `json:"degraded"`
+					Rung     string `json:"rung"`
+					Iters    int    `json:"newton_iterations"`
 				}
 				json.NewDecoder(hr.Body).Decode(&sr)
 				degraded = sr.Degraded
+				warm = sr.Rung == "warm-start"
+				iters = sr.Iters
 			}
 			io.Copy(io.Discard, hr.Body)
 			hr.Body.Close()
-			results <- result{code: hr.StatusCode, seconds: time.Since(start).Seconds(), degraded: degraded}
-		}(seed)
+			results <- result{code: hr.StatusCode, seconds: time.Since(start).Seconds(),
+				degraded: degraded, first: first, warm: warm, iters: iters}
+		}(seed, re, first)
 	}
 	ticker.Stop()
 	go func() { wg.Wait(); close(results) }()
 
-	var latencies []float64
+	var latencies, cold, repeat []float64
+	var coldIters, warmIters, coldN, warmN int
 	for r := range results {
 		if r.err != nil {
 			rep.TransportEr++
@@ -171,6 +238,21 @@ launch:
 				rep.Degraded++
 			}
 			latencies = append(latencies, r.seconds)
+			if r.first {
+				cold = append(cold, r.seconds)
+			} else {
+				repeat = append(repeat, r.seconds)
+			}
+			switch {
+			case r.warm:
+				warmIters += r.iters
+				warmN++
+			case r.first:
+				// First occurrences that were not warm-started are true cold
+				// solves; repeats are replays and ran no Newton of their own.
+				coldIters += r.iters
+				coldN++
+			}
 		case r.code == http.StatusTooManyRequests:
 			rep.Shed++
 		case r.code >= 400 && r.code < 500:
@@ -188,6 +270,30 @@ launch:
 		rep.LatencyP99Ms = 1000 * stats.Percentile(latencies, 99)
 		sort.Float64s(latencies)
 		rep.LatencyMaxMs = 1000 * latencies[len(latencies)-1]
+	}
+	rep.ColdCount, rep.RepeatCount = len(cold), len(repeat)
+	if len(cold) > 0 {
+		rep.ColdP50Ms = 1000 * stats.Percentile(cold, 50)
+		rep.ColdMeanMs = 1000 * mean(cold)
+	}
+	if len(repeat) > 0 {
+		rep.RepeatP50Ms = 1000 * stats.Percentile(repeat, 50)
+		rep.RepeatMeanMs = 1000 * mean(repeat)
+	}
+	if coldN > 0 {
+		rep.ColdMeanIters = float64(coldIters) / float64(coldN)
+	}
+	if warmN > 0 {
+		rep.WarmMeanIters = float64(warmIters) / float64(warmN)
+	}
+	if after, ok := scrapeCacheCounters(client, *url); ok && scraped {
+		rep.MetricsScraped = true
+		rep.CacheHits = after.hits - before.hits
+		rep.CacheWarmHits = after.warm - before.warm
+		rep.CacheMisses = after.misses - before.misses
+		if total := rep.CacheHits + rep.CacheWarmHits + rep.CacheMisses; total > 0 {
+			rep.CacheHitRate = float64(rep.CacheHits+rep.CacheWarmHits) / float64(total)
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -216,8 +322,63 @@ launch:
 	}
 	fmt.Fprintf(os.Stderr, "pdeload: status breakdown: 2xx=%d (degraded=%d) 429=%d other-4xx=%d 5xx=%d transport=%d local-drops=%d\n",
 		rep.OK, rep.Degraded, rep.Shed, rep.ClientErr, rep.ServerErr, rep.TransportEr, rep.LocalDrops)
+	if rep.MetricsScraped {
+		fmt.Fprintf(os.Stderr, "pdeload: cache: hits=%d warm=%d misses=%d hit-rate=%.1f%%; latency p50 cold=%.2fms repeat=%.2fms\n",
+			rep.CacheHits, rep.CacheWarmHits, rep.CacheMisses, 100*rep.CacheHitRate,
+			rep.ColdP50Ms, rep.RepeatP50Ms)
+	}
 	if rep.OK == 0 {
 		fmt.Fprintln(os.Stderr, "pdeload: no successful responses")
 		os.Exit(1)
 	}
+}
+
+// cacheCounters is the subset of /metrics pdeload understands.
+type cacheCounters struct {
+	hits, warm, misses uint64
+}
+
+// scrapeCacheCounters reads the server's cache counters from /metrics;
+// ok=false when the endpoint is unreachable (pdeload then simply omits the
+// cache section of the report).
+func scrapeCacheCounters(client *http.Client, url string) (cacheCounters, bool) {
+	var c cacheCounters
+	hr, err := client.Get(url + "/metrics")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		if hr != nil {
+			io.Copy(io.Discard, hr.Body)
+			hr.Body.Close()
+		}
+		return c, false
+	}
+	defer hr.Body.Close()
+	sc := bufio.NewScanner(hr.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, f := range []struct {
+			prefix string
+			dst    *uint64
+		}{
+			{"pdeserve_cache_hits_total ", &c.hits},
+			{"pdeserve_cache_warm_hits_total ", &c.warm},
+			{"pdeserve_cache_misses_total ", &c.misses},
+		} {
+			if v, ok := strings.CutPrefix(line, f.prefix); ok {
+				n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+				if err == nil {
+					*f.dst = n
+				}
+			}
+		}
+	}
+	return c, sc.Err() == nil
+}
+
+// mean is the arithmetic mean of a non-empty sample.
+func mean(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
 }

@@ -5,7 +5,8 @@
 //	pdeserved [-addr :8080] [-debug-addr 127.0.0.1:8081] [-workers N]
 //	          [-queue N] [-max-grid N] [-timeout D] [-max-timeout D]
 //	          [-seed N] [-drain-timeout D] [-chaos] [-chaos-spec SPEC]
-//	          [-retries N] [-seed-gate F]
+//	          [-retries N] [-seed-gate F] [-cache-size N] [-cache-off]
+//	          [-warm-radius F]
 //
 // The API listener serves POST /v1/solve, GET /v1/problems, GET /healthz
 // and GET /metrics (Prometheus text exposition). The debug listener, bound
@@ -54,6 +55,9 @@ func main() {
 		retries      = flag.Int("retries", 0, "per-request retries of transient-fault solves (0 = default 2, negative disables)")
 		seedGate     = flag.Float64("seed-gate", 0, "seed-quality gate factor (0 = default 1: reject seeds worse than the start)")
 		solveProcs   = flag.Int("solve-procs", 0, "per-solve parallel workers (0 = GOMAXPROCS/workers, negative disables)")
+		cacheSize    = flag.Int("cache-size", 0, "solve-cache entry bound (0 = default 4096)")
+		cacheOff     = flag.Bool("cache-off", false, "disable the content-addressed solve cache")
+		warmRadius   = flag.Float64("warm-radius", 0, "parameter distance within which a cached neighbour warm-starts a solve (0 = default 0.25, negative disables)")
 	)
 	flag.Parse()
 
@@ -66,6 +70,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pdeserved: chaos mode: %d fault classes injected\n", len(faults.Faults))
 	}
 
+	cacheEntries := *cacheSize
+	if *cacheOff {
+		cacheEntries = -1
+	}
 	s := serve.NewServer(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -77,6 +85,8 @@ func main() {
 		SeedGate:       *seedGate,
 		MaxRetries:     *retries,
 		SolveProcs:     *solveProcs,
+		CacheEntries:   cacheEntries,
+		WarmRadius:     *warmRadius,
 	})
 
 	api := &http.Server{Addr: *addr, Handler: s.Handler()}

@@ -1,0 +1,40 @@
+package cache
+
+import "testing"
+
+// TestStoreHotPathZeroAlloc pins the cache side of the serving hot path's
+// zero-alloc contract: key construction, an exact Get, and a Nearest scan
+// allocate nothing once the store is warm.
+func TestStoreHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is meaningless under -race")
+	}
+	s := New(64)
+	u := make([]float64, 128)
+	var kb KeyBuilder
+	makeKey := func(re float64) Key {
+		kb.Reset()
+		kb.Str(1, "burgers-steady")
+		kb.I64(2, 6)
+		kb.F64Q(3, re, 1e6)
+		return kb.Sum()
+	}
+	bucket := keyOf("bucket")
+	s.Put(makeKey(1.0), bucket, []float64{1.0}, u, nil)
+	s.Put(makeKey(1.1), bucket, []float64{1.1}, u, nil)
+	dst := make([]float64, 128)
+	coords := []float64{1.05}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		k := makeKey(1.0)
+		if _, ok := s.Get(k, dst); !ok {
+			t.Fatal("miss on warm store")
+		}
+		if _, _, ok := s.Nearest(bucket, coords, 0.25, dst); !ok {
+			t.Fatal("no neighbour on warm store")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot cache path allocated %.1f allocs/op, want 0", allocs)
+	}
+}

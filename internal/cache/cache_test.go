@@ -1,0 +1,306 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func keyOf(parts ...any) Key {
+	var kb KeyBuilder
+	for i, p := range parts {
+		tag := byte(i + 1)
+		switch v := p.(type) {
+		case string:
+			kb.Str(tag, v)
+		case int:
+			kb.I64(tag, int64(v))
+		case int64:
+			kb.I64(tag, v)
+		case float64:
+			kb.F64Q(tag, v, 1e6)
+		default:
+			panic("unsupported part")
+		}
+	}
+	return kb.Sum()
+}
+
+func TestKeyBuilderDeterministic(t *testing.T) {
+	a := keyOf("burgers2d", 6, 2, 1.0, 0.5)
+	b := keyOf("burgers2d", 6, 2, 1.0, 0.5)
+	if a != b {
+		t.Fatal("identical inputs produced different keys")
+	}
+	if a == keyOf("burgers2d", 6, 2, 1.0, 0.6) {
+		t.Fatal("different bound collided")
+	}
+	if a == keyOf("burgers-steady", 6, 2, 1.0, 0.5) {
+		t.Fatal("different problem id collided")
+	}
+	if a == keyOf("burgers2d", 7, 2, 1.0, 0.5) {
+		t.Fatal("different shape collided")
+	}
+}
+
+func TestKeyBuilderSpill(t *testing.T) {
+	long := make([]byte, 4*keyBufCap)
+	for i := range long {
+		long[i] = byte(i)
+	}
+	var kb KeyBuilder
+	kb.Str(1, string(long))
+	a := kb.Sum()
+	kb.Reset()
+	kb.Str(1, string(long))
+	if a != kb.Sum() {
+		t.Fatal("spilled encoding is not deterministic")
+	}
+	kb.Reset()
+	kb.Str(1, string(long[:len(long)-1]))
+	if a == kb.Sum() {
+		t.Fatal("spilled encodings of different strings collided")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if Quantize(1.0000004, 1e6) != Quantize(1.0000001, 1e6) {
+		t.Fatal("values inside one cell quantised differently")
+	}
+	if Quantize(1.0, 1e6) == Quantize(1.000001, 1e6) {
+		t.Fatal("values one cell apart collided")
+	}
+	if Quantize(-0.5, 10) != -5 {
+		t.Fatalf("Quantize(-0.5,10) = %d", Quantize(-0.5, 10))
+	}
+	if Quantize(math.NaN(), 1e6) != math.MinInt64 {
+		t.Fatal("NaN did not map to its sentinel")
+	}
+	if Quantize(math.Inf(1), 1e6) != quantClamp {
+		t.Fatal("+Inf did not saturate")
+	}
+	if Quantize(math.Inf(-1), 1e6) != -quantClamp {
+		t.Fatal("-Inf did not saturate")
+	}
+	if Quantize(1e300, 1e6) != quantClamp {
+		t.Fatal("huge value did not saturate")
+	}
+}
+
+func TestStoreGetPut(t *testing.T) {
+	s := New(8)
+	u := []float64{1, 2, 3}
+	s.Put(keyOf("a"), keyOf("b"), []float64{1.0}, u, "meta-a")
+	dst := make([]float64, 3)
+	meta, ok := s.Get(keyOf("a"), dst)
+	if !ok || meta != "meta-a" {
+		t.Fatalf("Get: ok=%v meta=%v", ok, meta)
+	}
+	if dst[0] != 1 || dst[2] != 3 {
+		t.Fatalf("Get copied %v", dst)
+	}
+	// The stored vector must be a copy, not an alias.
+	u[0] = 99
+	if _, _ = s.Get(keyOf("a"), dst); dst[0] != 1 {
+		t.Fatal("Put aliased the caller's slice")
+	}
+	// Dimension mismatch is a miss.
+	if _, ok := s.Get(keyOf("a"), make([]float64, 2)); ok {
+		t.Fatal("dimension mismatch served a hit")
+	}
+	if _, ok := s.Get(keyOf("nope"), dst); ok {
+		t.Fatal("missing key served a hit")
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 3; i++ {
+		s.Put(keyOf("k", i), keyOf("b"), nil, []float64{float64(i)}, nil)
+	}
+	dst := make([]float64, 1)
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := s.Get(keyOf("k", 0), dst); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	s.Put(keyOf("k", 3), keyOf("b"), nil, []float64{3}, nil)
+	if _, ok := s.Get(keyOf("k", 1), dst); ok {
+		t.Fatal("LRU victim k1 survived")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := s.Get(keyOf("k", i), dst); !ok {
+			t.Fatalf("k%d evicted wrongly", i)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreNearest(t *testing.T) {
+	s := New(16)
+	b := keyOf("bucket")
+	s.Put(keyOf("p", 1), b, []float64{1.0, 0.5}, []float64{10}, "re1")
+	s.Put(keyOf("p", 2), b, []float64{1.2, 0.5}, []float64{12}, "re1.2")
+	s.Put(keyOf("p", 3), b, []float64{9.0, 0.5}, []float64{90}, "far")
+	dst := make([]float64, 1)
+	d, meta, ok := s.Nearest(b, []float64{1.05, 0.5}, 0.25, dst)
+	if !ok || meta != "re1" {
+		t.Fatalf("Nearest: ok=%v meta=%v", ok, meta)
+	}
+	if math.Abs(d-0.05) > 1e-12 || dst[0] != 10 {
+		t.Fatalf("Nearest: d=%g dst=%v", d, dst)
+	}
+	// Outside the radius: no neighbour.
+	if _, _, ok := s.Nearest(b, []float64{5, 0.5}, 0.25, dst); ok {
+		t.Fatal("out-of-radius neighbour served")
+	}
+	// Wrong bucket: no neighbour.
+	if _, _, ok := s.Nearest(keyOf("other"), []float64{1.0, 0.5}, 0.25, dst); ok {
+		t.Fatal("cross-bucket neighbour served")
+	}
+	// Wrong solution length: skipped.
+	if _, _, ok := s.Nearest(b, []float64{1.0, 0.5}, 0.25, make([]float64, 2)); ok {
+		t.Fatal("dimension-mismatched neighbour served")
+	}
+}
+
+func TestStoreBucketOverflow(t *testing.T) {
+	s := New(10 * maxBucketEntries)
+	b := keyOf("bucket")
+	for i := 0; i < maxBucketEntries+5; i++ {
+		s.Put(keyOf("k", i), b, []float64{float64(i)}, []float64{float64(i)}, nil)
+	}
+	if s.Len() != maxBucketEntries {
+		t.Fatalf("bucket overflow not evicted: Len=%d", s.Len())
+	}
+	dst := make([]float64, 1)
+	// The oldest-inserted members are gone, the newest survive.
+	if _, ok := s.Get(keyOf("k", 0), dst); ok {
+		t.Fatal("oldest bucket member survived overflow")
+	}
+	if _, ok := s.Get(keyOf("k", maxBucketEntries+4), dst); !ok {
+		t.Fatal("newest bucket member evicted")
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	s := New(8)
+	key := keyOf("sf")
+	f, leader := s.Join(key)
+	if !leader || f == nil {
+		t.Fatal("first Join must lead")
+	}
+	f2, leader2 := s.Join(key)
+	if leader2 || f2 != f {
+		t.Fatal("second Join must wait on the leader's flight")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := f2.Wait(context.Background()); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+	}()
+	s.Put(key, keyOf("b"), nil, []float64{1}, nil)
+	s.Done(key)
+	wg.Wait()
+	// After completion the key is cached: Join short-circuits.
+	if f3, l3 := s.Join(key); f3 != nil || l3 {
+		t.Fatal("Join after Put must report cached")
+	}
+	// Done without a flight is a no-op.
+	s.Done(keyOf("never"))
+}
+
+func TestSingleflightWaitCtx(t *testing.T) {
+	s := New(8)
+	key := keyOf("ctx")
+	if _, leader := s.Join(key); !leader {
+		t.Fatal("expected leadership")
+	}
+	f, _ := s.Join(key)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := f.Wait(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Wait under expired ctx: %v", err)
+	}
+	s.Done(key)
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]float64, 1)
+			for i := 0; i < 200; i++ {
+				k := keyOf("k", i%32)
+				b := keyOf("b", i%4)
+				if f, leader := s.Join(k); leader {
+					s.Put(k, b, []float64{float64(i % 32)}, []float64{float64(g)}, nil)
+					s.Done(k)
+				} else if f != nil {
+					_ = f.Wait(context.Background())
+				}
+				s.Get(k, dst)
+				s.Nearest(b, []float64{float64(i % 32)}, 1.0, dst)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPutRefresh(t *testing.T) {
+	s := New(8)
+	k, b := keyOf("k"), keyOf("b")
+	s.Put(k, b, []float64{1}, []float64{1}, "old")
+	s.Put(k, b, []float64{1}, []float64{2}, "new")
+	if s.Len() != 1 {
+		t.Fatalf("refresh duplicated the entry: Len=%d", s.Len())
+	}
+	dst := make([]float64, 1)
+	meta, ok := s.Get(k, dst)
+	if !ok || meta != "new" || dst[0] != 2 {
+		t.Fatalf("refresh not applied: ok=%v meta=%v dst=%v", ok, meta, dst)
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := New(1024)
+	u := make([]float64, 512)
+	k := keyOf("bench")
+	s.Put(k, keyOf("b"), []float64{1, 0.5}, u, nil)
+	dst := make([]float64, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(k, dst); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func ExampleKeyBuilder() {
+	var kb KeyBuilder
+	kb.Str(1, "burgers-steady")
+	kb.I64(2, 6)
+	kb.F64Q(3, 1.0, 1e6)
+	a := kb.Sum()
+	kb.Reset()
+	kb.Str(1, "burgers-steady")
+	kb.I64(2, 6)
+	kb.F64Q(3, 1.0000001, 1e6) // same quantisation cell
+	fmt.Println(a == kb.Sum())
+	// Output: true
+}

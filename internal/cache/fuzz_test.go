@@ -1,0 +1,61 @@
+package cache
+
+import "testing"
+
+// buildKey is the fuzz oracle's canonical identity encoding: the same
+// field order the serve registry uses (problem id, shape, order, quantised
+// parameters, seed).
+func buildKey(kb *KeyBuilder, problem string, n, order int64, re, bound float64, seed int64) Key {
+	kb.Reset()
+	kb.Str(1, problem)
+	kb.I64(2, n)
+	kb.I64(3, order)
+	kb.F64Q(4, re, 1e6)
+	kb.F64Q(5, bound, 1e6)
+	kb.I64(6, seed)
+	return kb.Sum()
+}
+
+// FuzzCacheKey drives the key/quantisation path with arbitrary inputs:
+// keys must be stable (same identity → same key), distinct problem
+// ids/shapes must never collide, and quantisation must be deterministic
+// and consistent with key equality.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("burgers2d", int64(6), int64(2), 1.0, 0.5, int64(1), "burgers-steady", int64(5))
+	f.Add("burgers1d", int64(64), int64(2), 40.0, 0.5, int64(99), "burgers1d", int64(64))
+	f.Add("", int64(0), int64(0), 0.0, 0.0, int64(0), "x", int64(-1))
+	f.Add("a", int64(1), int64(4), -1.5, 1e308, int64(7), "ab", int64(1))
+	f.Fuzz(func(t *testing.T, p1 string, n1, o1 int64, re, bound float64, seed int64, p2 string, n2 int64) {
+		var kb KeyBuilder
+		k1 := buildKey(&kb, p1, n1, o1, re, bound, seed)
+		if k1 != buildKey(&kb, p1, n1, o1, re, bound, seed) {
+			t.Fatal("key not stable across rebuilds")
+		}
+		if p1 != p2 {
+			if k1 == buildKey(&kb, p2, n1, o1, re, bound, seed) {
+				t.Fatalf("problem ids %q and %q collided", p1, p2)
+			}
+		}
+		if n1 != n2 {
+			if k1 == buildKey(&kb, p1, n2, o1, re, bound, seed) {
+				t.Fatalf("shapes %d and %d collided", n1, n2)
+			}
+		}
+		if k1 == buildKey(&kb, p1, n1, o1+1, re, bound, seed) {
+			t.Fatal("orders collided")
+		}
+		if k1 == buildKey(&kb, p1, n1, o1, re, bound, seed+1) {
+			t.Fatal("seeds collided")
+		}
+		// Quantisation stability: the quantised cell is deterministic, and
+		// two parameter values in the same cell yield the same key.
+		if Quantize(re, 1e6) != Quantize(re, 1e6) {
+			t.Fatal("quantisation not deterministic")
+		}
+		if Quantize(re, 1e6) == Quantize(bound, 1e6) {
+			if buildKey(&kb, p1, n1, o1, re, re, seed) != buildKey(&kb, p1, n1, o1, re, bound, seed) {
+				t.Fatal("same-cell parameters produced different keys")
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+// Package cache is a content-addressed solve-result store: solutions are
+// keyed by a collision-resistant digest of the full problem identity
+// (problem id, shape, quantised parameters, seed), held under LRU
+// eviction, deduplicated in flight via singleflight, and additionally
+// indexed by quantised parameter buckets so a nearest-neighbour lookup can
+// feed warm-start parameter continuation. The exact-hit and neighbour
+// lookups are allocation-free, which is what lets the serving hot path
+// keep its zero-alloc contract with the cache in front of it.
+package cache
+
+import (
+	"crypto/sha256"
+	"math"
+)
+
+// Key is a content address: a SHA-256 digest over the canonical encoding
+// of a solve's identity. The 256-bit digest makes accidental collisions a
+// non-event, so two distinct identities never alias a cache entry.
+type Key [32]byte
+
+// keyBufCap is the KeyBuilder's fixed buffer. Encodings longer than this
+// are folded down by Merkle-style chaining (see spill), so arbitrarily
+// long inputs still hash injectively without allocating.
+const keyBufCap = 192
+
+// KeyBuilder accumulates the canonical, domain-separated encoding of one
+// identity and digests it into a Key. The zero value is ready to use; the
+// buffer is fixed-size so building a key allocates nothing, and every
+// field is length- or tag-prefixed so distinct field sequences can never
+// produce the same encoding.
+type KeyBuilder struct {
+	n   int
+	buf [keyBufCap]byte
+}
+
+// Reset discards any accumulated encoding.
+func (b *KeyBuilder) Reset() { b.n = 0 }
+
+// spill compresses a full buffer into its digest so encoding can continue
+// in fixed memory. Chaining preserves injectivity: the digest stands in
+// for the exact prefix that produced it.
+//
+//pdevet:noalloc
+func (b *KeyBuilder) spill() {
+	sum := sha256.Sum256(b.buf[:b.n])
+	copy(b.buf[:], sum[:])
+	b.n = len(sum)
+}
+
+//pdevet:noalloc
+func (b *KeyBuilder) byteIn(c byte) {
+	if b.n == keyBufCap {
+		b.spill()
+	}
+	b.buf[b.n] = c
+	b.n++
+}
+
+// Str appends a tagged, length-prefixed string field.
+//
+//pdevet:noalloc
+func (b *KeyBuilder) Str(tag byte, s string) {
+	b.byteIn(tag)
+	b.uvarint(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		b.byteIn(s[i])
+	}
+}
+
+// I64 appends a tagged fixed-width integer field.
+//
+//pdevet:noalloc
+func (b *KeyBuilder) I64(tag byte, v int64) {
+	b.byteIn(tag)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		b.byteIn(byte(u >> (8 * i)))
+	}
+}
+
+// F64Q appends a tagged quantised float field: the value is snapped to a
+// 1/scale grid first, so parameters that agree to within half a cell share
+// an encoding.
+//
+//pdevet:noalloc
+func (b *KeyBuilder) F64Q(tag byte, x, scale float64) {
+	b.I64(tag, Quantize(x, scale))
+}
+
+//pdevet:noalloc
+func (b *KeyBuilder) uvarint(v uint64) {
+	for v >= 0x80 {
+		b.byteIn(byte(v) | 0x80)
+		v >>= 7
+	}
+	b.byteIn(byte(v))
+}
+
+// Sum digests the accumulated encoding. The builder remains usable; call
+// Reset to start a new key.
+//
+//pdevet:noalloc
+func (b *KeyBuilder) Sum() Key {
+	return sha256.Sum256(b.buf[:b.n])
+}
+
+// quantClamp bounds the quantised grid so the float→int conversion below
+// is never undefined; anything beyond it is saturated.
+const quantClamp = int64(1) << 62
+
+// Quantize snaps x onto a grid of spacing 1/scale, rounding half away from
+// zero. The mapping is deterministic and total: NaN gets a dedicated
+// sentinel cell and the infinities saturate to the clamp bounds, so every
+// float — however hostile — lands in exactly one stable cell.
+func Quantize(x, scale float64) int64 {
+	if math.IsNaN(x) {
+		return math.MinInt64
+	}
+	v := math.Round(x * scale)
+	if v >= float64(quantClamp) {
+		return quantClamp
+	}
+	if v <= -float64(quantClamp) {
+		return -quantClamp
+	}
+	return int64(v)
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package cache
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so allocation-count assertions are skipped
+// under -race.
+const raceEnabled = false

@@ -1,0 +1,54 @@
+package cache
+
+import "context"
+
+// Flight is one in-flight solve being deduplicated: the leader computes,
+// waiters block on Wait until the leader calls Done.
+type Flight struct {
+	done chan struct{}
+}
+
+// Join registers interest in key's solve.
+//
+//   - (nil, false): the key is already cached — just Get it.
+//   - (f, true): the caller is the leader. It must solve, Put on success,
+//     and call Done(key) exactly once, on every path (defer it).
+//   - (f, false): another caller is already solving the key; Wait on f,
+//     then Get — or, if the leader failed and cached nothing, solve
+//     independently.
+func (s *Store) Join(key Key) (f *Flight, leader bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries[key] != nil {
+		return nil, false
+	}
+	if f := s.flights[key]; f != nil {
+		return f, false
+	}
+	f = &Flight{done: make(chan struct{})}
+	s.flights[key] = f
+	return f, true
+}
+
+// Done completes the leader's flight for key, waking every waiter. Safe to
+// call when no flight is registered (it is then a no-op), so leaders can
+// defer it unconditionally.
+func (s *Store) Done(key Key) {
+	s.mu.Lock()
+	f := s.flights[key]
+	delete(s.flights, key)
+	s.mu.Unlock()
+	if f != nil {
+		close(f.done)
+	}
+}
+
+// Wait blocks until the flight's leader calls Done or ctx expires.
+func (f *Flight) Wait(ctx context.Context) error {
+	select {
+	case <-f.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -9,11 +9,19 @@ import (
 	"hybridpde/internal/problem"
 )
 
-// Rung names one rung of the degradation ladder, ordered from the paper's
-// preferred pipeline to the most conservative pure-digital fallback.
+// Rung names one rung of the degradation ladder, ordered from the cheapest
+// reuse of past work through the paper's preferred pipeline down to the
+// most conservative pure-digital fallback.
 type Rung string
 
 const (
+	// RungCache replays a content-addressed exact hit from the solve cache:
+	// the same problem identity was solved before, so no solver stage runs.
+	RungCache Rung = "cache"
+	// RungWarmStart is parameter continuation: the cached solution of a
+	// nearby parameter point becomes the digital Newton start, gated by the
+	// same residual check as an analog seed.
+	RungWarmStart Rung = "warm-start"
 	// RungAnalog is the direct analog seed + digital polish pipeline.
 	RungAnalog Rung = "analog"
 	// RungDecomposed seeds through red-black decomposition (§6.3) — the
@@ -31,7 +39,8 @@ const (
 type RungAttempt struct {
 	Rung Rung
 	// SeedResidual and SeedRejected describe the rung's seeding stage
-	// (zero/false for the unseeded rungs).
+	// (zero/false for the unseeded rungs). The warm-start rung reports its
+	// continuation candidate here, rejected by the same quality gate.
 	SeedResidual float64
 	SeedRejected bool
 	Converged    bool
@@ -54,7 +63,8 @@ type FallbackReport struct {
 	Final Rung
 	// Degraded reports that Final differs from the planned first rung.
 	Degraded bool
-	// SeedRejections counts analog seeds discarded by the quality gate.
+	// SeedRejections counts starts discarded by the quality gate: analog
+	// seeds and warm-start continuation candidates alike.
 	SeedRejections int
 }
 
@@ -92,31 +102,50 @@ func (o *LadderOptions) defaults() {
 	}
 }
 
-// Ladder orchestrates the degradation ladder over core.Solve. One Ladder
-// serves repeated solves (it owns reusable buffers and the FallbackReport
-// storage) and must not be shared between concurrent solves. The happy path
-// — first rung converges with an accepted seed — allocates nothing once the
-// buffers are warm, preserving the serving hot path's zero-alloc contract.
+// Ladder orchestrates an ordered list of pluggable rungs over core.Solve.
+// One Ladder serves repeated solves (it owns reusable buffers and the
+// FallbackReport storage) and must not be shared between concurrent solves.
+// The happy path — first applicable rung converges — allocates nothing once
+// the buffers are warm, preserving the serving hot path's zero-alloc
+// contract.
 type Ladder struct {
-	start    []float64
-	attempts [4]RungAttempt
+	rungs []LadderRung
+	start []float64
+	// warm and f are the cache-fed rungs' scratch: the candidate solution
+	// buffer (also the replayed cache-hit solution) and a residual buffer.
+	warm []float64
+	f    []float64
+	// attempts backs fb.Attempts; its capacity is fixed at construction so
+	// push never grows it.
+	attempts []RungAttempt
 	fb       FallbackReport
+	st       RungState
 }
 
-// NewLadder returns an empty ladder; buffers grow on first use.
-func NewLadder() *Ladder { return &Ladder{} }
+// NewLadder returns a ladder with the paper's four standard rungs; buffers
+// grow on first use.
+func NewLadder() *Ladder { return NewLadderRungs(DefaultRungs()...) }
+
+// NewLadderRungs returns a ladder that tries the given rungs in order. A
+// rung may record up to two attempt rows per solve (a rejected seed plus
+// its pristine-start polish), which bounds the attempt storage.
+func NewLadderRungs(rungs ...LadderRung) *Ladder {
+	return &Ladder{rungs: rungs, attempts: make([]RungAttempt, 0, 2*len(rungs))}
+}
 
 func (l *Ladder) ensure(dim int) {
 	if len(l.start) != dim {
 		l.start = make([]float64, dim)
+		l.warm = make([]float64, dim)
+		l.f = make([]float64, dim)
 	}
 }
 
 //pdevet:noalloc
 func (l *Ladder) push(a RungAttempt) {
-	// The backing array is fixed at the maximum rung count, so this append
-	// never grows.
-	l.fb.Attempts = append(l.fb.Attempts, a) //pdevet:allow noalloc append into fixed [4]RungAttempt backing array, never grows
+	// The backing slice capacity is fixed at 2×rungs in NewLadderRungs, so
+	// this append never grows.
+	l.fb.Attempts = append(l.fb.Attempts, a) //pdevet:allow noalloc append into fixed-capacity attempts backing slice, never grows
 	if a.SeedRejected {
 		l.fb.SeedRejections++
 	}
@@ -128,12 +157,14 @@ func isCtxErr(err error) bool {
 	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
-// Solve runs the degradation ladder: analog seed → decomposed seed → pure
-// digital damped Newton → Newton homotopy, stopping at the first rung that
-// converges. Every rung restarts from the same snapshot of the initial
-// guess. Failed rungs are accounted in the returned report's totals (their
-// modelled time and energy were genuinely spent) and itemised in
-// Report.Fallback.
+// Solve runs the degradation ladder — by default analog seed → decomposed
+// seed → pure digital damped Newton → Newton homotopy, with the cache and
+// warm-start rungs ahead of analog when configured — stopping at the first
+// rung that converges. Every rung restarts from the same snapshot of the
+// initial guess. Failed rungs are accounted in the returned report's totals
+// (their modelled time and energy were genuinely spent) and itemised in
+// Report.Fallback; skipped rungs leave no trace, so a ladder whose optional
+// rungs all skip reports bit-identically to one built without them.
 //
 // A context cancellation or deadline aborts the ladder immediately; any
 // other rung failure falls through to the next rung. When every rung fails
@@ -166,86 +197,17 @@ func (l *Ladder) Solve(ctx context.Context, sys problem.SparseSystem, opts Optio
 	l.fb.Degraded = false
 	l.fb.SeedRejections = 0
 
-	seeded := opts.Seeder != nil && !opts.SkipAnalog
-	first := RungDigital
-	digitalTried := false
+	st := &l.st
+	*st = RungState{Sys: sys, Opts: opts, Lopts: lopts, Dim: dim, l: l}
+
 	var lastErr error
 	var spentSeconds, spentEnergy float64
-
-	if seeded {
-		// Rung 1: the configured seeding policy (direct analog, or already
-		// decomposed for oversize problems).
-		rep, err := Solve(ctx, sys, opts)
+	for _, r := range l.rungs {
+		rep, done, err := r.Try(ctx, st)
 		if isCtxErr(err) {
 			return rep, err
 		}
-		rung := RungAnalog
-		if rep.Decomposed {
-			rung = RungDecomposed
-		}
-		first = rung
-		done, out, outErr := l.seededOutcome(rung, rep, err, first, &digitalTried)
 		if done {
-			return l.finish(out, spentSeconds, spentEnergy), outErr
-		}
-		lastErr = coalesceErr(err, lastErr)
-		spentSeconds += rep.TotalSeconds
-		spentEnergy += rep.TotalEnergyJ
-
-		// Rung 2: forced decomposition with smaller tiles, when rung 1 was
-		// a direct analog solve and the problem can be tiled.
-		if rung == RungAnalog {
-			if fb := FallbackSeeder(opts.Seeder, dim); fb != nil {
-				if _, ok := sys.(problem.Decomposable); ok {
-					dopts := opts
-					dopts.Seeder = fb
-					rep, err = Solve(ctx, sys, dopts)
-					if isCtxErr(err) {
-						return rep, err
-					}
-					done, out, outErr = l.seededOutcome(RungDecomposed, rep, err, first, &digitalTried)
-					if done {
-						return l.finish(out, spentSeconds, spentEnergy), outErr
-					}
-					lastErr = coalesceErr(err, lastErr)
-					spentSeconds += rep.TotalSeconds
-					spentEnergy += rep.TotalEnergyJ
-				}
-			}
-		}
-	}
-
-	// Rung 3: pure digital damped Newton from the pristine start — unless a
-	// rejected seed above already ran exactly this (deterministically).
-	if !digitalTried {
-		dopts := opts
-		dopts.SkipAnalog = true
-		rep, err := Solve(ctx, sys, dopts)
-		if isCtxErr(err) {
-			return rep, err
-		}
-		conv := err == nil && rep.Digital.Converged
-		l.push(RungAttempt{
-			Rung: RungDigital, Converged: conv, Iterations: rep.Digital.TotalIters,
-			Seconds: rep.TotalSeconds, EnergyJ: rep.TotalEnergyJ, Err: errString(err),
-		})
-		if conv {
-			l.fb.Final = RungDigital
-			l.fb.Degraded = first != RungDigital
-			return l.finish(rep, spentSeconds, spentEnergy), nil
-		}
-		lastErr = coalesceErr(err, lastErr)
-		spentSeconds += rep.TotalSeconds
-		spentEnergy += rep.TotalEnergyJ
-	}
-
-	// Rung 4: Newton homotopy on the dense adapter.
-	if !lopts.DisableHomotopy && dim <= lopts.MaxHomotopyDim {
-		rep, err := l.homotopyRung(ctx, sys, opts, lopts, dim, first)
-		if isCtxErr(err) {
-			return rep, err
-		}
-		if err == nil {
 			return l.finish(rep, spentSeconds, spentEnergy), nil
 		}
 		lastErr = coalesceErr(err, lastErr)
@@ -258,88 +220,6 @@ func (l *Ladder) Solve(ctx context.Context, sys problem.SparseSystem, opts Optio
 	}
 	rep := Report{Fallback: &l.fb, TotalSeconds: spentSeconds, TotalEnergyJ: spentEnergy}
 	return rep, fmt.Errorf("core: degradation ladder exhausted after %d rungs: %w", len(l.fb.Attempts), lastErr) //pdevet:allow noalloc error path
-}
-
-// seededOutcome records the attempt rows of one seeded Solve call and
-// decides whether the ladder is finished. A call whose seed was rejected by
-// the gate has already polished from the pristine start, i.e. it ran the
-// digital rung too; both rows are recorded and a converged polish ends the
-// ladder at RungDigital.
-//
-//pdevet:noalloc
-func (l *Ladder) seededOutcome(rung Rung, rep Report, err error, first Rung, digitalTried *bool) (bool, Report, error) {
-	conv := err == nil && rep.Digital.Converged
-	if rep.SeedRejected {
-		l.push(RungAttempt{
-			Rung: rung, SeedResidual: rep.SeedResidual, SeedRejected: true,
-			Seconds: rep.AnalogSeconds, EnergyJ: rep.AnalogEnergyJ,
-		})
-		if *digitalTried {
-			// The polish from the pristine start already ran (and failed)
-			// deterministically in an earlier rejected rung; its repeat
-			// outcome adds no information.
-			return false, rep, err
-		}
-		*digitalTried = true
-		l.push(RungAttempt{
-			Rung: RungDigital, Converged: conv, Iterations: rep.Digital.TotalIters,
-			Seconds: rep.DigitalSeconds, EnergyJ: rep.DigitalEnergyJ, Err: errString(err),
-		})
-		if conv {
-			l.fb.Final = RungDigital
-			l.fb.Degraded = first != RungDigital
-			return true, rep, nil
-		}
-		return false, rep, err
-	}
-	l.push(RungAttempt{
-		Rung: rung, SeedResidual: rep.SeedResidual, Converged: conv,
-		Iterations: rep.Digital.TotalIters,
-		Seconds:    rep.TotalSeconds, EnergyJ: rep.TotalEnergyJ, Err: errString(err),
-	})
-	if conv {
-		l.fb.Final = rung
-		l.fb.Degraded = rung != first
-		return true, rep, nil
-	}
-	return false, rep, err
-}
-
-// homotopyRung runs the last-resort global Newton homotopy and prices it
-// through the configured perf backend as dense Newton work. Only reached
-// after at least one failed rung, so allocation is acceptable here.
-func (l *Ladder) homotopyRung(ctx context.Context, sys problem.SparseSystem, opts Options, lopts LadderOptions, dim int, first Rung) (Report, error) {
-	hopts := nonlin.HomotopyOptions{Steps: lopts.HomotopySteps, Predict: true, Newton: lopts.HomotopyNewton}
-	hr, err := nonlin.NewtonHomotopy(ctx, nonlin.DenseAdapter{S: sys}, l.start, hopts)
-	// Synthesise a dense-Newton work profile for the perf model: one
-	// factorisation and one linear solve per corrector iteration.
-	res := nonlin.Result{
-		U: hr.U, Converged: hr.Converged, Residual: hr.Residual,
-		Iterations: hr.NewtonIters, TotalIters: hr.NewtonIters,
-		LinearSolves: hr.NewtonIters, FactorOps: int64(hr.NewtonIters) * factorOpsDense(dim),
-		Attempts: 1, DampingUsed: 1,
-	}
-	rep := Report{
-		U: hr.U, Digital: res, FinalResidual: hr.Residual,
-		DigitalSeconds: opts.Perf.Time(res, dim),
-		DigitalEnergyJ: opts.Perf.Energy(res, dim),
-	}
-	rep.TotalSeconds = rep.DigitalSeconds
-	rep.TotalEnergyJ = rep.DigitalEnergyJ
-	conv := err == nil && hr.Converged
-	l.push(RungAttempt{
-		Rung: RungHomotopy, Converged: conv, Iterations: hr.NewtonIters,
-		Seconds: rep.TotalSeconds, EnergyJ: rep.TotalEnergyJ, Err: errString(err),
-	})
-	if conv {
-		l.fb.Final = RungHomotopy
-		l.fb.Degraded = first != RungHomotopy
-		return rep, nil
-	}
-	if err == nil {
-		err = nonlin.ErrNoConvergence
-	}
-	return rep, err
 }
 
 // finish attaches the fallback account and folds the cost of earlier failed

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hybridpde/internal/analog"
+	"hybridpde/internal/cache"
 	"hybridpde/internal/nonlin"
 )
 
@@ -51,6 +52,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	enqueued := now()
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&req))
 	defer cancel()
+
+	// Singleflight: identical in-flight solves collapse to one. The leader
+	// solves and populates the cache; followers wait for its completion and
+	// then serve from the cache. A leader that fails caches nothing, and
+	// its followers fall through to solving independently.
+	if s.cache != nil && cacheableKind(req.Problem) {
+		var kb cache.KeyBuilder
+		key := solveCacheKey(&req, &kb)
+		f, leader := s.cache.Join(key)
+		switch {
+		case leader:
+			defer s.cache.Done(key)
+		case f != nil:
+			s.m.cacheFlightWaits.inc()
+			if err := f.Wait(ctx); err != nil {
+				s.reject(w, req.Problem, queueFailureCode(ctx, err), "timed out waiting for an identical in-flight solve")
+				return
+			}
+		}
+	}
 
 	wk, err := s.acquireWorker(ctx)
 	if err != nil {
@@ -121,17 +142,48 @@ func (s *Server) account(req *Request, resp *Response, err error) int {
 	}
 	if code == http.StatusOK {
 		s.m.solveLatency.observe(resp.SolveSeconds)
-		if resp.Iterations > 0 {
-			s.m.newtonIters.observe(float64(resp.Iterations))
+		if (resp.Iterations > 0 || resp.cacheWarm) && !resp.cacheHit {
+			// Replayed hits ran no Newton; observing them would double-count
+			// the original solve's iterations. A warm-start serve is observed
+			// even at zero iterations — "the continuation start was already
+			// converged" is the best outcome the histogram can show.
+			s.m.newtonIters.with(startSource(resp)).observe(float64(resp.Iterations))
 		}
-		if resp.AnalogUsed {
+		if resp.AnalogUsed && !resp.cacheHit {
 			s.m.seedsTotal.inc()
 			if resp.SeedAccepted {
 				s.m.seedsAccepted.inc()
 			}
 		}
+		if resp.cacheOn {
+			switch {
+			case resp.cacheHit:
+				s.m.cacheHits.inc()
+			case resp.cacheWarm:
+				s.m.cacheWarmHits.inc()
+			default:
+				s.m.cacheMisses.inc()
+			}
+			if resp.cacheStale {
+				s.m.cacheStale.inc()
+			}
+		}
 	}
 	return code
+}
+
+// startSource classifies where a solved (non-replayed) request's digital
+// Newton start vector came from: the warm-start continuation rung, an
+// accepted analog seed, or the cold pristine start.
+func startSource(resp *Response) string {
+	switch {
+	case resp.cacheWarm:
+		return "warm"
+	case resp.AnalogUsed && !resp.SeedRejected:
+		return "analog"
+	default:
+		return "cold"
+	}
 }
 
 // shouldRetry decides whether another run of the same request on the same
@@ -210,6 +262,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics is GET /metrics: Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.cache != nil {
+		s.m.cacheEntries.set(int64(s.cache.Len()))
+	}
 	s.m.writeProm(w)
 }
 

@@ -54,6 +54,31 @@ func (h *histogram) observe(v float64) {
 	h.count++
 }
 
+// histogramVec is a histogram family with one label; children are created
+// on first use and rendered in sorted label order under one family header.
+type histogramVec struct {
+	mu     sync.Mutex
+	label  string
+	bounds []float64
+	vals   map[string]*histogram
+}
+
+func newHistogramVec(label string, bounds ...float64) *histogramVec {
+	return &histogramVec{label: label, bounds: bounds, vals: map[string]*histogram{}}
+}
+
+// with returns the child histogram for the given label value.
+func (v *histogramVec) with(value string) *histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.vals[value]
+	if !ok {
+		h = newHistogram(v.bounds...)
+		v.vals[value] = h
+	}
+	return h
+}
+
 // counterVec is a counter family with a fixed label-name set; children are
 // created on first use and rendered in sorted label order.
 type counterVec struct {
@@ -82,15 +107,23 @@ func (v *counterVec) with(values ...string) *counter {
 
 // metrics is the fixed metric set of the solve service.
 type metrics struct {
-	requests      *counterVec // labels: problem, code
-	queueRejects  counter     // 429s: admission queue full
-	queueDepth    gauge       // requests admitted but not yet executing
-	inflight      gauge       // solves executing on a worker
-	draining      gauge       // 1 while the server refuses new work
-	solveLatency  *histogram  // seconds, measured wall time on the worker
-	newtonIters   *histogram  // Newton iterations of the digital polish
-	seedsTotal    counter     // solves that ran the analog seeding stage
-	seedsAccepted counter     // seeds that improved on the initial residual
+	requests      *counterVec   // labels: problem, code
+	queueRejects  counter       // 429s: admission queue full
+	queueDepth    gauge         // requests admitted but not yet executing
+	inflight      gauge         // solves executing on a worker
+	draining      gauge         // 1 while the server refuses new work
+	solveLatency  *histogram    // seconds, measured wall time on the worker
+	newtonIters   *histogramVec // labels: start — Newton iterations by start source (cold/analog/warm)
+	seedsTotal    counter       // solves that ran the analog seeding stage
+	seedsAccepted counter       // seeds that improved on the initial residual
+
+	// Solve-cache plane (internal/cache behind the ladder's cache rungs).
+	cacheHits        counter // exact content-address replays served
+	cacheWarmHits    counter // solves served by the warm-start rung
+	cacheMisses      counter // cache-consulting solves served by neither
+	cacheStale       counter // warm-start candidates rejected by the gate
+	cacheFlightWaits counter // requests that waited on an identical in-flight solve
+	cacheEntries     gauge   // current entry count of the shared store
 
 	// Degradation-ladder plane (see internal/core ladder + internal/fault).
 	ladderAttempts *counterVec // labels: rung — rungs attempted, converged or not
@@ -109,7 +142,7 @@ func newServeMetrics() *metrics {
 		solveLatency: newHistogram(0.00025, 0.0005, 0.001, 0.002, 0.004,
 			0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048,
 			4.096, 8.192),
-		newtonIters:    newHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		newtonIters:    newHistogramVec("start", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
 		ladderAttempts: newCounterVec("rung"),
 		ladderServed:   newCounterVec("rung"),
 	}
@@ -158,8 +191,8 @@ func (m *metrics) writeProm(w io.Writer) {
 
 	m.writeHistogram(w, "pdeserve_solve_latency_seconds",
 		"Wall-clock seconds a request spent executing on a worker.", m.solveLatency)
-	m.writeHistogram(w, "pdeserve_newton_iterations",
-		"Newton iterations of the digital polish stage, per completed solve.", m.newtonIters)
+	m.writeHistogramVec(w, "pdeserve_newton_iterations",
+		"Newton iterations of the digital polish stage, per solved (non-replayed) request, by start source.", m.newtonIters)
 
 	writeHeader("pdeserve_analog_seeds_total", "Solves that ran the analog seeding stage.", "counter")
 	fmt.Fprintf(w, "pdeserve_analog_seeds_total %d\n", m.seedsTotal.value())
@@ -179,6 +212,24 @@ func (m *metrics) writeProm(w io.Writer) {
 	writeHeader("pdeserve_retries_total", "In-handler retries of degraded or transiently failed solves.", "counter")
 	fmt.Fprintf(w, "pdeserve_retries_total %d\n", m.retries.value())
 
+	writeHeader("pdeserve_cache_hits_total", "Solves served by an exact content-address cache replay.", "counter")
+	fmt.Fprintf(w, "pdeserve_cache_hits_total %d\n", m.cacheHits.value())
+
+	writeHeader("pdeserve_cache_warm_hits_total", "Solves served by the warm-start continuation rung.", "counter")
+	fmt.Fprintf(w, "pdeserve_cache_warm_hits_total %d\n", m.cacheWarmHits.value())
+
+	writeHeader("pdeserve_cache_misses_total", "Cache-consulting solves served by neither the cache nor the warm-start rung.", "counter")
+	fmt.Fprintf(w, "pdeserve_cache_misses_total %d\n", m.cacheMisses.value())
+
+	writeHeader("pdeserve_cache_stale_total", "Warm-start candidates rejected by the residual quality gate.", "counter")
+	fmt.Fprintf(w, "pdeserve_cache_stale_total %d\n", m.cacheStale.value())
+
+	writeHeader("pdeserve_cache_flight_waits_total", "Requests that waited on an identical in-flight solve instead of duplicating it.", "counter")
+	fmt.Fprintf(w, "pdeserve_cache_flight_waits_total %d\n", m.cacheFlightWaits.value())
+
+	writeHeader("pdeserve_cache_entries", "Current entry count of the shared solve cache.", "gauge")
+	fmt.Fprintf(w, "pdeserve_cache_entries %d\n", m.cacheEntries.value())
+
 	writeHeader("pdeserve_fault_injection_active", "Number of configured fault classes (0 outside chaos mode).", "gauge")
 	fmt.Fprintf(w, "pdeserve_fault_injection_active %d\n", m.faultsActive.value())
 }
@@ -196,6 +247,34 @@ func (m *metrics) writeHistogram(w io.Writer, name, help string, h *histogram) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
 	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+// writeHistogramVec renders a labelled histogram family: children in
+// sorted label-value order, each with the standard cumulative bucket,
+// _sum and _count series carrying the label.
+func (m *metrics) writeHistogramVec(w io.Writer, name, help string, v *histogramVec) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := v.vals[k]
+		h.mu.Lock()
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, v.label, k, formatBound(b), cum)
+		}
+		cum += h.counts[len(h.bounds)]
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, v.label, k, cum)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, v.label, k, h.sum)
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, v.label, k, h.count)
+		h.mu.Unlock()
+	}
+	v.mu.Unlock()
 }
 
 // formatBound renders a bucket bound the way Prometheus clients do: shortest

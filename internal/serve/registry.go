@@ -89,6 +89,13 @@ type Response struct {
 	// aliases worker-owned storage, so it must be consumed (account) before
 	// the worker is released; it is deliberately not serialised.
 	fallback *core.FallbackReport
+	// Cache outcome flags for the metrics plane. Deliberately not
+	// serialised: an exact-repeat request must produce a byte-identical
+	// body whether it was solved or replayed.
+	cacheOn    bool // the solve consulted the cache
+	cacheHit   bool // served by an exact content-address replay
+	cacheWarm  bool // served by the warm-start continuation rung
+	cacheStale bool // a warm-start candidate was rejected by the gate
 
 	// Netlist program outcome.
 	Components  int  `json:"components,omitempty"`

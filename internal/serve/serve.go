@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"hybridpde/internal/cache"
 	"hybridpde/internal/core"
 	"hybridpde/internal/fault"
 )
@@ -79,6 +80,18 @@ type Config struct {
 	// low. Negative disables intra-solve parallelism explicitly. Responses
 	// are bit-identical at every setting.
 	SolveProcs int
+	// CacheEntries bounds the content-addressed solve cache shared by all
+	// workers. 0 uses the default capacity (cache.DefaultCapacity);
+	// negative disables the cache entirely. Chaos mode (Faults non-nil)
+	// also disables it: injected-fault outcomes are per-run draws and must
+	// not be frozen into replays. Cold solves with the cache enabled are
+	// bit-identical to cache-off solves.
+	CacheEntries int
+	// WarmRadius is the parameter-space distance (Euclidean over
+	// (re, bound)) within which a cached neighbour may warm-start a solve.
+	// Default 0.25; negative disables warm starting while keeping exact
+	// hits.
+	WarmRadius float64
 }
 
 func (c *Config) defaults() {
@@ -121,6 +134,12 @@ func (c *Config) defaults() {
 	if c.SolveProcs < 1 {
 		c.SolveProcs = 1
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = cache.DefaultCapacity
+	}
+	if c.WarmRadius == 0 { //pdevet:allow floateq zero is the config-absent sentinel (never computed)
+		c.WarmRadius = defaultWarmRadius
+	}
 }
 
 // Server is the solve service. Create with NewServer, expose via Handler
@@ -141,6 +160,9 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 	pool     *core.WorkspacePool
+	// cache is the content-addressed solve cache shared by every worker;
+	// nil when disabled (CacheEntries < 0 or chaos mode).
+	cache *cache.Store
 	// transientFaults caches Faults.Transient(): whether retrying a
 	// degraded solve can hope for a different outcome.
 	transientFaults bool
@@ -158,8 +180,11 @@ func NewServer(cfg Config) *Server {
 		queueSlots: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		pool:       core.NewWorkspacePool(),
 	}
+	if cfg.CacheEntries > 0 && cfg.Faults == nil {
+		s.cache = cache.New(cfg.CacheEntries)
+	}
 	for i := 0; i < cfg.Workers; i++ {
-		s.workers <- newWorker(&s.cfg, s.pool, cfg.Seed+int64(i))
+		s.workers <- newWorker(&s.cfg, s.pool, cfg.Seed+int64(i), s.cache)
 	}
 	if cfg.Faults != nil {
 		s.transientFaults = cfg.Faults.Transient()

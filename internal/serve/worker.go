@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"hybridpde/internal/analog"
+	"hybridpde/internal/cache"
 	"hybridpde/internal/core"
 	"hybridpde/internal/fault"
 	"hybridpde/internal/la"
@@ -46,6 +47,13 @@ type worker struct {
 	// procs is the per-solve worker count (Config.SolveProcs); the
 	// workspace's sparse solver owns the actual pool.
 	procs int
+	// store is the server-shared solve cache (nil when disabled); bind
+	// adapts it to the ladder's cache rungs one request at a time, and kb
+	// builds content keys without allocating.
+	store  *cache.Store
+	bind   cacheBinding
+	kb     cache.KeyBuilder
+	radius float64
 }
 
 // gridKey identifies a cached problem shape. Every field the constructors
@@ -70,19 +78,26 @@ type gridEntry struct {
 	f       []float64          // residual scratch
 }
 
-func newWorker(cfg *Config, pool *core.WorkspacePool, seed int64) *worker {
-	return &worker{
+func newWorker(cfg *Config, pool *core.WorkspacePool, seed int64, store *cache.Store) *worker {
+	wk := &worker{
 		ws:      pool.Get(),
 		rng:     rand.New(rand.NewSource(seed)),
 		grid:    map[gridKey]*gridEntry{},
 		seeders: map[int]core.Seeder{},
 		seed:    seed,
-		ladder:  core.NewLadder(),
 		lopts:   core.LadderOptions{GateFactor: cfg.SeedGate},
 		gate:    cfg.SeedGate,
 		faults:  cfg.Faults,
 		procs:   cfg.SolveProcs,
+		store:   store,
+		radius:  cfg.WarmRadius,
 	}
+	wk.bind.store = store
+	// The ladder always carries all six rungs; with no cache bound (or a
+	// non-cacheable request) the cache and warm-start rungs skip without a
+	// trace, so the report is bit-identical to the four-rung ladder.
+	wk.ladder = core.NewLadderRungs(core.CachedRungs(&wk.bind)...)
+	return wk
 }
 
 // run executes one admitted request. Cold paths (first request of a shape,
@@ -229,6 +244,12 @@ func (wk *worker) solveGrid(ctx context.Context, req *Request, e *gridEntry, see
 		return err
 	}
 
+	if on := wk.store != nil && cacheableKind(req.Problem); on {
+		wk.bind.rebind(true, solveCacheKey(req, &wk.kb), solveCacheBucket(req, &wk.kb), req.Re, req.Bound, wk.radius)
+	} else {
+		wk.bind.rebind(false, cache.Key{}, cache.Key{}, 0, 0, 0)
+	}
+
 	var opts core.Options
 	opts.Workspace = wk.ws
 	opts.Perf = backendFor(req.Backend)
@@ -277,7 +298,53 @@ func (wk *worker) solveGrid(ctx context.Context, req *Request, e *gridEntry, see
 		resp.SeedRejected = fb.SeedRejections > 0
 		resp.RungAttempts = len(fb.Attempts)
 	}
+	resp.cacheOn = wk.bind.on
+	if hit := wk.bind.hit; hit != nil {
+		// Exact hit: replay the original response's ladder summary so a
+		// repeated request gets a byte-identical body (the cache's
+		// existence is visible in /metrics, not in the response).
+		resp.cacheHit = true
+		resp.SeedAccepted = hit.seedAccepted
+		resp.Degraded = hit.degraded
+		resp.Rung = hit.rung
+		resp.SeedRejected = hit.seedRejected
+		resp.RungAttempts = hit.rungAttempts
+	} else if fb := rep.Fallback; wk.bind.on && fb != nil {
+		if fb.Final == core.RungWarmStart {
+			resp.cacheWarm = true
+		}
+		for i := range fb.Attempts {
+			if fb.Attempts[i].Rung == core.RungWarmStart && fb.Attempts[i].SeedRejected {
+				resp.cacheStale = true
+			}
+		}
+		if err == nil && rep.Digital.Converged {
+			wk.cachePut(&rep, resp)
+		}
+	}
 	return err
+}
+
+// cachePut stores a cold (or warm-started) converged solve for future
+// exact replays and warm starts. Deliberately not on the noalloc path: a
+// Put happens at most once per distinct request identity; steady repeat
+// traffic is all hits.
+func (wk *worker) cachePut(rep *core.Report, resp *Response) {
+	meta := &cachedSolve{
+		core: core.CachedSolve{
+			Converged: rep.Digital.Converged, Iterations: rep.Digital.TotalIters,
+			Residual: rep.FinalResidual, SeedResidual: rep.SeedResidual,
+			AnalogUsed: rep.AnalogUsed, Decomposed: rep.Decomposed,
+			Subproblems: rep.Subproblems, GSSweeps: rep.GSSweeps,
+			Seconds: rep.TotalSeconds, EnergyJ: rep.TotalEnergyJ,
+		},
+		seedAccepted: resp.SeedAccepted,
+		degraded:     resp.Degraded,
+		rung:         resp.Rung,
+		seedRejected: resp.SeedRejected,
+		rungAttempts: resp.RungAttempts,
+	}
+	wk.store.Put(wk.bind.key, wk.bind.bucket, wk.bind.coords[:], rep.U, meta)
 }
 
 // backendFor maps the request backend name to its PerfBackend; normalize

@@ -1,0 +1,103 @@
+#!/bin/sh
+# Cache smoke: boot pdeserved with the solve cache on, replay identical and
+# near-identical load through pdeload, and assert the cache plane actually
+# worked — nonzero exact and warm hits in /metrics, byte-identical response
+# bodies for exact repeats, and a clean SIGTERM drain. Run from the
+# repository root; also available as `make cache-smoke`.
+#
+# Env knobs (defaults are CI-sized):
+#   SMOKE_ADDR       API address        (default 127.0.0.1:18082)
+#   SMOKE_RATE       offered rps        (default 150)
+#   SMOKE_DURATION   load duration      (default 4s)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18082}"
+RATE="${SMOKE_RATE:-150}"
+DURATION="${SMOKE_DURATION:-4s}"
+TMP="$(mktemp -d)"
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$TMP/pdeserved" ./cmd/pdeserved
+go build -o "$TMP/pdeload" ./cmd/pdeload
+
+echo "== boot pdeserved on $ADDR (cache on)"
+"$TMP/pdeserved" -addr "$ADDR" -debug-addr "" >"$TMP/server.log" 2>&1 &
+SRV_PID=$!
+
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "server never became healthy" >&2
+		cat "$TMP/server.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+echo "== byte-identity: exact repeats replay the same body"
+REQ='{"problem":"burgers-steady","n":5,"seed":12}'
+# queue_seconds/solve_seconds are measured wall time; everything else must
+# match byte for byte between a solve and its cached replay.
+strip() {
+	sed -e 's/"queue_seconds":[^,}]*[,}]//' -e 's/"solve_seconds":[^,}]*[,}]//'
+}
+COLD="$(curl -fsS -X POST -d "$REQ" "http://$ADDR/v1/solve" | strip)"
+for i in 1 2 3; do
+	WARM="$(curl -fsS -X POST -d "$REQ" "http://$ADDR/v1/solve" | strip)"
+	if [ "$WARM" != "$COLD" ]; then
+		echo "replayed body diverged from the original solve:" >&2
+		echo " cold: $COLD" >&2
+		echo " warm: $WARM" >&2
+		exit 1
+	fi
+done
+
+echo "== pdeload: repeated parameter sweep at $RATE rps for $DURATION"
+# One field realisation (-seed-spread 1), four sweep points cycling forever:
+# every point after the first lap is an exact repeat (cache hit) and the
+# early laps warm-start off their nearest solved neighbour.
+"$TMP/pdeload" -url "http://$ADDR" -rate "$RATE" -duration "$DURATION" \
+	-problem burgers-steady -n 5 -seed-spread 1 \
+	-re 1.0 -re-step 0.01 -re-count 4 -out "$TMP/bench.json"
+
+echo "== metrics: cache plane counted hits"
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q '^pdeserve_cache_hits_total [1-9]' || {
+	echo "no exact cache hits counted" >&2
+	echo "$METRICS" | grep '^pdeserve_cache' >&2
+	exit 1
+}
+echo "$METRICS" | grep -q '^pdeserve_cache_warm_hits_total [1-9]' || {
+	echo "no warm-start hits counted" >&2
+	echo "$METRICS" | grep '^pdeserve_cache' >&2
+	exit 1
+}
+echo "$METRICS" | grep '^pdeserve_cache'
+
+echo "== SIGTERM drain"
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -ge 100 ]; then
+		echo "server did not exit within 10s of SIGTERM" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null || {
+	echo "server exited non-zero on drain" >&2
+	cat "$TMP/server.log" >&2
+	exit 1
+}
+grep -q "drained cleanly" "$TMP/server.log" || {
+	echo "server log missing clean-drain marker" >&2
+	cat "$TMP/server.log" >&2
+	exit 1
+}
+
+echo "OK"

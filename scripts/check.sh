@@ -35,5 +35,6 @@ go test -run '^$' -fuzz FuzzBandLU -fuzztime 3s ./internal/la/
 go test -run '^$' -fuzz FuzzCSR -fuzztime 3s ./internal/la/
 go test -run '^$' -fuzz FuzzParseNetlist -fuzztime 3s ./internal/analog/
 go test -run '^$' -fuzz FuzzParseFaultSpec -fuzztime 3s ./internal/fault/
+go test -run '^$' -fuzz FuzzCacheKey -fuzztime 3s ./internal/cache/
 
 echo "OK"
