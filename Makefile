@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fuzz check bench bench-core serve serve-smoke chaos-smoke cache-smoke bench-serve
+.PHONY: all build test race vet fmt lint lint-baseline fuzz check bench bench-core serve serve-smoke chaos-smoke cache-smoke bench-serve
 
 all: build
 
@@ -19,10 +19,20 @@ vet:
 fmt:
 	gofmt -l .
 
-# Project-specific static analysis: the six pdevet rules (internal/lint)
-# guarding the repo's numerical and hot-path invariants.
+# Project-specific static analysis: the eleven pdevet rules (internal/lint)
+# guarding the repo's numerical, hot-path and concurrency invariants. The
+# committed .pdevet-baseline is the ledger of tolerated findings (empty on a
+# clean tree); pdevet fails on anything not in it AND on stale entries, so
+# the baseline can only shrink together with the code it excuses. Zero exit
+# here means: no unbaselined findings, no stale baseline entries, no unused
+# //pdevet:allow annotations.
 lint:
-	$(GO) run ./cmd/pdevet ./...
+	$(GO) run ./cmd/pdevet -baseline .pdevet-baseline ./...
+
+# Regenerate the baseline ledger. Only run this alongside the change that
+# justifies it — CI diffs will show exactly which debt was added or paid.
+lint-baseline:
+	$(GO) run ./cmd/pdevet -write-baseline .pdevet-baseline ./...
 
 # Short fuzz smoke over the solver and netlist-parser targets; CI-sized.
 # Longer local runs: go test -fuzz FuzzBandLU -fuzztime 60s ./internal/la/

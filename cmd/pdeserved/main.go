@@ -20,8 +20,6 @@
 // with an inline spec text or, with an @ prefix, a spec file. Faulty seeds
 // are caught by the degradation ladder and served from a lower rung with
 // the degraded flag set, never a 5xx.
-//
-//pdevet:allow walltime the process entry point owns the shutdown clock; all other wall reads live in internal/serve/clock.go
 package main
 
 import (

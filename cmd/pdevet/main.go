@@ -1,93 +1,164 @@
-// Command pdevet runs the repository's custom static-analysis pass: six
-// project-specific rules (internal/lint) that turn the numerical and
-// hot-path conventions of the hybrid solver — reproducible randomness,
-// simulated-time-only accounting, allocation-free stepping, tolerance-based
-// float comparison, context discipline, no swallowed errors — into
-// machine-checked invariants. Pure standard library: go/ast + go/types with
-// a source importer, no golang.org/x/tools.
+// Command pdevet runs the repository's custom static-analysis pass: eleven
+// project-specific rules (internal/lint) that turn the numerical, hot-path
+// and concurrency conventions of the hybrid solver — reproducible
+// randomness, simulated-time-only accounting, allocation-free stepping,
+// tolerance-based float comparison, context discipline, no swallowed
+// errors, consistent lock order, lifecycle-tied goroutines, unmixed atomic
+// access, sorted map iteration at deterministic outputs, fixed-block float
+// reductions — into machine-checked invariants. Pure standard library:
+// go/ast + go/types with a source importer, no golang.org/x/tools.
 //
 // Usage:
 //
-//	pdevet [-rule name] [-list] [packages]
+//	pdevet [-rule name] [-list] [-json] [-baseline file] [-write-baseline file] [packages]
 //
 // Package patterns are directories relative to the current module; `...`
-// walks subtrees (default `./...`). Exit status: 0 clean, 1 findings,
-// 2 usage or load failure.
+// walks subtrees (default `./...`). Exit status: 0 clean, 1 findings (or a
+// stale baseline), 2 usage or load failure.
+//
+// -json emits findings as a JSON array instead of text. -baseline reads a
+// committed ledger of known findings (rule<TAB>path<TAB>message, no line
+// numbers): listed findings are suppressed, but entries matching no current
+// finding are stale and fail the run — the ledger can only shrink together
+// with the code it excuses. -write-baseline regenerates the ledger from the
+// current tree.
 //
 // Findings are suppressed in source with `//pdevet:allow <rule> [reason]`
 // annotations; hot-path functions opt into the allocation rule with
-// `//pdevet:noalloc`. See DESIGN.md "Static analysis".
+// `//pdevet:noalloc`. When the full rule set runs, allow annotations that
+// suppress nothing are themselves reported (rule `unusedallow`), so
+// suppressions cannot outlive the code they excused. See DESIGN.md "Static
+// analysis".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hybridpde/internal/lint"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		rule = flag.String("rule", "", "run a single analyzer by name")
-		list = flag.Bool("list", false, "list analyzers and exit")
+		rule          = fs.String("rule", "", "run a single analyzer by name (disables unusedallow reporting)")
+		list          = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut       = fs.Bool("json", false, "emit findings as a JSON array")
+		baselinePath  = fs.String("baseline", "", "suppress findings listed in this baseline file; stale entries fail the run")
+		writeBaseline = fs.String("write-baseline", "", "write current findings to this baseline file and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *rule != "" {
 		a, ok := lint.AnalyzerByName(*rule)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "pdevet: unknown rule %q (try -list)\n", *rule)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "pdevet: unknown rule %q (try -list)\n", *rule)
+			return 2
 		}
 		analyzers = []*lint.Analyzer{a}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	dirs, err := loader.Expand(cwd, patterns)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	if len(dirs) == 0 {
-		fatal(fmt.Errorf("no packages match %v", patterns))
+		return fatal(stderr, fmt.Errorf("no packages match %v", patterns))
 	}
 
-	findings := 0
+	var diags []lint.Diagnostic
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		for _, d := range lint.RunPackage(pkg, analyzers) {
-			fmt.Println(d)
-			findings++
+		res := lint.AnalyzePackage(pkg, analyzers)
+		diags = append(diags, res.Diags...)
+		diags = append(diags, res.Unused...)
+	}
+	root := loader.ModuleRoot()
+
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, []byte(lint.FormatBaseline(diags, root)), 0o644); err != nil {
+			return fatal(stderr, err)
+		}
+		fmt.Fprintf(stderr, "pdevet: wrote %d baseline entr%s to %s\n", len(diags), plural(len(diags), "y", "ies"), *writeBaseline)
+		return 0
+	}
+
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		b, err := lint.ParseBaseline(f)
+		f.Close()
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		diags, stale = b.Filter(diags, root)
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, diags, root); err != nil {
+			return fatal(stderr, err)
+		}
+	} else {
+		for _, d := range diags {
+			// Module-relative paths keep text output stable across
+			// checkouts and let CI problem matchers anchor annotations.
+			d.Pos.Filename = lint.RelPath(root, d.Pos.Filename)
+			fmt.Fprintln(stdout, d)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "pdevet: %d finding(s)\n", findings)
-		os.Exit(1)
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "pdevet: stale baseline entry (finding fixed or moved — delete it): %s\n", e)
 	}
+	if len(diags) > 0 || len(stale) > 0 {
+		fmt.Fprintf(stderr, "pdevet: %d finding(s), %d stale baseline entr%s\n", len(diags), len(stale), plural(len(stale), "y", "ies"))
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pdevet:", err)
-	os.Exit(2)
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "pdevet:", err)
+	return 2
 }

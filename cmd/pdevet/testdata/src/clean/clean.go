@@ -1,0 +1,5 @@
+// Package clean has no findings and no annotations: the driver tests use
+// it to pin zero-exit behavior and the empty JSON array.
+package clean
+
+func ok() int { return 1 }

@@ -179,7 +179,7 @@ func (l *Ladder) Solve(ctx context.Context, sys problem.SparseSystem, opts Optio
 	// Snapshot the start so every rung begins from the same iterate.
 	if opts.InitialGuess != nil {
 		if len(opts.InitialGuess) != dim {
-			return Report{}, errors.New("core: initial guess has wrong dimension") //pdevet:allow noalloc error path
+			return Report{}, errors.New("core: initial guess has wrong dimension")
 		}
 		copy(l.start, opts.InitialGuess)
 	} else if g, ok := sys.(problem.WarmStarter); ok {

@@ -65,70 +65,82 @@ type allowKey struct {
 	rule string
 }
 
+// allowAnnot is one //pdevet:allow directive in source, tracked so the
+// driver can report suppressions that no longer suppress anything.
+type allowAnnot struct {
+	file string
+	line int // the directive's own line
+	rule string
+	used bool
+}
+
 // span is a position range of a function-scoped suppression.
 type span struct {
 	file       string
 	start, end int
 	rule       string
+	annot      *allowAnnot
 }
 
 // allowSet is the suppression index of one package.
 type allowSet struct {
-	lines map[allowKey]bool
-	files map[string]map[string]bool // file -> rule -> allowed
-	funcs []span
+	lines  map[allowKey]*allowAnnot
+	files  map[string]map[string]*allowAnnot // file -> rule -> annotation
+	funcs  []span
+	annots []*allowAnnot // every directive, in collection order
 }
 
-// allowed reports whether d is suppressed by an annotation.
+// allowed reports whether d is suppressed by an annotation, marking the
+// matching annotation used.
 func (s *allowSet) allowed(d Diagnostic) bool {
-	if s.files[d.Pos.Filename][d.Rule] {
+	if a := s.files[d.Pos.Filename][d.Rule]; a != nil {
+		a.used = true
 		return true
 	}
-	if s.lines[allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}] {
+	if a := s.lines[allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}]; a != nil {
+		a.used = true
 		return true
 	}
 	for _, sp := range s.funcs {
 		if sp.rule == d.Rule && sp.file == d.Pos.Filename && d.Pos.Line >= sp.start && d.Pos.Line <= sp.end {
+			sp.annot.used = true
 			return true
 		}
 	}
 	return false
 }
 
+// unused returns a diagnostic (rule "unusedallow") for every directive that
+// suppressed nothing, in source order. Only meaningful after the FULL rule
+// set has run: under a -rule filter, other rules' allows are trivially
+// unused and must not be reported.
+func (s *allowSet) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, a := range s.annots {
+		if a.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  token.Position{Filename: a.file, Line: a.line, Column: 1},
+			Rule: "unusedallow",
+			Msg:  "//pdevet:allow " + a.rule + " suppresses nothing; delete the stale annotation",
+		})
+	}
+	return out
+}
+
 // collectAllows indexes every //pdevet:allow directive of the package.
 func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
 	s := &allowSet{
-		lines: map[allowKey]bool{},
-		files: map[string]map[string]bool{},
+		lines: map[allowKey]*allowAnnot{},
+		files: map[string]map[string]*allowAnnot{},
 	}
 	for _, f := range files {
 		pkgLine := fset.Position(f.Package).Line
 		fname := fset.Position(f.Package).Filename
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rule := parseAllow(strings.TrimSpace(c.Text))
-				if rule == "" {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				if pos.Line < pkgLine {
-					// File-scoped: directive above the package clause.
-					m := s.files[fname]
-					if m == nil {
-						m = map[string]bool{}
-						s.files[fname] = m
-					}
-					m[rule] = true
-					continue
-				}
-				// Line-scoped: the directive's own line and the next, so
-				// both trailing comments and a comment line directly above
-				// the offending statement work.
-				s.lines[allowKey{fname, pos.Line, rule}] = true
-				s.lines[allowKey{fname, pos.Line + 1, rule}] = true
-			}
-		}
-		// Function-scoped: allow directives in a declaration's doc comment.
+		// Function-scoped directives live in doc comments; index those
+		// comment nodes first so the comment walk below can skip them.
+		inDoc := map[*ast.Comment]bool{}
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Doc == nil {
@@ -139,12 +151,45 @@ func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
 				if rule == "" {
 					continue
 				}
+				inDoc[c] = true
+				a := &allowAnnot{file: fname, line: fset.Position(c.Pos()).Line, rule: rule}
+				s.annots = append(s.annots, a)
 				s.funcs = append(s.funcs, span{
 					file:  fname,
 					start: fset.Position(fn.Pos()).Line,
 					end:   fset.Position(fn.End()).Line,
 					rule:  rule,
+					annot: a,
 				})
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if inDoc[c] {
+					continue
+				}
+				rule := parseAllow(strings.TrimSpace(c.Text))
+				if rule == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a := &allowAnnot{file: fname, line: pos.Line, rule: rule}
+				s.annots = append(s.annots, a)
+				if pos.Line < pkgLine {
+					// File-scoped: directive above the package clause.
+					m := s.files[fname]
+					if m == nil {
+						m = map[string]*allowAnnot{}
+						s.files[fname] = m
+					}
+					m[rule] = a
+					continue
+				}
+				// Line-scoped: the directive's own line and the next, so
+				// both trailing comments and a comment line directly above
+				// the offending statement work.
+				s.lines[allowKey{fname, pos.Line, rule}] = a
+				s.lines[allowKey{fname, pos.Line + 1, rule}] = a
 			}
 		}
 	}

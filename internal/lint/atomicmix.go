@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix forbids mixing sync/atomic access with plain access on one
+// variable. A field updated through atomic.AddUint64(&x.n, 1) in one place
+// and read as a bare x.n in another is a data race the memory model gives
+// no meaning to — and one the -race detector only catches when both sides
+// happen to be scheduled. The typed atomics (atomic.Uint64 and friends,
+// which the metrics plane uses) are immune by construction because the
+// plain value is unreachable; this rule polices the old-style pattern,
+// where the compiler cannot.
+//
+// Scope is the package: every call to a sync/atomic function whose address
+// argument resolves to a variable (struct field or package-level var)
+// marks that variable atomic; any other plain mention of it is reported.
+// Intentional single-threaded phases (init before goroutines start) are
+// annotated `//pdevet:allow atomicmix <why no concurrent access exists>`.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	// Pass 1: collect variables used as sync/atomic address arguments, and
+	// the exact selector/ident nodes inside those calls (to exempt them).
+	atomicVars := map[*types.Var]token.Pos{} // var -> first atomic use
+	inAtomic := map[token.Pos]bool{}         // positions of &x arguments
+	p.forEachNode(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := p.pkgSelector(call.Fun, "sync/atomic"); !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			v := p.addressedVar(un.X)
+			if v == nil {
+				continue
+			}
+			if _, seen := atomicVars[v]; !seen {
+				atomicVars[v] = call.Pos()
+			}
+			inAtomic[un.X.Pos()] = true
+		}
+		return true
+	})
+	if len(atomicVars) == 0 {
+		return
+	}
+	// Pass 2: report plain mentions of those variables outside atomic calls.
+	p.forEachNode(func(n ast.Node) bool {
+		var v *types.Var
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if s := p.Info.Selections[n]; s != nil {
+				v, _ = s.Obj().(*types.Var)
+			}
+			if v == nil {
+				v, _ = p.Info.Uses[n.Sel].(*types.Var)
+			}
+			if v != nil && !inAtomic[n.Pos()] {
+				if first, ok := atomicVars[v]; ok {
+					p.Reportf(n.Pos(), "%s is accessed via sync/atomic (%s) but read/written plainly here; mixed access is a data race", v.Name(), p.Fset.Position(first))
+				}
+			}
+			return false // n.Sel would double-report through the Ident case
+		case *ast.Ident:
+			v, _ = p.Info.Uses[n].(*types.Var)
+			if v != nil && !inAtomic[n.Pos()] {
+				if first, ok := atomicVars[v]; ok {
+					p.Reportf(n.Pos(), "%s is accessed via sync/atomic (%s) but read/written plainly here; mixed access is a data race", v.Name(), p.Fset.Position(first))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// addressedVar resolves the operand of a unary & inside an atomic call to
+// the variable it addresses: a struct field selection or a plain variable.
+// Index expressions (&xs[i]) resolve to the slice/array variable itself —
+// an element accessed atomically marks the whole collection.
+func (p *Pass) addressedVar(e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s := p.Info.Selections[e]; s != nil {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		v, _ := p.Info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := p.Info.Uses[e].(*types.Var)
+		return v
+	case *ast.IndexExpr:
+		return p.addressedVar(e.X)
+	case *ast.ParenExpr:
+		return p.addressedVar(e.X)
+	}
+	return nil
+}

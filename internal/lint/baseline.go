@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a committed ledger of findings the tree is allowed to
+// carry while they are being worked off. Entries are deliberately
+// line-number-free — `rule<TAB>path<TAB>message` — so unrelated edits that
+// shift code do not invalidate them; only fixing (or moving) the finding
+// does. The ledger is a multiset: two identical findings in one file need
+// two identical entries.
+//
+// Staleness is the teeth. An entry that matches no current finding means the
+// debt was paid (or the code moved) without the ledger shrinking, and the
+// driver exits nonzero until the entry is deleted. CI therefore fails both
+// when new findings appear (unbaselined) and when the baseline is allowed to
+// rot (stale entries) — the file can only ever track reality.
+
+// BaselineEntry is one allowed finding, identified without line numbers.
+type BaselineEntry struct {
+	Rule string
+	// Path is module-root-relative with forward slashes.
+	Path string
+	Msg  string
+}
+
+func (e BaselineEntry) String() string {
+	return e.Rule + "\t" + e.Path + "\t" + e.Msg
+}
+
+// Baseline is a multiset of allowed findings.
+type Baseline struct {
+	counts map[BaselineEntry]int
+	order  []BaselineEntry // first-seen order, for stable stale reporting
+}
+
+// ParseBaseline reads the tab-separated baseline format. Blank lines and
+// `#` comments are ignored.
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{counts: map[BaselineEntry]int{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want rule<TAB>path<TAB>message, got %q", line, text)
+		}
+		e := BaselineEntry{Rule: parts[0], Path: parts[1], Msg: parts[2]}
+		if b.counts[e] == 0 {
+			b.order = append(b.order, e)
+		}
+		b.counts[e]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Len returns the number of entries (counting multiplicity).
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// Filter consumes baseline entries against diags: findings matching an
+// unconsumed entry are suppressed. It returns the findings that remain
+// (new, unbaselined) and the entries left unconsumed (stale — the finding
+// they excused no longer exists).
+func (b *Baseline) Filter(diags []Diagnostic, moduleRoot string) (kept []Diagnostic, stale []BaselineEntry) {
+	remaining := make(map[BaselineEntry]int, len(b.counts))
+	for e, c := range b.counts {
+		remaining[e] = c
+	}
+	for _, d := range diags {
+		e := entryFor(d, moduleRoot)
+		if remaining[e] > 0 {
+			remaining[e]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.order {
+		for i := 0; i < remaining[e]; i++ {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}
+
+// FormatBaseline renders diags as baseline file content, sorted, with a
+// header explaining the contract.
+func FormatBaseline(diags []Diagnostic, moduleRoot string) string {
+	var sb strings.Builder
+	sb.WriteString("# pdevet baseline: findings the tree is allowed to carry while being\n")
+	sb.WriteString("# worked off. Format: rule<TAB>path<TAB>message (no line numbers, so\n")
+	sb.WriteString("# unrelated edits don't invalidate entries). pdevet exits nonzero on\n")
+	sb.WriteString("# findings not listed here AND on entries matching no finding (stale);\n")
+	sb.WriteString("# regenerate with `pdevet -write-baseline` only alongside the fix/allow\n")
+	sb.WriteString("# that justifies the change.\n")
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		lines = append(lines, entryFor(d, moduleRoot).String())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// entryFor converts a diagnostic to its line-number-free baseline identity.
+func entryFor(d Diagnostic, moduleRoot string) BaselineEntry {
+	return BaselineEntry{Rule: d.Rule, Path: RelPath(moduleRoot, d.Pos.Filename), Msg: d.Msg}
+}
+
+// RelPath relativizes an absolute diagnostic path against the module root,
+// with forward slashes; paths outside the root are kept absolute.
+func RelPath(root, path string) string {
+	if root == "" {
+		return filepath.ToSlash(path)
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

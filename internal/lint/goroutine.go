@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goroutine ties every spawned goroutine to a lifecycle. The serving
+// stack's drain contract (serve.BeginDrain/Drain) promises that shutdown
+// observes every in-flight unit of work, and the -race CI job can only
+// prove the absence of races it gets to schedule — a goroutine nothing
+// waits for outlives both. Every `go` statement in non-test code must
+// therefore be visibly tied to one of the repo's lifecycle mechanisms,
+// reachable from the spawned code:
+//
+//   - a context.Context value (cancellation propagates),
+//   - a sync.WaitGroup (Done/Wait pairs the spawn with a join),
+//   - a channel operation — send, receive, close, select or range —
+//     including a channel-typed parameter (the internal/par worker loop
+//     pattern: workers exit when the task channel closes).
+//
+// The body inspected is the spawned function literal, or the body of a
+// same-package named function; a goroutine spawning an out-of-package
+// function passes only if an argument carries a ctx or a channel. Fire-
+// and-forget goroutines that are genuinely sound (process-lifetime
+// daemons) are annotated `//pdevet:allow goroutine <why it cannot leak>`.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "every go statement must reach a ctx, WaitGroup, or channel lifecycle",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	p.forEachNode(func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !p.goHasLifecycle(g.Call) {
+			p.Reportf(g.Pos(), "goroutine has no lifecycle: spawned code reaches no ctx, WaitGroup, or channel, so no drain or join can observe it")
+		}
+		return true
+	})
+}
+
+// goHasLifecycle reports whether the spawned call is tied to a lifecycle.
+func (p *Pass) goHasLifecycle(call *ast.CallExpr) bool {
+	// Arguments that carry a ctx or a channel tie the goroutine to their
+	// owner's lifetime regardless of where the function body lives.
+	for _, arg := range call.Args {
+		if t := p.Info.TypeOf(arg); t != nil && (isLifecycleType(t) || p.isContextValue(t)) {
+			return true
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return p.bodyHasLifecycle(fun.Body)
+	default:
+		if body := p.samePackageFuncBody(call.Fun); body != nil {
+			return p.bodyHasLifecycle(body)
+		}
+	}
+	return false
+}
+
+// samePackageFuncBody resolves a call target to the body of a function
+// declared in the package under analysis, or nil.
+func (p *Pass) samePackageFuncBody(fun ast.Expr) *ast.BlockStmt {
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != p.Pkg {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && p.Info.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// bodyHasLifecycle scans a function body for any lifecycle signal: channel
+// operations, WaitGroup method calls, or a mention of a context value.
+func (p *Pass) bodyHasLifecycle(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if s := p.Info.Selections[sel]; s != nil && isWaitGroupType(s.Recv()) {
+					found = true
+				}
+			}
+		case ast.Expr:
+			if t := p.Info.TypeOf(n); t != nil && p.isContextValue(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isLifecycleType reports channel and WaitGroup types.
+func isLifecycleType(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return isWaitGroupType(t)
+}
+
+// isWaitGroupType reports sync.WaitGroup (possibly behind a pointer).
+func isWaitGroupType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isContextValue reports context.Context (the interface itself).
+func (p *Pass) isContextValue(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -18,10 +18,27 @@
 //	ctxcheck    context.Context is a first parameter, never a struct field
 //	errdrop     no `_ = err` swallows; fmt.Errorf wraps errors with %w
 //
+// The concurrency/determinism suite extends the set to the runtime
+// contracts of the parallel solver and the serving stack — drain-complete
+// shutdown, byte-identical cache replays, and bit-identical solves across
+// worker counts:
+//
+//	lockorder   mutex acquisition order is globally consistent per package;
+//	            cycles and nested re-acquisition are reported
+//	goroutine   every `go` statement reaches a ctx, WaitGroup, or channel
+//	            lifecycle, so drain/join can observe it
+//	atomicmix   a variable touched via sync/atomic is never read or written
+//	            plainly elsewhere
+//	maprange    no map iteration feeds serialized output, key construction,
+//	            or float/string accumulation without sorting first
+//	detred      no float accumulation over procs-dependent ranges; cross-
+//	            chunk sums use the fixed-block reductions (la.ParDot et al)
+//
 // Findings are suppressed with annotation comments (see annot.go):
 // `//pdevet:allow <rule> [reason]` on the offending line (or the line
 // above), in a function's doc comment, or before the package clause for
-// file scope.
+// file scope. The driver reports allow annotations that no longer suppress
+// anything, so suppressions cannot outlive the code they excused.
 package lint
 
 import (
@@ -88,6 +105,11 @@ func Analyzers() []*Analyzer {
 		FloatEq,
 		CtxCheck,
 		ErrDrop,
+		LockOrder,
+		Goroutine,
+		AtomicMix,
+		MapRange,
+		DetRed,
 	}
 }
 
@@ -101,10 +123,21 @@ func AnalyzerByName(name string) (*Analyzer, bool) {
 	return nil, false
 }
 
-// RunPackage executes the analyzers over one loaded package and returns the
-// findings that survive the package's //pdevet:allow annotations, sorted by
-// position.
-func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// Result is the outcome of analyzing one package.
+type Result struct {
+	// Diags are the findings that survived //pdevet:allow suppression,
+	// sorted by position.
+	Diags []Diagnostic
+	// Unused are "unusedallow" diagnostics for directives that suppressed
+	// nothing. Populated only when the full rule set ran (under a -rule
+	// filter, other rules' allows would be trivially unused).
+	Unused []Diagnostic
+}
+
+// AnalyzePackage executes the analyzers over one loaded package, applies the
+// package's //pdevet:allow annotations, and — when the analyzer set is the
+// complete one — reports stale annotations that suppressed nothing.
+func AnalyzePackage(pkg *Package, analyzers []*Analyzer) Result {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -125,17 +158,33 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
+	sortDiags(kept)
+	res := Result{Diags: kept}
+	if len(analyzers) == len(Analyzers()) {
+		res.Unused = allows.unused()
+		sortDiags(res.Unused)
+	}
+	return res
+}
+
+// RunPackage executes the analyzers over one loaded package and returns the
+// findings that survive the package's //pdevet:allow annotations, sorted by
+// position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return AnalyzePackage(pkg, analyzers).Diags
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return kept[i].Rule < kept[j].Rule
+		return ds[i].Rule < ds[j].Rule
 	})
-	return kept
 }
 
 // forEachNode walks every file of the pass with fn; returning false from fn

@@ -57,6 +57,10 @@ func NewLoader(dir string) (*Loader, error) {
 	}, nil
 }
 
+// ModuleRoot returns the directory containing go.mod, the base against
+// which baseline entries and JSON output relativize file paths.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
 // findModule walks up from dir to the enclosing go.mod and returns the
 // module root directory and module path.
 func findModule(dir string) (root, path string, err error) {

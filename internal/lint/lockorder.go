@@ -1,0 +1,435 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder guards the serving stack's deadlock freedom structurally. The
+// concurrent layers added in PRs 5–6 (internal/par pool, internal/cache
+// store + singleflight, serve admission/drain) each own mutexes, and the
+// only discipline that keeps them composable is a consistent acquisition
+// order: if one code path locks A then B, no other path may lock B then A.
+// The rule builds the package's mutex-acquisition graph — nodes are
+// sync.Mutex/sync.RWMutex variables (struct fields identify all their
+// instances), edges mean "acquired while holding" — including one level of
+// interprocedural closure over same-package calls, and reports:
+//
+//   - self-edges: a mutex acquired while already held (sync mutexes are
+//     non-reentrant, so this is a guaranteed self-deadlock);
+//   - edges on a cycle: two paths acquire the same pair of mutexes in
+//     opposite orders, the classic ABBA deadlock.
+//
+// The simulation is a linear source-order approximation (branches are
+// walked sequentially, deferred unlocks hold to function end), which is
+// exactly right for the straight-line lock/unlock bodies this repo writes;
+// genuinely conditional hand-over-hand locking earns an annotation:
+// `//pdevet:allow lockorder <why the order is safe>`.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisition order must be consistent package-wide (no cycles, no recursive locks)",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one "to acquired while holding from" observation.
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+	// via is the call chain note for interprocedural edges ("" for direct).
+	via string
+}
+
+// lockFunc is the per-function summary of the first pass.
+type lockFunc struct {
+	obj *types.Func
+	// acquires are the mutexes this function locks directly.
+	acquires map[*types.Var]bool
+	// calls are same-package call sites with a non-empty held set.
+	calls []lockCall
+	// bareCalls are same-package callees invoked with nothing held; they
+	// matter only for the transitive acquire-set closure.
+	bareCalls []*types.Func
+}
+
+type lockCall struct {
+	callee *types.Func
+	held   []*types.Var
+	pos    token.Pos
+}
+
+func runLockOrder(p *Pass) {
+	lo := &lockOrderPass{
+		p:     p,
+		names: map[*types.Var]string{},
+		funcs: map[*types.Func]*lockFunc{},
+	}
+	// Pass 1: per-function held-set simulation → direct edges + summaries.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lo.walkFunc(fn)
+		}
+	}
+	// Pass 2: transitive acquire sets over the same-package call graph.
+	closure := lo.transitiveAcquires()
+	// Pass 3: interprocedural edges — a call made while holding H acquires
+	// everything the callee (transitively) locks. Iteration follows source
+	// order (lo.order, plus position-sorted acquire sets), not map order:
+	// edge order tie-breaks the report, which must be byte-stable per run.
+	for _, lf := range lo.order {
+		for _, c := range lf.calls {
+			for _, m := range sortedVars(closure[c.callee]) {
+				for _, h := range c.held {
+					lo.edges = append(lo.edges, lockEdge{
+						from: h, to: m, pos: c.pos,
+						via: c.callee.Name(),
+					})
+				}
+			}
+		}
+	}
+	lo.report()
+}
+
+// sortedVars flattens a mutex set into declaration-position order.
+func sortedVars(set map[*types.Var]bool) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+type lockOrderPass struct {
+	p     *Pass
+	names map[*types.Var]string
+	funcs map[*types.Func]*lockFunc
+	order []*lockFunc // source order, for deterministic edge generation
+	edges []lockEdge
+}
+
+// walkFunc simulates fn's body in source order, recording acquisition
+// edges, the function's acquire summary, and same-package call sites.
+func (lo *lockOrderPass) walkFunc(fn *ast.FuncDecl) {
+	obj, _ := lo.p.Info.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	lf := &lockFunc{obj: obj, acquires: map[*types.Var]bool{}}
+	lo.funcs[obj] = lf
+	lo.order = append(lo.order, lf)
+	var held []*types.Var
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Deferred unlocks release at function end; for the linear
+			// simulation the mutex simply stays held — which is the truth
+			// for every statement that follows. Deferred locks (rare) are
+			// treated as immediate.
+			if v, op, ok := lo.mutexCall(n.Call); ok && (op == "Lock" || op == "RLock") {
+				held = lo.acquire(lf, held, v, n.Call.Pos())
+			}
+			return false
+		case *ast.CallExpr:
+			if v, op, ok := lo.mutexCall(n); ok {
+				switch op {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					held = lo.acquire(lf, held, v, n.Pos())
+				case "Unlock", "RUnlock":
+					held = removeVar(held, v)
+				}
+				return true
+			}
+			if callee := lo.samePackageCallee(n); callee != nil {
+				if len(held) > 0 {
+					lf.calls = append(lf.calls, lockCall{
+						callee: callee,
+						held:   append([]*types.Var(nil), held...),
+						pos:    n.Pos(),
+					})
+				} else {
+					lf.bareCalls = append(lf.bareCalls, callee)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// acquire records edges from every held mutex to v and adds v to the set.
+func (lo *lockOrderPass) acquire(lf *lockFunc, held []*types.Var, v *types.Var, pos token.Pos) []*types.Var {
+	lf.acquires[v] = true
+	for _, h := range held {
+		lo.edges = append(lo.edges, lockEdge{from: h, to: v, pos: pos})
+	}
+	if holdsVar(held, v) {
+		// Recursive acquisition: a self-edge, reported as such.
+		lo.edges = append(lo.edges, lockEdge{from: v, to: v, pos: pos})
+		return held
+	}
+	return append(held, v)
+}
+
+// holdsVar reports whether v is in the held set.
+func holdsVar(held []*types.Var, v *types.Var) bool {
+	for _, h := range held {
+		if h == v {
+			return true
+		}
+	}
+	return false
+}
+
+// removeVar drops v from the held set (last occurrence, no-op if absent).
+func removeVar(held []*types.Var, v *types.Var) []*types.Var {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == v {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// mutexCall recognises m.Lock()/m.Unlock()/… on a sync.Mutex or
+// sync.RWMutex variable and returns the variable and the method name.
+func (lo *lockOrderPass) mutexCall(call *ast.CallExpr) (*types.Var, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, "", false
+	}
+	v := lo.mutexVar(sel.X)
+	if v == nil {
+		return nil, "", false
+	}
+	return v, sel.Sel.Name, true
+}
+
+// mutexVar resolves an expression to the mutex variable it denotes: a
+// struct field (one node per field declaration — all instances share it,
+// the standard static approximation) or a plain variable.
+func (lo *lockOrderPass) mutexVar(e ast.Expr) *types.Var {
+	var v *types.Var
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s := lo.p.Info.Selections[e]; s != nil {
+			v, _ = s.Obj().(*types.Var)
+			if v != nil && isMutexType(v.Type()) {
+				lo.nameField(v, s)
+				return v
+			}
+			return nil
+		}
+		// Package-qualified var (pkg.mu) resolves through Uses.
+		v, _ = lo.p.Info.Uses[e.Sel].(*types.Var)
+	case *ast.Ident:
+		v, _ = lo.p.Info.Uses[e].(*types.Var)
+	case *ast.ParenExpr:
+		return lo.mutexVar(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lo.mutexVar(e.X)
+		}
+	}
+	if v != nil && isMutexType(v.Type()) {
+		if _, ok := lo.names[v]; !ok {
+			lo.names[v] = v.Name()
+		}
+		return v
+	}
+	return nil
+}
+
+// nameField records a readable "Type.field" name for a mutex field.
+func (lo *lockOrderPass) nameField(v *types.Var, s *types.Selection) {
+	if _, ok := lo.names[v]; ok {
+		return
+	}
+	recv := s.Recv()
+	for {
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+			continue
+		}
+		break
+	}
+	name := v.Name()
+	if named, ok := recv.(*types.Named); ok {
+		name = named.Obj().Name() + "." + v.Name()
+	}
+	lo.names[v] = name
+}
+
+// isMutexType reports whether t (possibly behind a pointer) is sync.Mutex
+// or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// samePackageCallee resolves a call to a function or method declared in the
+// package under analysis.
+func (lo *lockOrderPass) samePackageCallee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = lo.p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = lo.p.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != lo.p.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// transitiveAcquires closes the per-function acquire sets over the
+// same-package call graph by fixpoint iteration.
+func (lo *lockOrderPass) transitiveAcquires() map[*types.Func]map[*types.Var]bool {
+	closure := map[*types.Func]map[*types.Var]bool{}
+	for obj, lf := range lo.funcs {
+		set := map[*types.Var]bool{}
+		for v := range lf.acquires {
+			set[v] = true
+		}
+		closure[obj] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, lf := range lo.funcs {
+			set := closure[obj]
+			for _, c := range lf.calls {
+				for v := range closure[c.callee] {
+					if !set[v] {
+						set[v] = true
+						changed = true
+					}
+				}
+			}
+			// Plain calls with nothing held still propagate acquisitions:
+			// walk every call expression again is unnecessary — summaries
+			// only need the call graph, which lf.calls under-approximates
+			// (calls with an empty held set are not recorded there). The
+			// callsAll list fills the gap.
+			for _, callee := range lf.callsAll() {
+				for v := range closure[callee] {
+					if !set[v] {
+						set[v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// callsAll returns every same-package callee of the function, held or not.
+// Computed lazily from the recorded calls plus the zero-held calls noted
+// during the walk.
+func (lf *lockFunc) callsAll() []*types.Func {
+	out := make([]*types.Func, 0, len(lf.calls)+len(lf.bareCalls))
+	for _, c := range lf.calls {
+		out = append(out, c.callee)
+	}
+	return append(out, lf.bareCalls...)
+}
+
+// report finds edges on cycles and reports them deterministically.
+func (lo *lockOrderPass) report() {
+	if len(lo.edges) == 0 {
+		return
+	}
+	// Adjacency over distinct (from, to) pairs.
+	adj := map[*types.Var]map[*types.Var]bool{}
+	for _, e := range lo.edges {
+		m := adj[e.from]
+		if m == nil {
+			m = map[*types.Var]bool{}
+			adj[e.from] = m
+		}
+		m[e.to] = true
+	}
+	reaches := func(from, to *types.Var) bool {
+		seen := map[*types.Var]bool{}
+		var stack []*types.Var
+		stack = append(stack, from)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v == to {
+				return true
+			}
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			for w := range adj[v] { //pdevet:allow maprange reachability is a boolean fixpoint; DFS visit order cannot change it
+				stack = append(stack, w)
+			}
+		}
+		return false
+	}
+	type key struct {
+		from, to *types.Var
+		pos      token.Pos
+	}
+	reported := map[key]bool{}
+	bad := lo.edges[:0]
+	for _, e := range lo.edges {
+		k := key{e.from, e.to, e.pos}
+		if reported[k] {
+			continue
+		}
+		if e.from == e.to || reaches(e.to, e.from) {
+			reported[k] = true
+			bad = append(bad, e)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool {
+		if bad[i].pos != bad[j].pos {
+			return bad[i].pos < bad[j].pos
+		}
+		// Same position (one acquire, several held): order by names so
+		// repeated runs emit byte-identical reports.
+		ni := lo.names[bad[i].from] + "\x00" + lo.names[bad[i].to]
+		nj := lo.names[bad[j].from] + "\x00" + lo.names[bad[j].to]
+		return ni < nj
+	})
+	for _, e := range bad {
+		from, to := lo.names[e.from], lo.names[e.to]
+		suffix := ""
+		if e.via != "" {
+			suffix = fmt.Sprintf(" (through call to %s)", e.via)
+		}
+		if e.from == e.to {
+			lo.p.Reportf(e.pos, "mutex %s acquired while already held%s; sync mutexes are not reentrant", to, suffix)
+			continue
+		}
+		lo.p.Reportf(e.pos, "lock order inversion: %s acquired while holding %s%s, but another path acquires %s while holding %s", to, from, suffix, from, to)
+	}
+}

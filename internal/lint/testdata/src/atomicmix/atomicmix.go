@@ -1,0 +1,49 @@
+// Package atomicmix is the atomicmix fixture: a variable touched through
+// sync/atomic must never be read or written plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	safe atomic.Uint64
+}
+
+// inc updates n atomically; this marks the field atomic package-wide.
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// readPlain races with inc: a plain load of an atomically-written field.
+func (c *counter) readPlain() uint64 {
+	return c.n // want
+}
+
+// writePlain is the same race from the store side.
+func (c *counter) writePlain() {
+	c.n = 0 // want
+}
+
+// readAtomic is the correct counterpart.
+func (c *counter) readAtomic() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// typed uses the typed atomics; the plain value is unreachable, so the
+// rule has nothing to police.
+func (c *counter) typed() uint64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+var hits uint64
+
+func bump() {
+	atomic.AddUint64(&hits, 1)
+}
+
+// snapshot reads hits plainly, but only after all writers have joined.
+func snapshot() uint64 {
+	//pdevet:allow atomicmix read happens in single-threaded teardown after Wait
+	return hits
+}

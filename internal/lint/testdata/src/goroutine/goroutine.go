@@ -1,0 +1,73 @@
+// Package goroutine is the goroutine fixture: spawned code must reach a
+// ctx, WaitGroup, or channel lifecycle.
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+// leak spawns a closure nothing can observe.
+func leak() {
+	go func() { // want
+		x := 1
+		_ = x
+	}()
+}
+
+// namedLeak spawns a same-package function with no lifecycle inside.
+func namedLeak() {
+	go spin() // want
+}
+
+func spin() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}
+
+// joined pairs the spawn with a WaitGroup.
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// cancellable reaches a context.
+func cancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// producer sends on a channel the caller owns.
+func producer(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}
+
+// workerPool passes the task channel as an argument (the internal/par
+// pattern): workers exit when the channel closes.
+func workerPool(tasks chan func()) {
+	go drain(tasks)
+}
+
+func drain(tasks chan func()) {
+	for t := range tasks {
+		t()
+	}
+}
+
+// daemon is a deliberate process-lifetime goroutine; the annotation is the
+// written justification.
+//
+//pdevet:allow goroutine process-lifetime sampler; exits with the process by design
+func daemon() {
+	go func() {
+		for {
+			_ = 0
+		}
+	}()
+}

@@ -1,0 +1,76 @@
+// Package lockorder is the lockorder fixture: the ABBA inversion, the
+// recursive self-deadlock, an interprocedural inversion through a
+// same-package call, and consistently-ordered negatives.
+package lockorder
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	idx   sync.Mutex
+	stats sync.RWMutex
+}
+
+// lockAB establishes the order mu -> idx.
+func (s *store) lockAB() {
+	s.mu.Lock()
+	s.idx.Lock() // want
+	s.idx.Unlock()
+	s.mu.Unlock()
+}
+
+// lockBA inverts it: idx -> mu. Both edges sit on the cycle, so both
+// acquisition sites are reported.
+func (s *store) lockBA() {
+	s.idx.Lock()
+	s.mu.Lock() // want
+	s.mu.Unlock()
+	s.idx.Unlock()
+}
+
+// double re-acquires a held mutex: guaranteed self-deadlock.
+func (s *store) double() {
+	s.stats.Lock()
+	s.stats.Lock() // want
+	s.stats.Unlock()
+	s.stats.Unlock()
+}
+
+// helper locks mu on its own; harmless in isolation.
+func (s *store) helper() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// nested acquires mu through helper while holding idx — the idx -> mu edge
+// again, this time interprocedural.
+func (s *store) nested() {
+	s.idx.Lock()
+	s.helper() // want
+	s.idx.Unlock()
+}
+
+// consistent nests stats under mu only; one-directional pairs are clean.
+func (s *store) consistent() {
+	s.mu.Lock()
+	s.stats.Lock()
+	s.stats.Unlock()
+	s.mu.Unlock()
+}
+
+// guardedRead locks and releases via defer; no nesting, clean.
+func (s *store) guardedRead() int {
+	s.stats.RLock()
+	defer s.stats.RUnlock()
+	return 0
+}
+
+// teardown inverts the order knowingly: it runs single-threaded after the
+// pool has drained, so the inversion cannot deadlock.
+func (s *store) teardown() {
+	s.idx.Lock()
+	//pdevet:allow lockorder teardown runs single-threaded after drain; no concurrent mu holder exists
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.idx.Unlock()
+}

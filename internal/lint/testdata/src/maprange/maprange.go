@@ -1,0 +1,74 @@
+// Package maprange is the maprange fixture: map iteration order must not
+// reach serialized output, key construction, or order-dependent
+// accumulation without sorting.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// printAll serializes map order straight into output.
+func printAll(m map[string]int) {
+	for k, v := range m { // want
+		fmt.Println(k, v)
+	}
+}
+
+// buildKey folds map order into a string via a Builder — a cache key built
+// this way hashes the same content differently per process.
+func buildKey(m map[string]string) string {
+	var sb strings.Builder
+	for k := range m { // want
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// sumFloats accumulates floats in map order; rounding differs per run.
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want
+		s += v
+	}
+	return s
+}
+
+// collectUnsorted appends keys and returns them unsorted.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSorted is the sanctioned idiom: collect, then sort.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// countEntries is order-insensitive: a commutative integer count.
+func countEntries(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// debugDump concatenates in map order, justified by the caller contract.
+func debugDump(m map[string]string) string {
+	out := ""
+	//pdevet:allow maprange debug-only dump; callers never diff or hash this string
+	for _, v := range m {
+		out += v
+	}
+	return out
+}

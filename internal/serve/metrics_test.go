@@ -62,6 +62,32 @@ func TestCounterVecChildrenAndRenderOrder(t *testing.T) {
 	}
 }
 
+// TestMetricsScrapeByteIdentical pins the contract the maprange lint rule
+// guards statically: with enough labelled children that Go's per-iteration
+// map order randomization would show through an unsorted render, repeated
+// scrapes of unchanged state must be byte-identical.
+func TestMetricsScrapeByteIdentical(t *testing.T) {
+	m := newServeMetrics()
+	problems := []string{"burgers2d", "netlist", "bratu1d", "fisher", "heat3d", "allencahn"}
+	codes := []string{"200", "422", "503"}
+	for _, pr := range problems {
+		for _, c := range codes {
+			m.requests.with(pr, c).inc()
+		}
+		m.newtonIters.with(pr).observe(7)
+		m.ladderAttempts.with(pr).inc()
+	}
+	var first strings.Builder
+	m.writeProm(&first)
+	for i := 0; i < 30; i++ {
+		var again strings.Builder
+		m.writeProm(&again)
+		if again.String() != first.String() {
+			t.Fatalf("scrape %d differs from first scrape:\n--- first\n%s\n--- scrape %d\n%s", i, first.String(), i, again.String())
+		}
+	}
+}
+
 func TestMetricsConcurrent(t *testing.T) {
 	m := newServeMetrics()
 	var wg sync.WaitGroup

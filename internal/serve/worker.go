@@ -270,7 +270,7 @@ func (wk *worker) solveGrid(ctx context.Context, req *Request, e *gridEntry, see
 		if ws, ok := e.sys.(problem.WarmStarter); ok {
 			ws.InitialGuessInto(e.guess)
 		} else {
-			copy(e.guess, e.sys.InitialGuess()) //pdevet:allow noalloc cold fallback: every registry problem implements WarmStarter
+			copy(e.guess, e.sys.InitialGuess())
 		}
 		start = e.guess
 	}

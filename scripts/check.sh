@@ -12,8 +12,8 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== pdevet ./..."
-go run ./cmd/pdevet ./...
+echo "== pdevet -baseline .pdevet-baseline ./..."
+go run ./cmd/pdevet -baseline .pdevet-baseline ./...
 
 echo "== gofmt -l ."
 unformatted=$(gofmt -l .)
