@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint lint-baseline fuzz check bench bench-core serve serve-smoke chaos-smoke cache-smoke bench-serve
+.PHONY: all build test race vet fmt lint lint-baseline fuzz check bench bench-core serve serve-smoke chaos-smoke cache-smoke cluster-smoke bench-serve bench-cluster
 
 all: build
 
@@ -76,6 +76,20 @@ serve-smoke:
 # load, assert zero 5xx and live degradation-ladder counters.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Cluster smoke: boot three pdeserved backends behind a pdegw gateway,
+# drive load through the fleet, SIGKILL the pinned backend mid-run, and
+# assert zero 5xx, a counted failover/eviction, ring re-add on restart,
+# warm per-backend caches, and a clean gateway drain.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
+# Regenerate the committed fleet benchmark (BENCH_cluster.json): gateway
+# throughput with 1, 2 and 3 backends plus the routed/batch counters and
+# per-backend cache hit rates. The scaling assertion is skipped with a
+# NOTICE on single-CPU machines.
+bench-cluster:
+	./scripts/bench_cluster.sh
 
 # Cache smoke: boot pdeserved with the solve cache on, replay identical and
 # near-identical load, assert nonzero cache/warm hits, byte-identical

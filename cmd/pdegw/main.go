@@ -1,0 +1,134 @@
+// Command pdegw runs the fleet gateway (internal/cluster) in front of N
+// pdeserved backends.
+//
+// Usage:
+//
+//	pdegw -backends http://127.0.0.1:18081,http://127.0.0.1:18082 \
+//	      [-addr :8090] [-vnodes 64] [-max-grid N] [-probe-interval D]
+//	      [-probe-timeout D] [-evict-after N] [-backoff-max N]
+//	      [-batch-window D] [-max-batch N] [-drain-timeout D]
+//
+// The gateway serves POST /v1/solve (shape-affine consistent-hash routed,
+// same-shape batched, ring-successor failover), GET /v1/problems (proxied
+// to a healthy backend), GET /healthz (readiness: not draining and at
+// least one healthy backend), GET /livez, GET /metrics (the pdegw_*
+// metrics plane) and GET /cluster (membership snapshot). On
+// SIGINT/SIGTERM the gateway stops admitting work (healthz flips to 503),
+// relays every admitted request to completion, and exits 0; requests
+// still in flight past -drain-timeout are abandoned and the exit code
+// is 1. Backends are never drained by the gateway — kill them directly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hybridpde/internal/cluster"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8090", "gateway listen address")
+		backends      = flag.String("backends", "", "comma-separated pdeserved base URLs (required)")
+		vnodes        = flag.Int("vnodes", 0, "virtual nodes per backend on the ring (0 = default 64)")
+		maxGrid       = flag.Int("max-grid", 12, "largest 2-D grid size a request may ask for (mirror the backends)")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "health probe period")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe round-trip bound")
+		evictAfter    = flag.Int("evict-after", 1, "consecutive failures that evict a backend")
+		backoffMax    = flag.Int("backoff-max", 16, "re-add probe backoff cap, in probe intervals")
+		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "same-shape coalescing window (negative disables batching)")
+		maxBatch      = flag.Int("max-batch", 8, "largest same-shape batch; a full window flushes early")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+
+	urls, err := parseBackends(*backends)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdegw:", err)
+		os.Exit(2)
+	}
+
+	g, err := cluster.New(cluster.Config{
+		Backends:         urls,
+		VNodes:           *vnodes,
+		MaxGridN:         *maxGrid,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		EvictAfter:       *evictAfter,
+		BackoffMaxProbes: *backoffMax,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdegw:", err)
+		os.Exit(2)
+	}
+
+	api := &http.Server{Addr: *addr, Handler: g.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "pdegw: serving on %s, fronting %d backends\n", *addr, len(urls))
+		errc <- api.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "pdegw:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	stop() // a second signal kills the process immediately
+
+	fmt.Fprintln(os.Stderr, "pdegw: draining")
+	g.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := api.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pdegw: shutdown:", err)
+	}
+	drainErr := g.Drain(shutdownCtx)
+	g.Close()
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "pdegw: drain incomplete:", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "pdegw: drained cleanly")
+}
+
+// parseBackends splits and validates the -backends list: non-empty,
+// scheme-prefixed entries with any trailing slash trimmed (the gateway
+// appends paths).
+func parseBackends(s string) ([]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-backends is required (comma-separated pdeserved base URLs)")
+	}
+	parts := strings.Split(s, ",")
+	urls := make([]string, 0, len(parts))
+	for _, p := range parts {
+		u := strings.TrimRight(strings.TrimSpace(p), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("backend %q: need an http:// or https:// base URL", u)
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("-backends is required (comma-separated pdeserved base URLs)")
+	}
+	return urls, nil
+}

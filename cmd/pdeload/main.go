@@ -1,12 +1,21 @@
-// Command pdeload drives open-loop load against a pdeserved instance and
-// reports throughput and latency percentiles.
+// Command pdeload drives open-loop load against a pdeserved instance (or
+// a pdegw gateway, or a whole fleet) and reports throughput and latency
+// percentiles.
 //
 // Usage:
 //
 //	pdeload [-url http://127.0.0.1:8080] [-rate 200] [-duration 10s]
 //	        [-concurrency 64] [-problem burgers-steady] [-n 5] [-analog]
 //	        [-seed-spread 16] [-re 1] [-re-step 0] [-re-count 1]
-//	        [-out BENCH_serve.json]
+//	        [-targets URL1,URL2,...] [-out BENCH_serve.json]
+//
+// -targets replaces -url with a comma-separated list of base URLs:
+// launches round-robin across them and the report adds a per-target
+// request breakdown (sent/2xx/429/4xx/5xx/transport and per-target p50).
+// Point it at several pdeserved backends to compare them side by side, or
+// at a single pdegw to exercise the fleet path — when the first target's
+// /metrics page exposes the pdegw_* plane the report also records the
+// failover/batching counter deltas the run produced.
 //
 // Open-loop means request launch times come from a fixed-rate ticker, not
 // from completions: when the service is saturated the client keeps firing,
@@ -48,6 +57,18 @@ import (
 	"hybridpde/internal/serve"
 	"hybridpde/internal/stats"
 )
+
+// TargetReport is one target's share of a multi-target run.
+type TargetReport struct {
+	URL          string  `json:"url"`
+	Sent         int     `json:"sent"`
+	OK           int     `json:"ok_2xx"`
+	Shed         int     `json:"shed_429"`
+	ClientErr    int     `json:"client_4xx"`
+	ServerErr    int     `json:"server_5xx"`
+	TransportEr  int     `json:"transport_errors"`
+	LatencyP50Ms float64 `json:"latency_p50_ms,omitempty"`
+}
 
 // Report is the machine-readable result, written as JSON to -out.
 type Report struct {
@@ -99,6 +120,17 @@ type Report struct {
 	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
 	MetricsScraped bool    `json:"metrics_scraped,omitempty"`
 
+	// Per-target breakdown of a -targets run.
+	Targets []TargetReport `json:"targets,omitempty"`
+
+	// Gateway counter deltas, recorded when the first target's /metrics
+	// page exposes the pdegw_* plane.
+	GatewayScraped   bool   `json:"gateway_scraped,omitempty"`
+	GatewayFailovers uint64 `json:"gateway_failovers,omitempty"`
+	GatewayBatches   uint64 `json:"gateway_batches,omitempty"`
+	GatewayCoalesced uint64 `json:"gateway_coalesced,omitempty"`
+	GatewayDeduped   uint64 `json:"gateway_deduped,omitempty"`
+
 	Codes map[string]int `json:"codes"`
 }
 
@@ -115,12 +147,27 @@ func main() {
 		reBase     = flag.Float64("re", 1, "base Reynolds number of grid requests")
 		reStep     = flag.Float64("re-step", 0, "Reynolds increment between sweep points (0 = no sweep)")
 		reCount    = flag.Int("re-count", 1, "number of sweep points to cycle through")
+		targetList = flag.String("targets", "", "comma-separated base URLs to round-robin across (overrides -url)")
 		out        = flag.String("out", "", "write the JSON report to this file as well as stdout")
 	)
 	flag.Parse()
 	if *rate <= 0 || *duration <= 0 || *conc <= 0 {
 		fmt.Fprintln(os.Stderr, "pdeload: -rate, -duration and -concurrency must be positive")
 		os.Exit(2)
+	}
+	targets := []string{*url}
+	if *targetList != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*targetList, ",") {
+			if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "pdeload: -targets has no usable URLs")
+			os.Exit(2)
+		}
+		*url = targets[0]
 	}
 	if *reCount < 1 || *reBase <= 0 {
 		fmt.Fprintln(os.Stderr, "pdeload: -re must be positive and -re-count at least 1")
@@ -144,6 +191,7 @@ func main() {
 		first    bool
 		warm     bool
 		iters    int
+		target   int
 		err      error
 	}
 	results := make(chan result, 4096)
@@ -156,6 +204,7 @@ func main() {
 		Codes: map[string]int{},
 	}
 	before, scraped := scrapeCacheCounters(client, *url)
+	gwBefore, gwScraped := scrapeGatewayCounters(client, targets[0])
 
 	var wg sync.WaitGroup
 	interval := time.Duration(float64(time.Second) / *rate)
@@ -191,15 +240,16 @@ launch:
 		id := identity{seed, re}
 		first := !seen[id]
 		seen[id] = true
+		target := int(i % int64(len(targets)))
 		wg.Add(1)
-		go func(seed int64, re float64, first bool) {
+		go func(seed int64, re float64, first bool, target int) {
 			defer wg.Done()
 			defer func() { <-slots }()
 			start := time.Now()
-			hr, err := client.Post(*url+"/v1/solve", "application/json",
+			hr, err := client.Post(targets[target]+"/v1/solve", "application/json",
 				bytes.NewReader(body(seed, re)))
 			if err != nil {
-				results <- result{err: err}
+				results <- result{err: err, target: target}
 				return
 			}
 			degraded, warm, iters := false, false, 0
@@ -217,27 +267,37 @@ launch:
 			io.Copy(io.Discard, hr.Body)
 			hr.Body.Close()
 			results <- result{code: hr.StatusCode, seconds: time.Since(start).Seconds(),
-				degraded: degraded, first: first, warm: warm, iters: iters}
-		}(seed, re, first)
+				degraded: degraded, first: first, warm: warm, iters: iters, target: target}
+		}(seed, re, first, target)
 	}
 	ticker.Stop()
 	go func() { wg.Wait(); close(results) }()
 
 	var latencies, cold, repeat []float64
 	var coldIters, warmIters, coldN, warmN int
+	perTarget := make([]TargetReport, len(targets))
+	perTargetLat := make([][]float64, len(targets))
+	for i, u := range targets {
+		perTarget[i].URL = u
+	}
 	for r := range results {
+		tr := &perTarget[r.target]
+		tr.Sent++
 		if r.err != nil {
 			rep.TransportEr++
+			tr.TransportEr++
 			continue
 		}
 		rep.Codes[fmt.Sprintf("%d", r.code)]++
 		switch {
 		case r.code >= 200 && r.code < 300:
 			rep.OK++
+			tr.OK++
 			if r.degraded {
 				rep.Degraded++
 			}
 			latencies = append(latencies, r.seconds)
+			perTargetLat[r.target] = append(perTargetLat[r.target], r.seconds)
 			if r.first {
 				cold = append(cold, r.seconds)
 			} else {
@@ -255,10 +315,13 @@ launch:
 			}
 		case r.code == http.StatusTooManyRequests:
 			rep.Shed++
+			tr.Shed++
 		case r.code >= 400 && r.code < 500:
 			rep.ClientErr++
+			tr.ClientErr++
 		default:
 			rep.ServerErr++
+			tr.ServerErr++
 		}
 	}
 	elapsed := time.Since(begin).Seconds()
@@ -285,6 +348,21 @@ launch:
 	}
 	if warmN > 0 {
 		rep.WarmMeanIters = float64(warmIters) / float64(warmN)
+	}
+	if len(targets) > 1 || *targetList != "" {
+		for i := range perTarget {
+			if lat := perTargetLat[i]; len(lat) > 0 {
+				perTarget[i].LatencyP50Ms = 1000 * stats.Percentile(lat, 50)
+			}
+		}
+		rep.Targets = perTarget
+	}
+	if gwAfter, ok := scrapeGatewayCounters(client, targets[0]); ok && gwScraped {
+		rep.GatewayScraped = true
+		rep.GatewayFailovers = gwAfter.failovers - gwBefore.failovers
+		rep.GatewayBatches = gwAfter.batches - gwBefore.batches
+		rep.GatewayCoalesced = gwAfter.coalesced - gwBefore.coalesced
+		rep.GatewayDeduped = gwAfter.deduped - gwBefore.deduped
 	}
 	if after, ok := scrapeCacheCounters(client, *url); ok && scraped {
 		rep.MetricsScraped = true
@@ -322,6 +400,14 @@ launch:
 	}
 	fmt.Fprintf(os.Stderr, "pdeload: status breakdown: 2xx=%d (degraded=%d) 429=%d other-4xx=%d 5xx=%d transport=%d local-drops=%d\n",
 		rep.OK, rep.Degraded, rep.Shed, rep.ClientErr, rep.ServerErr, rep.TransportEr, rep.LocalDrops)
+	for _, tr := range rep.Targets {
+		fmt.Fprintf(os.Stderr, "pdeload: target %s: sent=%d 2xx=%d 429=%d 4xx=%d 5xx=%d transport=%d p50=%.2fms\n",
+			tr.URL, tr.Sent, tr.OK, tr.Shed, tr.ClientErr, tr.ServerErr, tr.TransportEr, tr.LatencyP50Ms)
+	}
+	if rep.GatewayScraped {
+		fmt.Fprintf(os.Stderr, "pdeload: gateway: failovers=%d batches=%d coalesced=%d deduped=%d\n",
+			rep.GatewayFailovers, rep.GatewayBatches, rep.GatewayCoalesced, rep.GatewayDeduped)
+	}
 	if rep.MetricsScraped {
 		fmt.Fprintf(os.Stderr, "pdeload: cache: hits=%d warm=%d misses=%d hit-rate=%.1f%%; latency p50 cold=%.2fms repeat=%.2fms\n",
 			rep.CacheHits, rep.CacheWarmHits, rep.CacheMisses, 100*rep.CacheHitRate,
@@ -372,6 +458,53 @@ func scrapeCacheCounters(client *http.Client, url string) (cacheCounters, bool) 
 		}
 	}
 	return c, sc.Err() == nil
+}
+
+// gatewayCounters is the subset of a pdegw /metrics page pdeload
+// understands.
+type gatewayCounters struct {
+	failovers, batches, coalesced, deduped uint64
+}
+
+// scrapeGatewayCounters reads the pdegw_* counters from a target's
+// /metrics page; ok=false when the endpoint is unreachable or the page
+// exposes no pdegw_ plane at all (a plain pdeserved backend).
+func scrapeGatewayCounters(client *http.Client, url string) (gatewayCounters, bool) {
+	var c gatewayCounters
+	hr, err := client.Get(url + "/metrics")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		if hr != nil {
+			io.Copy(io.Discard, hr.Body)
+			hr.Body.Close()
+		}
+		return c, false
+	}
+	defer hr.Body.Close()
+	isGateway := false
+	sc := bufio.NewScanner(hr.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "pdegw_") {
+			isGateway = true
+		}
+		for _, f := range []struct {
+			prefix string
+			dst    *uint64
+		}{
+			{"pdegw_failovers_total ", &c.failovers},
+			{"pdegw_batches_total ", &c.batches},
+			{"pdegw_batch_coalesced_total ", &c.coalesced},
+			{"pdegw_batch_deduped_total ", &c.deduped},
+		} {
+			if v, ok := strings.CutPrefix(line, f.prefix); ok {
+				n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+				if err == nil {
+					*f.dst = n
+				}
+			}
+		}
+	}
+	return c, isGateway && sc.Err() == nil
 }
 
 // mean is the arithmetic mean of a non-empty sample.

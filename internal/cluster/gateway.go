@@ -1,0 +1,532 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hybridpde/internal/cache"
+	"hybridpde/internal/serve"
+)
+
+// Config tunes the gateway. The zero value plus a backend list is usable:
+// every other field has a production-shaped default.
+type Config struct {
+	// Backends is the fixed fleet of pdeserved base URLs the ring is
+	// built over (e.g. http://127.0.0.1:18080). Required, non-empty.
+	Backends []string
+	// VNodes is the virtual-node count per backend. Default
+	// DefaultVNodes (64).
+	VNodes int
+	// MaxGridN mirrors the backends' grid cap so the gateway normalizes
+	// requests over the same identity the backends cache under.
+	// Default 12.
+	MaxGridN int
+	// MaxBodyBytes bounds the request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// ProbeInterval is the health-probe period. Default 500ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip. Default 1s.
+	ProbeTimeout time.Duration
+	// EvictAfter is how many consecutive failures (probe or dispatch)
+	// evict a healthy backend. Default 1: the first failure does —
+	// failover retries make eviction cheap and re-adds are probed.
+	EvictAfter int
+	// BackoffMaxProbes caps the eviction re-probe backoff, measured in
+	// probe intervals (the backoff doubles 1, 2, 4, ... per failed
+	// re-add). Default 16.
+	BackoffMaxProbes int
+	// BatchWindow is how long the first request of a shape holds its
+	// batch window open. Default 2ms; negative disables batching.
+	BatchWindow time.Duration
+	// MaxBatch bounds a window's size; a full window flushes
+	// immediately. Default 8.
+	MaxBatch int
+	// FailoverAttempts bounds how many distinct backends one request may
+	// try. Default: every ring member.
+	FailoverAttempts int
+	// Client is the upstream HTTP client. Default: a dedicated client
+	// with keep-alive (so a flushed batch rides one connection) and no
+	// overall timeout — per-request contexts bound each call.
+	Client *http.Client
+}
+
+func (c *Config) defaults() {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.MaxGridN <= 0 {
+		c.MaxGridN = 12
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 1
+	}
+	if c.BackoffMaxProbes <= 0 {
+		c.BackoffMaxProbes = 16
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.FailoverAttempts <= 0 {
+		c.FailoverAttempts = len(c.Backends)
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+}
+
+// Gateway fronts a fleet of pdeserved backends: shape-affine consistent-
+// hash routing, health-checked membership, same-shape batching, and its
+// own metrics plane. Create with New, expose via Handler, stop with
+// Close (or BeginDrain + Drain + Close for graceful shutdown).
+type Gateway struct {
+	cfg    Config
+	ring   *Ring
+	ms     *membership
+	m      *gwMetrics
+	client *http.Client
+	b      *batcher
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	stopProbe context.CancelFunc
+	probeDone chan struct{}
+}
+
+// New builds the gateway and starts its health prober. The prober runs
+// until Close.
+func New(cfg Config) (*Gateway, error) {
+	cfg.defaults()
+	ring, err := NewRing(cfg.Backends, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		ring:      ring,
+		ms:        newMembership(ring.Members(), cfg.EvictAfter, cfg.BackoffMaxProbes),
+		m:         newGwMetrics(),
+		client:    cfg.Client,
+		probeDone: make(chan struct{}),
+	}
+	g.b = newBatcher(cfg.BatchWindow, cfg.MaxBatch, g.m)
+	g.m.ringMembers.Set(int64(ring.Len()))
+	g.m.healthyBackends.Set(int64(ring.Len()))
+	ctx, cancel := context.WithCancel(context.Background())
+	g.stopProbe = cancel
+	go g.probeLoop(ctx)
+	return g, nil
+}
+
+// Close stops the health prober. Call after Drain on graceful shutdown.
+func (g *Gateway) Close() {
+	g.stopProbe()
+	<-g.probeDone
+}
+
+// Handler returns the gateway mux: POST /v1/solve, GET /v1/problems
+// (proxied), GET /healthz (readiness), GET /livez (liveness),
+// GET /metrics, GET /cluster (membership snapshot).
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", g.handleSolve)
+	mux.HandleFunc("GET /v1/problems", g.handleProblems)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /livez", g.handleLivez)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /cluster", g.handleCluster)
+	return mux
+}
+
+// BeginDrain closes the admission gate: new requests get 503 while
+// requests already inside keep their upstream calls. Safe to call
+// repeatedly.
+func (g *Gateway) BeginDrain() {
+	g.drainMu.Lock()
+	defer g.drainMu.Unlock()
+	if !g.draining {
+		g.draining = true
+		g.m.draining.Set(1)
+	}
+}
+
+// Drain blocks until every admitted request has completed or ctx expires.
+func (g *Gateway) Drain(ctx context.Context) error {
+	g.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		g.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *Gateway) isDraining() bool {
+	g.drainMu.Lock()
+	defer g.drainMu.Unlock()
+	return g.draining
+}
+
+// admit mirrors serve.Server.admit's Add-before-flag ordering so Drain's
+// Wait cannot miss an admitted request.
+func (g *Gateway) admit() (release func(), ok bool) {
+	g.drainMu.Lock()
+	if g.draining {
+		g.drainMu.Unlock()
+		return nil, false
+	}
+	g.inflight.Add(1)
+	g.drainMu.Unlock()
+	g.m.inflight.Inc()
+	return func() {
+		g.m.inflight.Dec()
+		g.inflight.Done()
+	}, true
+}
+
+// probeLoop drives the membership state machine: an immediate sweep so
+// the gateway knows its fleet before the first request, then one sweep
+// per probe interval until ctx is cancelled (Close).
+func (g *Gateway) probeLoop(ctx context.Context) {
+	defer close(g.probeDone)
+	g.probeSweep(ctx)
+	ticker := time.NewTicker(g.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			g.probeSweep(ctx)
+		}
+	}
+}
+
+// probeSweep probes every due member once and refreshes the health gauge.
+func (g *Gateway) probeSweep(ctx context.Context) {
+	for _, url := range g.ring.Members() {
+		if !g.ms.dueForProbe(url) {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+		ready := probeBackend(pctx, g.client, url)
+		if ready {
+			if g.ms.markSuccess(url) {
+				g.m.readds.Inc()
+			}
+			if st, ok := scrapeBackend(pctx, g.client, url); ok {
+				g.ms.setStats(url, st)
+				g.m.backendDegraded.With(url).Set(int64(st.DegradedTotal))
+				g.m.backendCacheHits.With(url).Set(int64(st.CacheHits))
+				g.m.backendCacheWarm.With(url).Set(int64(st.CacheWarmHits))
+				g.m.backendCacheMiss.With(url).Set(int64(st.CacheMisses))
+			}
+		} else if g.ms.markFailure(url) {
+			g.m.evictions.Inc()
+		}
+		cancel()
+	}
+	g.m.healthyBackends.Set(int64(g.ms.healthyCount()))
+}
+
+// handleSolve is POST /v1/solve: decode → normalize (same rules as the
+// backends) → shape-route through the batcher → failover-dispatch →
+// relay the backend's response verbatim.
+func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if g.isDraining() {
+		g.rejectJSON(w, http.StatusServiceUnavailable, "gateway is draining")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		g.rejectJSON(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return
+	}
+	var req serve.Request
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		g.rejectJSON(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if err := serve.Normalize(&req, g.cfg.MaxGridN); err != nil {
+		g.rejectJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	var kb cache.KeyBuilder
+	shape := serve.ShapeKey(&req, &kb)
+	identity := shape
+	if serve.CacheableKind(req.Problem) {
+		identity = serve.SolveKey(&req, &kb)
+	}
+
+	release, ok := g.admit()
+	if !ok {
+		g.rejectJSON(w, http.StatusServiceUnavailable, "gateway is draining")
+		return
+	}
+	defer release()
+
+	res := g.b.submit(r.Context(), shape, identity, body, g.dispatch)
+	code := resultStatus(res)
+	g.m.requests.With(strconv.Itoa(code)).Inc()
+	if res.err != nil {
+		g.writeJSONBody(w, code, errorBody("upstream dispatch failed: "+res.err.Error()))
+		return
+	}
+	if res.retryAfter != "" {
+		w.Header().Set("Retry-After", res.retryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	w.Write(res.body)
+}
+
+// dispatch ships one request to the shape's pinned backend, walking the
+// ring's successor order when backends are evicted or fail mid-request.
+// Healthy candidates are tried first in ring order; if every healthy
+// candidate fails (or none exists), the remaining members are tried
+// anyway — probe state is advisory, the request is the ground truth.
+func (g *Gateway) dispatch(ctx context.Context, shape cache.Key, body []byte) dispatchResult {
+	order := g.ring.Successors(shape)
+	candidates := make([]string, 0, len(order))
+	for _, url := range order {
+		if g.ms.healthy(url) {
+			candidates = append(candidates, url)
+		}
+	}
+	for _, url := range order {
+		if !g.ms.healthy(url) {
+			candidates = append(candidates, url)
+		}
+	}
+	if len(candidates) > g.cfg.FailoverAttempts {
+		candidates = candidates[:g.cfg.FailoverAttempts]
+	}
+
+	var last dispatchResult
+	last.err = errors.New("no backend available")
+	for i, url := range candidates {
+		if i > 0 {
+			g.m.failovers.Inc()
+		}
+		res, transient := g.forward(ctx, url, body)
+		if !transient {
+			if g.ms.markSuccess(url) {
+				g.m.readds.Inc()
+			}
+			return res
+		}
+		// Transport error or failover-class status: mark the backend and
+		// walk on, unless the request itself is out of time.
+		if g.ms.markFailure(url) {
+			g.m.evictions.Inc()
+			g.m.healthyBackends.Set(int64(g.ms.healthyCount()))
+		}
+		last = res
+		if ctx.Err() != nil {
+			return dispatchResult{err: ctx.Err()}
+		}
+	}
+	return last
+}
+
+// forward performs one upstream solve call. transient=true means the
+// failure class is worth a failover (transport error, 500/502/503);
+// anything else — including 429 backpressure and 504 deadline expiry —
+// is relayed to the client as-is.
+func (g *Gateway) forward(ctx context.Context, url string, body []byte) (res dispatchResult, transient bool) {
+	g.m.backendRouted.With(url).Inc()
+	g.m.backendInflight.With(url).Inc()
+	defer g.m.backendInflight.With(url).Dec()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return dispatchResult{err: err}, true
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.m.backendFailures.With(url).Inc()
+		if ctx.Err() != nil {
+			// The client's deadline, not the backend's failure.
+			return dispatchResult{err: ctx.Err()}, false
+		}
+		return dispatchResult{err: err}, true
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		g.m.backendFailures.With(url).Inc()
+		return dispatchResult{err: err}, true
+	}
+	g.m.backendRequests.With(url, strconv.Itoa(resp.StatusCode)).Inc()
+	res = dispatchResult{
+		status:     resp.StatusCode,
+		body:       payload,
+		retryAfter: resp.Header.Get("Retry-After"),
+		backend:    url,
+	}
+	switch resp.StatusCode {
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable:
+		g.m.backendFailures.With(url).Inc()
+		return res, true
+	}
+	return res, false
+}
+
+// handleProblems proxies GET /v1/problems to the first healthy backend in
+// member order (the registry is identical fleet-wide by construction).
+func (g *Gateway) handleProblems(w http.ResponseWriter, r *http.Request) {
+	for _, url := range g.ring.Members() {
+		if !g.ms.healthy(url) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url+"/v1/problems", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			continue
+		}
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(payload)
+		return
+	}
+	g.rejectJSON(w, http.StatusBadGateway, "no healthy backend")
+}
+
+// handleHealthz is the gateway's readiness probe: ready while not
+// draining and at least one backend is healthy.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case g.isDraining():
+		g.writeJSONBody(w, http.StatusServiceUnavailable, serve.Health{Ready: false, Reason: "draining"})
+	case g.ms.healthyCount() == 0:
+		g.writeJSONBody(w, http.StatusServiceUnavailable, serve.Health{Ready: false, Reason: "no healthy backend"})
+	default:
+		g.writeJSONBody(w, http.StatusOK, serve.Health{Ready: true})
+	}
+}
+
+// handleLivez is the gateway's liveness probe.
+func (g *Gateway) handleLivez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics is GET /metrics: the gateway's own Prometheus page. The
+// health gauge is recomputed at scrape time so it never lags the
+// membership state machine between probe sweeps.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	g.m.healthyBackends.Set(int64(g.ms.healthyCount()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.m.writeProm(w)
+}
+
+// ClusterMember is one backend's row in the GET /cluster snapshot.
+type ClusterMember struct {
+	URL       string       `json:"url"`
+	State     string       `json:"state"`
+	Evictions uint64       `json:"evictions"`
+	Readds    uint64       `json:"readds"`
+	Stats     BackendStats `json:"stats"`
+}
+
+// ClusterSnapshot is the GET /cluster body: the gateway's current view of
+// its fleet.
+type ClusterSnapshot struct {
+	RingMembers int             `json:"ring_members"`
+	VNodes      int             `json:"vnodes_per_member"`
+	Healthy     int             `json:"healthy"`
+	Draining    bool            `json:"draining"`
+	Members     []ClusterMember `json:"members"`
+}
+
+// handleCluster is GET /cluster: a JSON snapshot of membership state, in
+// sorted member order (deterministic bodies; smoke scripts grep them).
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	snap := ClusterSnapshot{
+		RingMembers: g.ring.Len(),
+		VNodes:      g.cfg.VNodes,
+		Healthy:     g.ms.healthyCount(),
+		Draining:    g.isDraining(),
+	}
+	for _, url := range g.ring.Members() {
+		m, ok := g.ms.snapshot(url)
+		if !ok {
+			continue
+		}
+		snap.Members = append(snap.Members, ClusterMember{
+			URL:       m.url,
+			State:     m.state.String(),
+			Evictions: m.evictions,
+			Readds:    m.readds,
+			Stats:     m.stats,
+		})
+	}
+	g.writeJSONBody(w, http.StatusOK, snap)
+}
+
+// errorBody renders the error-only JSON body the gateway originates
+// itself (backend bodies are relayed verbatim).
+type errorBody string
+
+// MarshalJSON renders {"error": "..."} so gateway-originated failures
+// look like backend rejections to clients.
+func (e errorBody) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: string(e)})
+}
+
+// rejectJSON counts and encodes a gateway-originated rejection.
+func (g *Gateway) rejectJSON(w http.ResponseWriter, code int, msg string) {
+	g.m.requests.With(strconv.Itoa(code)).Inc()
+	g.writeJSONBody(w, code, errorBody(msg))
+}
+
+func (g *Gateway) writeJSONBody(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	// The status line is committed before encoding; a failure here only
+	// means the client hung up.
+	json.NewEncoder(w).Encode(v)
+}

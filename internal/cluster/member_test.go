@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestMembershipEvictAndReadd(t *testing.T) {
+	ms := newMembership([]string{"a", "b"}, 2, 8)
+
+	if !ms.healthy("a") || ms.healthyCount() != 2 {
+		t.Fatal("members not healthy at start")
+	}
+	if ms.markFailure("a") {
+		t.Fatal("first failure evicted with threshold 2")
+	}
+	if !ms.healthy("a") {
+		t.Fatal("member evicted below threshold")
+	}
+	if !ms.markFailure("a") {
+		t.Fatal("second failure did not evict")
+	}
+	if ms.healthy("a") || ms.healthyCount() != 1 {
+		t.Fatal("eviction not reflected")
+	}
+	// Repeated failures of an evicted member are no-ops.
+	if ms.markFailure("a") {
+		t.Fatal("evicted member evicted again")
+	}
+	if !ms.markSuccess("a") {
+		t.Fatal("successful probe did not re-add")
+	}
+	if !ms.healthy("a") || ms.healthyCount() != 2 {
+		t.Fatal("re-add not reflected")
+	}
+	// A success on an already-healthy member is not a re-add.
+	if ms.markSuccess("a") {
+		t.Fatal("healthy member re-added")
+	}
+	m, ok := ms.snapshot("a")
+	if !ok || m.evictions != 1 || m.readds != 1 {
+		t.Fatalf("snapshot counters = %+v", m)
+	}
+}
+
+func TestMembershipSuccessResetsFailureStreak(t *testing.T) {
+	ms := newMembership([]string{"a"}, 3, 8)
+	ms.markFailure("a")
+	ms.markFailure("a")
+	ms.markSuccess("a")
+	if ms.markFailure("a") || ms.markFailure("a") {
+		t.Fatal("streak not reset by success")
+	}
+	if !ms.markFailure("a") {
+		t.Fatal("third consecutive failure did not evict")
+	}
+}
+
+// TestMembershipProbeBackoff: healthy members are probed every tick;
+// evicted members on a doubling, capped countdown that resets on re-add.
+func TestMembershipProbeBackoff(t *testing.T) {
+	ms := newMembership([]string{"a"}, 1, 4)
+	for i := 0; i < 3; i++ {
+		if !ms.dueForProbe("a") {
+			t.Fatal("healthy member skipped a probe tick")
+		}
+	}
+	ms.markFailure("a")
+
+	// Eviction arms a 1-tick wait; each failed re-add doubles the next
+	// wait up to the cap of 4.
+	gaps := []int{1, 2, 4, 4}
+	for _, want := range gaps {
+		got := 0
+		for !ms.dueForProbe("a") {
+			got++
+			if got > 16 {
+				t.Fatal("probe never came due")
+			}
+		}
+		if got != want {
+			t.Fatalf("waited %d ticks before probe, want %d", got, want)
+		}
+		// Probe "fails": state stays evicted, backoff doubles.
+	}
+
+	ms.markSuccess("a")
+	if !ms.dueForProbe("a") {
+		t.Fatal("re-added member skipped a probe tick")
+	}
+	// Backoff reset: next eviction starts at a 1-tick wait again.
+	ms.markFailure("a")
+	if ms.dueForProbe("a") {
+		t.Fatal("probe due immediately after eviction")
+	}
+	if !ms.dueForProbe("a") {
+		t.Fatal("backoff did not reset to 1 tick after re-add")
+	}
+}
+
+func TestMembershipUnknownMember(t *testing.T) {
+	ms := newMembership([]string{"a"}, 1, 8)
+	if ms.healthy("zz") || ms.markFailure("zz") || ms.markSuccess("zz") || ms.dueForProbe("zz") {
+		t.Fatal("unknown member treated as tracked")
+	}
+	if _, ok := ms.snapshot("zz"); ok {
+		t.Fatal("snapshot invented a member")
+	}
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"io"
+
+	"hybridpde/internal/promtext"
+)
+
+// gwMetrics is the gateway's fixed metric set, rendered in the same
+// Prometheus text exposition the backends use (internal/promtext) so one
+// scraper walks the whole fleet.
+type gwMetrics struct {
+	requests        *promtext.CounterVec // labels: code — gateway-level final status
+	backendRouted   *promtext.CounterVec // labels: backend — upstream requests sent
+	backendRequests *promtext.CounterVec // labels: backend, code — upstream responses
+	backendFailures *promtext.CounterVec // labels: backend — transport errors + failover-class statuses
+	backendInflight *promtext.GaugeVec   // labels: backend — upstream requests in flight
+	failovers       promtext.Counter     // requests retried on a ring successor
+	evictions       promtext.Counter     // membership healthy→evicted transitions
+	readds          promtext.Counter     // membership evicted→healthy transitions
+	ringMembers     promtext.Gauge       // configured ring size
+	healthyBackends promtext.Gauge       // members currently receiving traffic
+	draining        promtext.Gauge       // 1 while the gateway refuses new work
+	inflight        promtext.Gauge       // requests inside the gateway
+
+	// Batching plane.
+	batches      promtext.Counter    // windows flushed (or direct dispatches)
+	batchSize    *promtext.Histogram // requests per flushed window
+	coalesced    promtext.Counter    // requests that joined an existing window
+	batchDeduped promtext.Counter    // requests served by another identical upstream call
+
+	// Probe-scraped backend degradation signal (snapshots of remote
+	// counters, hence gauges).
+	backendDegraded  *promtext.GaugeVec // labels: backend
+	backendCacheHits *promtext.GaugeVec // labels: backend
+	backendCacheWarm *promtext.GaugeVec // labels: backend
+	backendCacheMiss *promtext.GaugeVec // labels: backend
+}
+
+func newGwMetrics() *gwMetrics {
+	return &gwMetrics{
+		requests:        promtext.NewCounterVec("code"),
+		backendRouted:   promtext.NewCounterVec("backend"),
+		backendRequests: promtext.NewCounterVec("backend", "code"),
+		backendFailures: promtext.NewCounterVec("backend"),
+		backendInflight: promtext.NewGaugeVec("backend"),
+		// Window sizes are small by design; 1 means batching bought nothing.
+		batchSize:        promtext.NewHistogram(1, 2, 4, 8, 16, 32),
+		backendDegraded:  promtext.NewGaugeVec("backend"),
+		backendCacheHits: promtext.NewGaugeVec("backend"),
+		backendCacheWarm: promtext.NewGaugeVec("backend"),
+		backendCacheMiss: promtext.NewGaugeVec("backend"),
+	}
+}
+
+// writeProm renders the exposition page. Families appear in a fixed order
+// and labelled children in sorted order, so scrapes are deterministic.
+func (m *gwMetrics) writeProm(w io.Writer) {
+	promtext.WriteCounterVec(w, "pdegw_requests_total", "Gateway requests by final HTTP status code.", m.requests)
+	promtext.WriteCounterVec(w, "pdegw_backend_routed_total", "Upstream solve requests sent, by backend.", m.backendRouted)
+	promtext.WriteCounterVec(w, "pdegw_backend_requests_total", "Upstream responses received, by backend and HTTP status code.", m.backendRequests)
+	promtext.WriteCounterVec(w, "pdegw_backend_failures_total", "Upstream transport errors and failover-class statuses, by backend.", m.backendFailures)
+	promtext.WriteGaugeVec(w, "pdegw_backend_inflight", "Upstream requests currently in flight, by backend.", m.backendInflight)
+	promtext.WriteCounter(w, "pdegw_failovers_total", "Requests retried on the next ring successor after a backend failure.", &m.failovers)
+	promtext.WriteCounter(w, "pdegw_evictions_total", "Membership transitions from healthy to evicted.", &m.evictions)
+	promtext.WriteCounter(w, "pdegw_readds_total", "Membership transitions from evicted back to healthy.", &m.readds)
+	promtext.WriteGauge(w, "pdegw_ring_members", "Configured consistent-hash ring size (virtual nodes excluded).", &m.ringMembers)
+	promtext.WriteGauge(w, "pdegw_healthy_backends", "Backends currently receiving routed traffic.", &m.healthyBackends)
+	promtext.WriteGauge(w, "pdegw_draining", "1 while the gateway is draining and refusing new work.", &m.draining)
+	promtext.WriteGauge(w, "pdegw_inflight_requests", "Requests currently inside the gateway.", &m.inflight)
+	promtext.WriteCounter(w, "pdegw_batches_total", "Same-shape windows flushed (a direct dispatch counts as a window of one).", &m.batches)
+	promtext.WriteHistogram(w, "pdegw_batch_size", "Requests per flushed same-shape window.", m.batchSize)
+	promtext.WriteCounter(w, "pdegw_batch_coalesced_total", "Requests that joined an already-open same-shape window.", &m.coalesced)
+	promtext.WriteCounter(w, "pdegw_batch_deduped_total", "Requests served by another identical in-batch upstream call.", &m.batchDeduped)
+	promtext.WriteGaugeVec(w, "pdegw_backend_degraded", "Backend pdeserve_degraded_total, as last scraped by the health prober.", m.backendDegraded)
+	promtext.WriteGaugeVec(w, "pdegw_backend_cache_hits", "Backend pdeserve_cache_hits_total, as last scraped by the health prober.", m.backendCacheHits)
+	promtext.WriteGaugeVec(w, "pdegw_backend_cache_warm_hits", "Backend pdeserve_cache_warm_hits_total, as last scraped by the health prober.", m.backendCacheWarm)
+	promtext.WriteGaugeVec(w, "pdegw_backend_cache_misses", "Backend pdeserve_cache_misses_total, as last scraped by the health prober.", m.backendCacheMiss)
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"hybridpde/internal/cache"
+)
+
+// corpusKeys builds a deterministic shape-key corpus: n distinct
+// content-address digests, the same in every process.
+func corpusKeys(n int) []cache.Key {
+	keys := make([]cache.Key, n)
+	var kb cache.KeyBuilder
+	for i := range keys {
+		kb.Reset()
+		kb.Str(1, "shape-corpus")
+		kb.I64(2, int64(i))
+		keys[i] = kb.Sum()
+	}
+	return keys
+}
+
+func testMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("http://backend-%d:8080", i)
+	}
+	return m
+}
+
+func TestRingRejectsBadMemberSets(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+// TestRingAssignDeterministicAcrossOrderings: rings built from the same
+// member set, presented in any order, assign every key identically.
+func TestRingAssignDeterministicAcrossOrderings(t *testing.T) {
+	members := testMembers(5)
+	keys := corpusKeys(500)
+
+	base, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed and rotated presentations of the same set.
+	reversed := make([]string, len(members))
+	for i, m := range members {
+		reversed[len(members)-1-i] = m
+	}
+	rotated := append(append([]string(nil), members[2:]...), members[:2]...)
+
+	for _, perm := range [][]string{reversed, rotated} {
+		r, err := NewRing(perm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if got, want := r.Assign(k), base.Assign(k); got != want {
+				t.Fatalf("assignment differs across member orderings: %s vs %s", got, want)
+			}
+		}
+	}
+}
+
+// TestRingAssignGolden pins the full corpus assignment to a digest, so a
+// ring built in any process, on any GOMAXPROCS, provably produces
+// byte-identical assignments. If this test fails, the routing function
+// changed and every deployed gateway must be updated in lockstep.
+func TestRingAssignGolden(t *testing.T) {
+	r, err := NewRing(testMembers(3), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	for _, k := range corpusKeys(1000) {
+		h.Write([]byte(r.Assign(k)))
+		h.Write([]byte{'\n'})
+	}
+	const want = "b13cf05b1b266864486fe3038442494e7a362f083b9801547a6c7f129ee8df10"
+	if got := hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Fatalf("assignment digest = %s, want %s", got, want)
+	}
+}
+
+// TestRingSuccessorsCoverAllMembers: the failover order starts at the
+// owner and visits every member exactly once.
+func TestRingSuccessorsCoverAllMembers(t *testing.T) {
+	r, err := NewRing(testMembers(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range corpusKeys(64) {
+		succ := r.Successors(k)
+		if len(succ) != r.Len() {
+			t.Fatalf("successors = %d members, want %d", len(succ), r.Len())
+		}
+		if succ[0] != r.Assign(k) {
+			t.Fatalf("successors[0] = %s, want owner %s", succ[0], r.Assign(k))
+		}
+		seen := make(map[string]bool, len(succ))
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("member %s repeated in successor order", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingBoundedRedistribution: removing one member of N moves exactly
+// the removed member's keys — everything else keeps its owner — and the
+// moved fraction stays near the ideal 1/N.
+func TestRingBoundedRedistribution(t *testing.T) {
+	const n = 5
+	members := testMembers(n)
+	keys := corpusKeys(4000)
+
+	full, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := members[2]
+	rest := append(append([]string(nil), members[:2]...), members[3:]...)
+	small, err := NewRing(rest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	moved := 0
+	for _, k := range keys {
+		before, after := full.Assign(k), small.Assign(k)
+		if before != removed {
+			if after != before {
+				t.Fatalf("key not owned by removed member moved: %s -> %s", before, after)
+			}
+			continue
+		}
+		moved++
+		if after == removed {
+			t.Fatalf("removed member still assigned")
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	ideal := 1.0 / float64(n)
+	const eps = 0.08
+	if frac > ideal+eps {
+		t.Fatalf("redistribution moved %.3f of corpus, want <= %.3f + %.3f", frac, ideal, eps)
+	}
+	if frac == 0 {
+		t.Fatal("removed member owned no keys; corpus or vnode count degenerate")
+	}
+}
+
+// TestRingVNodesSpreadLoad: with default vnodes no member owns a wildly
+// disproportionate share of a large corpus.
+func TestRingVNodesSpreadLoad(t *testing.T) {
+	const n = 3
+	r, err := NewRing(testMembers(n), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int, n)
+	keys := corpusKeys(3000)
+	for _, k := range keys {
+		counts[r.Assign(k)]++
+	}
+	ideal := float64(len(keys)) / float64(n)
+	for _, m := range r.Members() {
+		share := float64(counts[m])
+		if share < ideal*0.5 || share > ideal*1.5 {
+			t.Fatalf("member %s owns %d of %d keys; want within 50%% of ideal %.0f", m, counts[m], len(keys), ideal)
+		}
+	}
+}

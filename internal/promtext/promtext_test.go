@@ -1,0 +1,145 @@
+package promtext
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	WriteHistogram(&sb, "x", "help", h)
+	out := sb.String()
+	for _, want := range []string{
+		`x_bucket{le="1"} 1`,
+		`x_bucket{le="2"} 3`,
+		`x_bucket{le="4"} 4`,
+		`x_bucket{le="+Inf"} 5`,
+		`x_sum 106.5`,
+		`x_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1) // le="1" is inclusive, Prometheus semantics
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts[0] != 1 {
+		t.Fatalf("observation at bound landed in counts %v, want first bucket", h.counts)
+	}
+}
+
+func TestCounterVecRenderSorted(t *testing.T) {
+	v := NewCounterVec("problem", "code")
+	v.With("netlist", "422").Inc()
+	v.With("burgers2d", "200").Inc()
+	v.With("burgers2d", "200").Inc()
+	var sb strings.Builder
+	WriteCounterVec(&sb, "x_total", "help", v)
+	out := sb.String()
+	i := strings.Index(out, `x_total{problem="burgers2d",code="200"} 2`)
+	j := strings.Index(out, `x_total{problem="netlist",code="422"} 1`)
+	if i < 0 || j < 0 {
+		t.Fatalf("labelled children missing:\n%s", out)
+	}
+	if i > j {
+		t.Fatal("labelled children not rendered in sorted order")
+	}
+}
+
+func TestGaugeVecRenderSorted(t *testing.T) {
+	v := NewGaugeVec("backend")
+	v.With("b").Set(2)
+	v.With("a").Set(1)
+	var sb strings.Builder
+	WriteGaugeVec(&sb, "x", "help", v)
+	out := sb.String()
+	i := strings.Index(out, `x{backend="a"} 1`)
+	j := strings.Index(out, `x{backend="b"} 2`)
+	if i < 0 || j < 0 || i > j {
+		t.Fatalf("gauge children missing or unsorted:\n%s", out)
+	}
+}
+
+// TestScrapeByteIdentical pins the render-determinism contract: with
+// enough labelled children that Go's per-iteration map order randomization
+// would show through an unsorted render, repeated scrapes of unchanged
+// state must be byte-identical.
+func TestScrapeByteIdentical(t *testing.T) {
+	cv := NewCounterVec("problem", "code")
+	hv := NewHistogramVec("start", 1, 4, 16)
+	gv := NewGaugeVec("backend")
+	for _, pr := range []string{"burgers2d", "netlist", "bratu1d", "fisher", "heat3d", "allencahn"} {
+		for _, c := range []string{"200", "422", "503"} {
+			cv.With(pr, c).Inc()
+		}
+		hv.With(pr).Observe(7)
+		gv.With(pr).Set(3)
+	}
+	render := func() string {
+		var sb strings.Builder
+		WriteCounterVec(&sb, "a_total", "h", cv)
+		WriteHistogramVec(&sb, "b", "h", hv)
+		WriteGaugeVec(&sb, "c", "h", gv)
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 30; i++ {
+		if again := render(); again != first {
+			t.Fatalf("scrape %d differs from first scrape:\n--- first\n%s\n--- scrape %d\n%s", i, first, i, again)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	cv := NewCounterVec("problem", "code")
+	var g Gauge
+	h := NewHistogram(0.001, 0.01, 0.1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				cv.With("burgers2d", "200").Inc()
+				g.Inc()
+				h.Observe(float64(i) * 1e-4)
+				g.Dec()
+			}
+		}()
+	}
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		sb.Reset()
+		WriteCounterVec(&sb, "x_total", "h", cv) // scrape concurrently with writes
+		WriteHistogram(&sb, "y", "h", h)
+	}
+	wg.Wait()
+	if got := cv.With("burgers2d", "200").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", got)
+	}
+}
+
+func TestFormatBound(t *testing.T) {
+	cases := map[float64]string{0.00025: "0.00025", 1.024: "1.024", 8.192: "8.192", 1: "1", 512: "512"}
+	for in, want := range cases {
+		if got := FormatBound(in); got != want {
+			t.Errorf("FormatBound(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

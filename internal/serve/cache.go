@@ -18,10 +18,12 @@ const (
 // (re, bound)) within which a cached neighbour may warm-start a solve.
 const defaultWarmRadius = 0.25
 
-// cacheableKind reports whether a kind's solves are cacheable. Netlist
+// CacheableKind reports whether a kind's solves are cacheable. Netlist
 // requests are excluded: their fabric state is rebuilt per request and the
-// response is already cheap.
-func cacheableKind(kind string) bool {
+// response is already cheap. Exported for the cluster gateway, whose
+// request-identity dedup follows the same split (grid kinds dedupe on
+// SolveKey, netlist on the program-text shape key).
+func CacheableKind(kind string) bool {
 	switch kind {
 	case KindBurgers2D, KindBurgersSteady, KindBurgers1D:
 		return true
@@ -64,6 +66,44 @@ func solveCacheBucket(req *Request, kb *cache.KeyBuilder) cache.Key {
 	kb.I64(8, boolKey(req.Analog))
 	kb.I64(9, int64(req.AnalogVars))
 	return kb.Sum()
+}
+
+// ShapeKey digests the *shape* of a request — the identity a cluster
+// gateway routes on. For grid kinds that is (problem id, n, order): every
+// request sharing those fields exercises the same Jacobian pattern, the
+// same per-worker problem cache and the same symbolic setup on a backend,
+// so pinning a shape to one backend is what keeps that backend's caches
+// hot. Seed and the continuation parameters (re, bound) deliberately do
+// not participate: they select entries *within* a backend's caches, not
+// which backend should hold them. Netlist requests key on the program text
+// instead — identical programs pin together (and dedupe in flight),
+// distinct programs spread across the ring.
+//
+// The tag space is disjoint from SolveKey's by the leading tag byte, so a
+// shape key can never collide with a full content address.
+//
+//pdevet:noalloc
+func ShapeKey(req *Request, kb *cache.KeyBuilder) cache.Key {
+	kb.Reset()
+	kb.Str(32, req.Problem)
+	if req.Problem == KindNetlist {
+		kb.Str(33, req.Netlist)
+	} else {
+		kb.I64(34, int64(req.N))
+		kb.I64(35, int64(req.Order))
+	}
+	return kb.Sum()
+}
+
+// SolveKey digests the full content identity of a normalized request: the
+// exported form of the solve cache's exact-hit key, shared with the
+// cluster gateway so identical concurrent requests can be deduplicated
+// before they ever reach a backend connection. Call Normalize first —
+// defaults participate in the digest.
+//
+//pdevet:noalloc
+func SolveKey(req *Request, kb *cache.KeyBuilder) cache.Key {
+	return solveCacheKey(req, kb)
 }
 
 //pdevet:noalloc

@@ -75,10 +75,10 @@ func TestCacheHitByteIdentical(t *testing.T) {
 			}
 		}
 	}
-	if hits := s.m.cacheHits.value(); hits != uint64(2*len(reqs)) {
+	if hits := s.m.cacheHits.Value(); hits != uint64(2*len(reqs)) {
 		t.Fatalf("cache hits = %d, want %d", hits, 2*len(reqs))
 	}
-	if misses := s.m.cacheMisses.value(); misses != uint64(len(reqs)) {
+	if misses := s.m.cacheMisses.Value(); misses != uint64(len(reqs)) {
 		t.Fatalf("cache misses = %d, want %d", misses, len(reqs))
 	}
 	body := scrapeMetrics(t, ts)
@@ -130,7 +130,7 @@ func TestCacheWarmStartSweep(t *testing.T) {
 		t.Fatalf("warm start took %d Newton iterations, cold control took %d — no continuation win",
 			warm.Iterations, coldNext.Iterations)
 	}
-	if w := s.m.cacheWarmHits.value(); w != 1 {
+	if w := s.m.cacheWarmHits.Value(); w != 1 {
 		t.Fatalf("warm hits = %d, want 1", w)
 	}
 	body := scrapeMetrics(t, ts)
@@ -210,10 +210,10 @@ func TestDrainWithSingleflightWaiters(t *testing.T) {
 	// the leader's flight; the leader cannot finish while the worker is
 	// held here, so this rendezvous is race-free.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.m.queueDepth.value() != n || s.m.cacheFlightWaits.value() != n-1 {
+	for s.m.queueDepth.Value() != n || s.m.cacheFlightWaits.Value() != n-1 {
 		if time.Now().After(deadline) {
-			t.Fatalf("admitted %d/%d, flight waits %d/%d", s.m.queueDepth.value(), n,
-				s.m.cacheFlightWaits.value(), n-1)
+			t.Fatalf("admitted %d/%d, flight waits %d/%d", s.m.queueDepth.Value(), n,
+				s.m.cacheFlightWaits.Value(), n-1)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -230,13 +230,13 @@ func TestDrainWithSingleflightWaiters(t *testing.T) {
 			t.Fatalf("waiter %d diverged from leader: %+v vs %+v", i, resps[i], resps[0])
 		}
 	}
-	if waits := s.m.cacheFlightWaits.value(); waits != n-1 {
+	if waits := s.m.cacheFlightWaits.Value(); waits != n-1 {
 		t.Fatalf("flight waits = %d, want %d", waits, n-1)
 	}
-	if hits := s.m.cacheHits.value(); hits != n-1 {
+	if hits := s.m.cacheHits.Value(); hits != n-1 {
 		t.Fatalf("cache hits = %d, want %d (exactly one real solve)", hits, n-1)
 	}
-	if misses := s.m.cacheMisses.value(); misses != 1 {
+	if misses := s.m.cacheMisses.Value(); misses != 1 {
 		t.Fatalf("cache misses = %d, want 1", misses)
 	}
 

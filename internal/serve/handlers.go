@@ -42,7 +42,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.reject(w, req.Problem, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
-		s.m.queueRejects.inc()
+		s.m.queueRejects.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
 		s.reject(w, req.Problem, http.StatusTooManyRequests, "admission queue full")
 		return
@@ -57,7 +57,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// solves and populates the cache; followers wait for its completion and
 	// then serve from the cache. A leader that fails caches nothing, and
 	// its followers fall through to solving independently.
-	if s.cache != nil && cacheableKind(req.Problem) {
+	if s.cache != nil && CacheableKind(req.Problem) {
 		var kb cache.KeyBuilder
 		key := solveCacheKey(&req, &kb)
 		f, leader := s.cache.Join(key)
@@ -65,7 +65,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		case leader:
 			defer s.cache.Done(key)
 		case f != nil:
-			s.m.cacheFlightWaits.inc()
+			s.m.cacheFlightWaits.Inc()
 			if err := f.Wait(ctx); err != nil {
 				s.reject(w, req.Problem, queueFailureCode(ctx, err), "timed out waiting for an identical in-flight solve")
 				return
@@ -91,7 +91,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if !sleepBackoff(ctx, wk.rng, retry, s.cfg.RetryBackoff) {
 			break
 		}
-		s.m.retries.inc()
+		s.m.retries.Inc()
 		resp = Response{Problem: req.Problem, QueueSeconds: resp.QueueSeconds}
 		solveErr = wk.run(ctx, &req, &resp)
 	}
@@ -127,45 +127,45 @@ func (s *Server) account(req *Request, resp *Response, err error) int {
 	default:
 		code = http.StatusInternalServerError
 	}
-	s.m.requests.with(req.Problem, strconv.Itoa(code)).inc()
+	s.m.requests.With(req.Problem, strconv.Itoa(code)).Inc()
 	if fb := resp.fallback; fb != nil {
 		for i := range fb.Attempts {
-			s.m.ladderAttempts.with(string(fb.Attempts[i].Rung)).inc()
+			s.m.ladderAttempts.With(string(fb.Attempts[i].Rung)).Inc()
 		}
-		s.m.seedsRejected.add(uint64(fb.SeedRejections))
+		s.m.seedsRejected.Add(uint64(fb.SeedRejections))
 		if code == http.StatusOK && fb.Final != "" {
-			s.m.ladderServed.with(string(fb.Final)).inc()
+			s.m.ladderServed.With(string(fb.Final)).Inc()
 			if fb.Degraded {
-				s.m.degraded.inc()
+				s.m.degraded.Inc()
 			}
 		}
 	}
 	if code == http.StatusOK {
-		s.m.solveLatency.observe(resp.SolveSeconds)
+		s.m.solveLatency.Observe(resp.SolveSeconds)
 		if (resp.Iterations > 0 || resp.cacheWarm) && !resp.cacheHit {
 			// Replayed hits ran no Newton; observing them would double-count
 			// the original solve's iterations. A warm-start serve is observed
 			// even at zero iterations — "the continuation start was already
 			// converged" is the best outcome the histogram can show.
-			s.m.newtonIters.with(startSource(resp)).observe(float64(resp.Iterations))
+			s.m.newtonIters.With(startSource(resp)).Observe(float64(resp.Iterations))
 		}
 		if resp.AnalogUsed && !resp.cacheHit {
-			s.m.seedsTotal.inc()
+			s.m.seedsTotal.Inc()
 			if resp.SeedAccepted {
-				s.m.seedsAccepted.inc()
+				s.m.seedsAccepted.Inc()
 			}
 		}
 		if resp.cacheOn {
 			switch {
 			case resp.cacheHit:
-				s.m.cacheHits.inc()
+				s.m.cacheHits.Inc()
 			case resp.cacheWarm:
-				s.m.cacheWarmHits.inc()
+				s.m.cacheWarmHits.Inc()
 			default:
-				s.m.cacheMisses.inc()
+				s.m.cacheMisses.Inc()
 			}
 			if resp.cacheStale {
-				s.m.cacheStale.inc()
+				s.m.cacheStale.Inc()
 			}
 		}
 	}
@@ -247,15 +247,33 @@ func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, Kinds(s.cfg.MaxGridN))
 }
 
-// handleHealthz is GET /healthz: 200 while serving, 503 while draining, so
-// load balancers stop routing before shutdown completes.
+// Health is the GET /healthz (readiness) body. Gateways parse it: Ready
+// false means "stop routing here", and Reason says why — today always
+// "draining", the BeginDrain signal that precedes the listener closing.
+type Health struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleHealthz is GET /healthz: the *readiness* probe. 200 while the
+// admission gate is open, 503 with a JSON body once BeginDrain has been
+// called — so load balancers and the cluster gateway evict a draining
+// backend before its listener closes, instead of discovering the closure
+// as connection errors.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.isDraining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		s.writeJSON(w, http.StatusServiceUnavailable, Health{Ready: false, Reason: "draining"})
 		return
 	}
+	s.writeJSON(w, http.StatusOK, Health{Ready: true})
+}
+
+// handleLivez is GET /livez: the *liveness* probe. It answers 200 for as
+// long as the process can serve HTTP at all — including while draining —
+// so orchestrators distinguish "shutting down cleanly, leave it alone"
+// from "wedged, restart it".
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
@@ -263,7 +281,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if s.cache != nil {
-		s.m.cacheEntries.set(int64(s.cache.Len()))
+		s.m.cacheEntries.Set(int64(s.cache.Len()))
 	}
 	s.m.writeProm(w)
 }
@@ -273,7 +291,7 @@ func (s *Server) reject(w http.ResponseWriter, problem string, code int, msg str
 	if problem == "" {
 		problem = "unknown"
 	}
-	s.m.requests.with(problem, strconv.Itoa(code)).inc()
+	s.m.requests.With(problem, strconv.Itoa(code)).Inc()
 	s.writeJSON(w, code, &Response{Problem: problem, Error: msg})
 }
 

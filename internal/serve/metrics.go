@@ -1,284 +1,84 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
+
+	"hybridpde/internal/promtext"
 )
 
-// This file is the service's metrics plane: a deliberately small, stdlib-only
-// implementation of the Prometheus text exposition format (version 0.0.4).
-// The repo's dependency rule forbids client_golang, and the subset a solve
-// service needs — counters, gauges, cumulative histograms, one label pair —
-// is ~200 lines. Metric values are atomics or mutex-guarded maps, so every
-// type here is safe for concurrent request handlers.
-
-// counter is a monotonically increasing event count.
-type counter struct{ v atomic.Uint64 }
-
-func (c *counter) inc()          { c.v.Add(1) }
-func (c *counter) add(n uint64)  { c.v.Add(n) }
-func (c *counter) value() uint64 { return c.v.Load() }
-
-// gauge is an instantaneous level (queue depth, in-flight solves).
-type gauge struct{ v atomic.Int64 }
-
-func (g *gauge) inc()         { g.v.Add(1) }
-func (g *gauge) dec()         { g.v.Add(-1) }
-func (g *gauge) set(x int64)  { g.v.Store(x) }
-func (g *gauge) value() int64 { return g.v.Load() }
-
-// histogram accumulates observations into fixed cumulative buckets, the
-// Prometheus histogram shape (le="..." upper bounds plus +Inf, _sum, _count).
-type histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // strictly increasing upper bounds, +Inf implicit
-	counts []uint64  // len(bounds)+1; last element is the +Inf bucket
-	sum    float64
-	count  uint64
-}
-
-func newHistogram(bounds ...float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.counts[i]++
-	h.sum += v
-	h.count++
-}
-
-// histogramVec is a histogram family with one label; children are created
-// on first use and rendered in sorted label order under one family header.
-type histogramVec struct {
-	mu     sync.Mutex
-	label  string
-	bounds []float64
-	vals   map[string]*histogram
-}
-
-func newHistogramVec(label string, bounds ...float64) *histogramVec {
-	return &histogramVec{label: label, bounds: bounds, vals: map[string]*histogram{}}
-}
-
-// with returns the child histogram for the given label value.
-func (v *histogramVec) with(value string) *histogram {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	h, ok := v.vals[value]
-	if !ok {
-		h = newHistogram(v.bounds...)
-		v.vals[value] = h
-	}
-	return h
-}
-
-// counterVec is a counter family with a fixed label-name set; children are
-// created on first use and rendered in sorted label order.
-type counterVec struct {
-	mu     sync.Mutex
-	labels []string // label names, in render order
-	vals   map[string]*counter
-}
-
-func newCounterVec(labels ...string) *counterVec {
-	return &counterVec{labels: labels, vals: map[string]*counter{}}
-}
-
-// with returns the child counter for the given label values (same order as
-// the label names).
-func (v *counterVec) with(values ...string) *counter {
-	key := strings.Join(values, "\xff")
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	c, ok := v.vals[key]
-	if !ok {
-		c = &counter{}
-		v.vals[key] = c
-	}
-	return c
-}
+// The service's metrics plane rides on internal/promtext, the repo's
+// shared stdlib-only Prometheus text exposition kit (counters, gauges,
+// cumulative histograms, small label vectors; deterministic sorted
+// renders). This file only declares the fixed metric set of the solve
+// service and its exposition order.
 
 // metrics is the fixed metric set of the solve service.
 type metrics struct {
-	requests      *counterVec   // labels: problem, code
-	queueRejects  counter       // 429s: admission queue full
-	queueDepth    gauge         // requests admitted but not yet executing
-	inflight      gauge         // solves executing on a worker
-	draining      gauge         // 1 while the server refuses new work
-	solveLatency  *histogram    // seconds, measured wall time on the worker
-	newtonIters   *histogramVec // labels: start — Newton iterations by start source (cold/analog/warm)
-	seedsTotal    counter       // solves that ran the analog seeding stage
-	seedsAccepted counter       // seeds that improved on the initial residual
+	requests      *promtext.CounterVec   // labels: problem, code
+	queueRejects  promtext.Counter       // 429s: admission queue full
+	queueDepth    promtext.Gauge         // requests admitted but not yet executing
+	inflight      promtext.Gauge         // solves executing on a worker
+	draining      promtext.Gauge         // 1 while the server refuses new work
+	solveLatency  *promtext.Histogram    // seconds, measured wall time on the worker
+	newtonIters   *promtext.HistogramVec // labels: start — Newton iterations by start source (cold/analog/warm)
+	seedsTotal    promtext.Counter       // solves that ran the analog seeding stage
+	seedsAccepted promtext.Counter       // seeds that improved on the initial residual
 
 	// Solve-cache plane (internal/cache behind the ladder's cache rungs).
-	cacheHits        counter // exact content-address replays served
-	cacheWarmHits    counter // solves served by the warm-start rung
-	cacheMisses      counter // cache-consulting solves served by neither
-	cacheStale       counter // warm-start candidates rejected by the gate
-	cacheFlightWaits counter // requests that waited on an identical in-flight solve
-	cacheEntries     gauge   // current entry count of the shared store
+	cacheHits        promtext.Counter // exact content-address replays served
+	cacheWarmHits    promtext.Counter // solves served by the warm-start rung
+	cacheMisses      promtext.Counter // cache-consulting solves served by neither
+	cacheStale       promtext.Counter // warm-start candidates rejected by the gate
+	cacheFlightWaits promtext.Counter // requests that waited on an identical in-flight solve
+	cacheEntries     promtext.Gauge   // current entry count of the shared store
 
 	// Degradation-ladder plane (see internal/core ladder + internal/fault).
-	ladderAttempts *counterVec // labels: rung — rungs attempted, converged or not
-	ladderServed   *counterVec // labels: rung — final rung of each 200 response
-	degraded       counter     // 200s served below the planned pipeline
-	seedsRejected  counter     // analog seeds rejected by the quality gate
-	retries        counter     // in-handler retries of transient-fault solves
-	faultsActive   gauge       // configured fault count (0 outside chaos mode)
+	ladderAttempts *promtext.CounterVec // labels: rung — rungs attempted, converged or not
+	ladderServed   *promtext.CounterVec // labels: rung — final rung of each 200 response
+	degraded       promtext.Counter     // 200s served below the planned pipeline
+	seedsRejected  promtext.Counter     // analog seeds rejected by the quality gate
+	retries        promtext.Counter     // in-handler retries of transient-fault solves
+	faultsActive   promtext.Gauge       // configured fault count (0 outside chaos mode)
 }
 
 func newServeMetrics() *metrics {
 	return &metrics{
-		requests: newCounterVec("problem", "code"),
+		requests: promtext.NewCounterVec("problem", "code"),
 		// 250 µs to ~8 s, doubling: spans a cached tiny solve through an
 		// analog-seeded decomposed one.
-		solveLatency: newHistogram(0.00025, 0.0005, 0.001, 0.002, 0.004,
+		solveLatency: promtext.NewHistogram(0.00025, 0.0005, 0.001, 0.002, 0.004,
 			0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048,
 			4.096, 8.192),
-		newtonIters:    newHistogramVec("start", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
-		ladderAttempts: newCounterVec("rung"),
-		ladderServed:   newCounterVec("rung"),
+		newtonIters:    promtext.NewHistogramVec("start", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		ladderAttempts: promtext.NewCounterVec("rung"),
+		ladderServed:   promtext.NewCounterVec("rung"),
 	}
 }
 
 // writeProm renders the exposition page. Families appear in a fixed order
 // and labelled children in sorted order, so scrapes are deterministic.
 func (m *metrics) writeProm(w io.Writer) {
-	writeHeader := func(name, help, typ string) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	}
-
-	writeVec := func(name, help string, v *counterVec) {
-		writeHeader(name, help, "counter")
-		v.mu.Lock()
-		keys := make([]string, 0, len(v.vals))
-		for k := range v.vals {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			values := strings.Split(k, "\xff")
-			parts := make([]string, len(values))
-			for i, lv := range values {
-				parts[i] = fmt.Sprintf("%s=%q", v.labels[i], lv)
-			}
-			fmt.Fprintf(w, "%s{%s} %d\n",
-				name, strings.Join(parts, ","), v.vals[k].value())
-		}
-		v.mu.Unlock()
-	}
-
-	writeVec("pdeserve_requests_total", "Solve requests by problem kind and HTTP status code.", m.requests)
-
-	writeHeader("pdeserve_queue_rejects_total", "Requests rejected with 429 because the admission queue was full.", "counter")
-	fmt.Fprintf(w, "pdeserve_queue_rejects_total %d\n", m.queueRejects.value())
-
-	writeHeader("pdeserve_queue_depth", "Requests admitted and waiting for a worker.", "gauge")
-	fmt.Fprintf(w, "pdeserve_queue_depth %d\n", m.queueDepth.value())
-
-	writeHeader("pdeserve_inflight_solves", "Solves currently executing on a worker.", "gauge")
-	fmt.Fprintf(w, "pdeserve_inflight_solves %d\n", m.inflight.value())
-
-	writeHeader("pdeserve_draining", "1 while the server is draining and refusing new work.", "gauge")
-	fmt.Fprintf(w, "pdeserve_draining %d\n", m.draining.value())
-
-	m.writeHistogram(w, "pdeserve_solve_latency_seconds",
+	promtext.WriteCounterVec(w, "pdeserve_requests_total", "Solve requests by problem kind and HTTP status code.", m.requests)
+	promtext.WriteCounter(w, "pdeserve_queue_rejects_total", "Requests rejected with 429 because the admission queue was full.", &m.queueRejects)
+	promtext.WriteGauge(w, "pdeserve_queue_depth", "Requests admitted and waiting for a worker.", &m.queueDepth)
+	promtext.WriteGauge(w, "pdeserve_inflight_solves", "Solves currently executing on a worker.", &m.inflight)
+	promtext.WriteGauge(w, "pdeserve_draining", "1 while the server is draining and refusing new work.", &m.draining)
+	promtext.WriteHistogram(w, "pdeserve_solve_latency_seconds",
 		"Wall-clock seconds a request spent executing on a worker.", m.solveLatency)
-	m.writeHistogramVec(w, "pdeserve_newton_iterations",
+	promtext.WriteHistogramVec(w, "pdeserve_newton_iterations",
 		"Newton iterations of the digital polish stage, per solved (non-replayed) request, by start source.", m.newtonIters)
-
-	writeHeader("pdeserve_analog_seeds_total", "Solves that ran the analog seeding stage.", "counter")
-	fmt.Fprintf(w, "pdeserve_analog_seeds_total %d\n", m.seedsTotal.value())
-
-	writeHeader("pdeserve_analog_seeds_accepted_total", "Analog seeds that improved on the initial residual (acceptance rate = accepted/total).", "counter")
-	fmt.Fprintf(w, "pdeserve_analog_seeds_accepted_total %d\n", m.seedsAccepted.value())
-
-	writeHeader("pdeserve_analog_seeds_rejected_total", "Analog seeds rejected by the degradation ladder's quality gate.", "counter")
-	fmt.Fprintf(w, "pdeserve_analog_seeds_rejected_total %d\n", m.seedsRejected.value())
-
-	writeVec("pdeserve_ladder_attempts_total", "Degradation-ladder rungs attempted, by rung (converged or not).", m.ladderAttempts)
-	writeVec("pdeserve_ladder_served_total", "Final rung that served each successful solve, by rung.", m.ladderServed)
-
-	writeHeader("pdeserve_degraded_total", "Successful solves served below the planned pipeline rung.", "counter")
-	fmt.Fprintf(w, "pdeserve_degraded_total %d\n", m.degraded.value())
-
-	writeHeader("pdeserve_retries_total", "In-handler retries of degraded or transiently failed solves.", "counter")
-	fmt.Fprintf(w, "pdeserve_retries_total %d\n", m.retries.value())
-
-	writeHeader("pdeserve_cache_hits_total", "Solves served by an exact content-address cache replay.", "counter")
-	fmt.Fprintf(w, "pdeserve_cache_hits_total %d\n", m.cacheHits.value())
-
-	writeHeader("pdeserve_cache_warm_hits_total", "Solves served by the warm-start continuation rung.", "counter")
-	fmt.Fprintf(w, "pdeserve_cache_warm_hits_total %d\n", m.cacheWarmHits.value())
-
-	writeHeader("pdeserve_cache_misses_total", "Cache-consulting solves served by neither the cache nor the warm-start rung.", "counter")
-	fmt.Fprintf(w, "pdeserve_cache_misses_total %d\n", m.cacheMisses.value())
-
-	writeHeader("pdeserve_cache_stale_total", "Warm-start candidates rejected by the residual quality gate.", "counter")
-	fmt.Fprintf(w, "pdeserve_cache_stale_total %d\n", m.cacheStale.value())
-
-	writeHeader("pdeserve_cache_flight_waits_total", "Requests that waited on an identical in-flight solve instead of duplicating it.", "counter")
-	fmt.Fprintf(w, "pdeserve_cache_flight_waits_total %d\n", m.cacheFlightWaits.value())
-
-	writeHeader("pdeserve_cache_entries", "Current entry count of the shared solve cache.", "gauge")
-	fmt.Fprintf(w, "pdeserve_cache_entries %d\n", m.cacheEntries.value())
-
-	writeHeader("pdeserve_fault_injection_active", "Number of configured fault classes (0 outside chaos mode).", "gauge")
-	fmt.Fprintf(w, "pdeserve_fault_injection_active %d\n", m.faultsActive.value())
-}
-
-func (m *metrics) writeHistogram(w io.Writer, name, help string, h *histogram) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
-	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
-}
-
-// writeHistogramVec renders a labelled histogram family: children in
-// sorted label-value order, each with the standard cumulative bucket,
-// _sum and _count series carrying the label.
-func (m *metrics) writeHistogramVec(w io.Writer, name, help string, v *histogramVec) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	v.mu.Lock()
-	keys := make([]string, 0, len(v.vals))
-	for k := range v.vals {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		h := v.vals[k]
-		h.mu.Lock()
-		var cum uint64
-		for i, b := range h.bounds {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, v.label, k, formatBound(b), cum)
-		}
-		cum += h.counts[len(h.bounds)]
-		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, v.label, k, cum)
-		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, v.label, k, h.sum)
-		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, v.label, k, h.count)
-		h.mu.Unlock()
-	}
-	v.mu.Unlock()
-}
-
-// formatBound renders a bucket bound the way Prometheus clients do: shortest
-// representation that round-trips.
-func formatBound(b float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", b), "0"), ".")
+	promtext.WriteCounter(w, "pdeserve_analog_seeds_total", "Solves that ran the analog seeding stage.", &m.seedsTotal)
+	promtext.WriteCounter(w, "pdeserve_analog_seeds_accepted_total", "Analog seeds that improved on the initial residual (acceptance rate = accepted/total).", &m.seedsAccepted)
+	promtext.WriteCounter(w, "pdeserve_analog_seeds_rejected_total", "Analog seeds rejected by the degradation ladder's quality gate.", &m.seedsRejected)
+	promtext.WriteCounterVec(w, "pdeserve_ladder_attempts_total", "Degradation-ladder rungs attempted, by rung (converged or not).", m.ladderAttempts)
+	promtext.WriteCounterVec(w, "pdeserve_ladder_served_total", "Final rung that served each successful solve, by rung.", m.ladderServed)
+	promtext.WriteCounter(w, "pdeserve_degraded_total", "Successful solves served below the planned pipeline rung.", &m.degraded)
+	promtext.WriteCounter(w, "pdeserve_retries_total", "In-handler retries of degraded or transiently failed solves.", &m.retries)
+	promtext.WriteCounter(w, "pdeserve_cache_hits_total", "Solves served by an exact content-address cache replay.", &m.cacheHits)
+	promtext.WriteCounter(w, "pdeserve_cache_warm_hits_total", "Solves served by the warm-start continuation rung.", &m.cacheWarmHits)
+	promtext.WriteCounter(w, "pdeserve_cache_misses_total", "Cache-consulting solves served by neither the cache nor the warm-start rung.", &m.cacheMisses)
+	promtext.WriteCounter(w, "pdeserve_cache_stale_total", "Warm-start candidates rejected by the residual quality gate.", &m.cacheStale)
+	promtext.WriteCounter(w, "pdeserve_cache_flight_waits_total", "Requests that waited on an identical in-flight solve instead of duplicating it.", &m.cacheFlightWaits)
+	promtext.WriteGauge(w, "pdeserve_cache_entries", "Current entry count of the shared solve cache.", &m.cacheEntries)
+	promtext.WriteGauge(w, "pdeserve_fault_injection_active", "Number of configured fault classes (0 outside chaos mode).", &m.faultsActive)
 }

@@ -6,43 +6,16 @@ import (
 	"testing"
 )
 
-func TestHistogramCumulativeBuckets(t *testing.T) {
-	h := newHistogram(1, 2, 4)
-	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
-		h.observe(v)
-	}
-	var sb strings.Builder
-	(&metrics{}).writeHistogram(&sb, "x", "help", h)
-	out := sb.String()
-	for _, want := range []string{
-		`x_bucket{le="1"} 1`,
-		`x_bucket{le="2"} 3`,
-		`x_bucket{le="4"} 4`,
-		`x_bucket{le="+Inf"} 5`,
-		`x_sum 106.5`,
-		`x_count 5`,
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("exposition missing %q:\n%s", want, out)
-		}
-	}
-}
+// The metric kit itself (histograms, vectors, render determinism) is
+// tested in internal/promtext; these tests pin the service-level contract:
+// the fixed family set, its exposition order, and byte-identical scrapes
+// of the whole page.
 
-func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
-	h := newHistogram(1, 2)
-	h.observe(1) // le="1" is inclusive, Prometheus semantics
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.counts[0] != 1 {
-		t.Fatalf("observation at bound landed in counts %v, want first bucket", h.counts)
-	}
-}
-
-func TestCounterVecChildrenAndRenderOrder(t *testing.T) {
+func TestServeMetricsFamiliesAndOrder(t *testing.T) {
 	m := newServeMetrics()
-	m.requests.with("burgers2d", "200").inc()
-	m.requests.with("burgers2d", "200").inc()
-	m.requests.with("netlist", "422").inc()
+	m.requests.With("burgers2d", "200").Inc()
+	m.requests.With("burgers2d", "200").Inc()
+	m.requests.With("netlist", "422").Inc()
 	var sb strings.Builder
 	m.writeProm(&sb)
 	out := sb.String()
@@ -60,6 +33,17 @@ func TestCounterVecChildrenAndRenderOrder(t *testing.T) {
 			t.Errorf("no %s TYPE header in exposition", typ)
 		}
 	}
+	// The fixed family set stays present even at zero.
+	for _, name := range []string{
+		"pdeserve_queue_rejects_total", "pdeserve_queue_depth",
+		"pdeserve_inflight_solves", "pdeserve_draining",
+		"pdeserve_solve_latency_seconds", "pdeserve_cache_hits_total",
+		"pdeserve_ladder_attempts_total", "pdeserve_fault_injection_active",
+	} {
+		if !strings.Contains(out, "# HELP "+name+" ") {
+			t.Errorf("family %s missing from exposition", name)
+		}
+	}
 }
 
 // TestMetricsScrapeByteIdentical pins the contract the maprange lint rule
@@ -72,10 +56,10 @@ func TestMetricsScrapeByteIdentical(t *testing.T) {
 	codes := []string{"200", "422", "503"}
 	for _, pr := range problems {
 		for _, c := range codes {
-			m.requests.with(pr, c).inc()
+			m.requests.With(pr, c).Inc()
 		}
-		m.newtonIters.with(pr).observe(7)
-		m.ladderAttempts.with(pr).inc()
+		m.newtonIters.With(pr).Observe(7)
+		m.ladderAttempts.With(pr).Inc()
 	}
 	var first strings.Builder
 	m.writeProm(&first)
@@ -96,10 +80,10 @@ func TestMetricsConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				m.requests.with("burgers2d", "200").inc()
-				m.queueDepth.inc()
-				m.solveLatency.observe(float64(i) * 1e-4)
-				m.queueDepth.dec()
+				m.requests.With("burgers2d", "200").Inc()
+				m.queueDepth.Inc()
+				m.solveLatency.Observe(float64(i) * 1e-4)
+				m.queueDepth.Dec()
 			}
 		}(g)
 	}
@@ -109,24 +93,13 @@ func TestMetricsConcurrent(t *testing.T) {
 		m.writeProm(&sb) // scrape concurrently with writes
 	}
 	wg.Wait()
-	if got := m.requests.with("burgers2d", "200").value(); got != 4000 {
+	if got := m.requests.With("burgers2d", "200").Value(); got != 4000 {
 		t.Fatalf("requests counter = %d, want 4000", got)
 	}
-	if got := m.queueDepth.value(); got != 0 {
+	if got := m.queueDepth.Value(); got != 0 {
 		t.Fatalf("queue depth gauge = %d, want 0", got)
 	}
-	m.solveLatency.mu.Lock()
-	defer m.solveLatency.mu.Unlock()
-	if m.solveLatency.count != 4000 {
-		t.Fatalf("histogram count = %d, want 4000", m.solveLatency.count)
-	}
-}
-
-func TestFormatBound(t *testing.T) {
-	cases := map[float64]string{0.00025: "0.00025", 1.024: "1.024", 8.192: "8.192", 1: "1", 512: "512"}
-	for in, want := range cases {
-		if got := formatBound(in); got != want {
-			t.Errorf("formatBound(%v) = %q, want %q", in, got, want)
-		}
+	if got := m.solveLatency.Count(); got != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", got)
 	}
 }

@@ -142,6 +142,19 @@ const (
 	defaultBound = 0.5
 )
 
+// Normalize fills request defaults and validates ranges exactly the way a
+// backend configured with maxGridN would: the exported form the cluster
+// gateway uses so routing keys are computed over the same normalized
+// identity the backend will cache under. A request the gateway normalizes
+// successfully is one every identically-configured backend will accept.
+func Normalize(req *Request, maxGridN int) error {
+	cfg := Config{MaxGridN: maxGridN}
+	if cfg.MaxGridN <= 0 {
+		cfg.MaxGridN = 12
+	}
+	return normalize(req, &cfg)
+}
+
 // normalize fills request defaults and validates ranges against the server
 // configuration. It returns a client-facing error for invalid requests.
 func normalize(req *Request, cfg *Config) error {

@@ -188,18 +188,19 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.Faults != nil {
 		s.transientFaults = cfg.Faults.Transient()
-		s.m.faultsActive.set(int64(len(cfg.Faults.Faults)))
+		s.m.faultsActive.Set(int64(len(cfg.Faults.Faults)))
 	}
 	return s
 }
 
 // Handler returns the API mux: POST /v1/solve, GET /v1/problems,
-// GET /healthz, GET /metrics.
+// GET /healthz (readiness), GET /livez (liveness), GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/problems", s.handleProblems)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -224,7 +225,7 @@ func (s *Server) BeginDrain() {
 	defer s.drainMu.Unlock()
 	if !s.draining {
 		s.draining = true
-		s.m.draining.set(1)
+		s.m.draining.Set(1)
 	}
 }
 
@@ -279,7 +280,7 @@ func (s *Server) admit() (release func(), ok bool) {
 	}
 	s.inflight.Add(1)
 	s.drainMu.Unlock()
-	s.m.queueDepth.inc()
+	s.m.queueDepth.Inc()
 	return func() {
 		<-s.queueSlots
 		s.inflight.Done()
@@ -292,18 +293,18 @@ func (s *Server) admit() (release func(), ok bool) {
 func (s *Server) acquireWorker(ctx context.Context) (*worker, error) {
 	select {
 	case wk := <-s.workers:
-		s.m.queueDepth.dec()
-		s.m.inflight.inc()
+		s.m.queueDepth.Dec()
+		s.m.inflight.Inc()
 		return wk, nil
 	case <-ctx.Done():
-		s.m.queueDepth.dec()
+		s.m.queueDepth.Dec()
 		return nil, ctx.Err()
 	}
 }
 
 // releaseWorker returns a worker to the pool.
 func (s *Server) releaseWorker(wk *worker) {
-	s.m.inflight.dec()
+	s.m.inflight.Dec()
 	s.workers <- wk
 }
 

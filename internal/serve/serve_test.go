@@ -180,7 +180,7 @@ func TestBackpressure(t *testing.T) {
 	if hdr.Get("Retry-After") == "" {
 		t.Fatal("429 response missing Retry-After")
 	}
-	if got := s.m.queueRejects.value(); got != 1 {
+	if got := s.m.queueRejects.Value(); got != 1 {
 		t.Fatalf("queue_rejects_total = %d, want 1", got)
 	}
 

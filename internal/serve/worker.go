@@ -244,7 +244,7 @@ func (wk *worker) solveGrid(ctx context.Context, req *Request, e *gridEntry, see
 		return err
 	}
 
-	if on := wk.store != nil && cacheableKind(req.Problem); on {
+	if on := wk.store != nil && CacheableKind(req.Problem); on {
 		wk.bind.rebind(true, solveCacheKey(req, &wk.kb), solveCacheBucket(req, &wk.kb), req.Re, req.Bound, wk.radius)
 	} else {
 		wk.bind.rebind(false, cache.Key{}, cache.Key{}, 0, 0, 0)

@@ -1,0 +1,178 @@
+#!/bin/sh
+# Cluster bench: measure gateway throughput with 1, 2 and 3 pdeserved
+# backends and write the committed BENCH_cluster.json. Each stage boots a
+# fresh fleet, drives three problem shapes through pdegw (shape diversity
+# is what lets the ring spread load), and records the stage's throughput
+# plus the fleet evidence: the gateway's per-backend routed and batch
+# counters and every backend's cache hit counters.
+#
+# Scaling is asserted only on multi-core machines: like pdebench's
+# -min-speedup, the check is skipped with a NOTICE when the host has one
+# CPU, where three single-threaded backends time-slice one core and
+# throughput cannot scale. The counters above remain the evidence that
+# the fleet path (routing, batching, per-backend caches) did the work.
+#
+# Env knobs:
+#   BENCH_OUT        output file        (default BENCH_cluster.json)
+#   BENCH_RATE       offered rps/shape  (default 150)
+#   BENCH_DURATION   load per shape     (default 2s)
+#   BENCH_MIN_SPEEDUP  3-vs-1 backend factor (default 1.2)
+#   BENCH_BASE_PORT  first backend port (default 18071)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_cluster.json}"
+RATE="${BENCH_RATE:-150}"
+DURATION="${BENCH_DURATION:-2s}"
+MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-1.2}"
+BASE_PORT="${BENCH_BASE_PORT:-18071}"
+GW_ADDR="127.0.0.1:$((BASE_PORT - 1))"
+NUMCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$TMP/pdeserved" ./cmd/pdeserved
+go build -o "$TMP/pdegw" ./cmd/pdegw
+go build -o "$TMP/pdeload" ./cmd/pdeload
+
+wait_healthy() { # url
+	i=0
+	until curl -fsS "$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			echo "$1 never became healthy" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+# jnum FILE KEY — pull a top-level numeric field out of a JSON report.
+jnum() {
+	sed -n "s/^  \"$2\": \([0-9.eE+-]*\),*$/\1/p" "$1" | head -1
+}
+
+run_stage() { # nbackends
+	N="$1"
+	BACKENDS=""
+	PIDS=""
+	for i in $(seq 0 $((N - 1))); do
+		PORT=$((BASE_PORT + i))
+		"$TMP/pdeserved" -addr "127.0.0.1:$PORT" -debug-addr "" >"$TMP/s$N-b$i.log" 2>&1 &
+		PIDS="$PIDS $!"
+		BACKENDS="$BACKENDS,http://127.0.0.1:$PORT"
+	done
+	BACKENDS="${BACKENDS#,}"
+	for i in $(seq 0 $((N - 1))); do
+		wait_healthy "http://127.0.0.1:$((BASE_PORT + i))"
+	done
+	"$TMP/pdegw" -addr "$GW_ADDR" -backends "$BACKENDS" >"$TMP/s$N-gw.log" 2>&1 &
+	GW_PID=$!
+	PIDS="$PIDS $GW_PID"
+	wait_healthy "http://$GW_ADDR"
+
+	OK=0
+	ERR5=0
+	SECS=0
+	for GRID in 5 6 7; do
+		"$TMP/pdeload" -targets "http://$GW_ADDR" -rate "$RATE" -duration "$DURATION" \
+			-problem burgers-steady -n "$GRID" -seed-spread 2 \
+			-re 1.0 -re-step 0.01 -re-count 4 \
+			-out "$TMP/s$N-n$GRID.json" >/dev/null
+		OK=$((OK + $(jnum "$TMP/s$N-n$GRID.json" ok_2xx)))
+		ERR5=$((ERR5 + $(jnum "$TMP/s$N-n$GRID.json" server_5xx)))
+		SECS="$(awk "BEGIN{print $SECS + $(jnum "$TMP/s$N-n$GRID.json" duration_seconds)}")"
+	done
+	THROUGHPUT="$(awk "BEGIN{printf \"%.2f\", $OK / $SECS}")"
+
+	# Fleet evidence: gateway routing/batch counters and per-backend caches.
+	GWM="$(curl -fsS "http://$GW_ADDR/metrics")"
+	ROUTED="$(echo "$GWM" | sed -n 's/^pdegw_backend_routed_total{backend="\([^"]*\)"} \([0-9]*\)$/    {"backend": "\1", "routed": \2},/p')"
+	BATCHES="$(echo "$GWM" | sed -n 's/^pdegw_batches_total \([0-9]*\)$/\1/p')"
+	DEDUPED="$(echo "$GWM" | sed -n 's/^pdegw_batch_deduped_total \([0-9]*\)$/\1/p')"
+	FAILOVERS="$(echo "$GWM" | sed -n 's/^pdegw_failovers_total \([0-9]*\)$/\1/p')"
+	CACHES=""
+	for i in $(seq 0 $((N - 1))); do
+		PORT=$((BASE_PORT + i))
+		BM="$(curl -fsS "http://127.0.0.1:$PORT/metrics")"
+		HITS="$(echo "$BM" | sed -n 's/^pdeserve_cache_hits_total \([0-9]*\)$/\1/p')"
+		WARM="$(echo "$BM" | sed -n 's/^pdeserve_cache_warm_hits_total \([0-9]*\)$/\1/p')"
+		MISS="$(echo "$BM" | sed -n 's/^pdeserve_cache_misses_total \([0-9]*\)$/\1/p')"
+		RATE_PCT="$(awk "BEGIN{t=$HITS+$WARM+$MISS; if (t>0) printf \"%.3f\", ($HITS+$WARM)/t; else print 0}")"
+		CACHES="$CACHES    {\"backend\": \"http://127.0.0.1:$PORT\", \"hits\": $HITS, \"warm_hits\": $WARM, \"misses\": $MISS, \"hit_rate\": $RATE_PCT},
+"
+	done
+
+	{
+		echo "  {"
+		echo "    \"backends\": $N,"
+		echo "    \"ok_2xx\": $OK,"
+		echo "    \"server_5xx\": $ERR5,"
+		echo "    \"throughput_rps\": $THROUGHPUT,"
+		echo "    \"gateway_batches\": $BATCHES,"
+		echo "    \"gateway_deduped\": $DEDUPED,"
+		echo "    \"gateway_failovers\": $FAILOVERS,"
+		echo "    \"routed\": ["
+		echo "$ROUTED" | sed '$ s/,$//'
+		echo "    ],"
+		echo "    \"backend_caches\": ["
+		printf '%s' "$CACHES" | sed '$ s/,$//'
+		echo "    ]"
+		echo "  }"
+	} >"$TMP/stage$N.json"
+
+	if [ "$ERR5" -ne 0 ]; then
+		echo "stage $N saw $ERR5 server errors" >&2
+		exit 1
+	fi
+
+	kill -TERM $PIDS 2>/dev/null || true
+	for P in $PIDS; do
+		wait "$P" 2>/dev/null || true
+	done
+	PIDS=""
+	echo "stage $N backends: throughput ${THROUGHPUT} rps (ok=$OK, 5xx=$ERR5)"
+	eval "T$N=\$THROUGHPUT"
+}
+
+echo "== stage: 1 backend"
+run_stage 1
+echo "== stage: 2 backends"
+run_stage 2
+echo "== stage: 3 backends"
+run_stage 3
+
+SPEEDUP="$(awk "BEGIN{printf \"%.3f\", $T3 / $T1}")"
+CHECKED=false
+if [ "$NUMCPU" -gt 1 ]; then
+	CHECKED=true
+	PASS="$(awk "BEGIN{print ($SPEEDUP >= $MIN_SPEEDUP) ? 1 : 0}")"
+	if [ "$PASS" -ne 1 ]; then
+		echo "FAIL: 3-backend throughput is only ${SPEEDUP}x of 1 backend (want >= $MIN_SPEEDUP)" >&2
+		exit 1
+	fi
+else
+	echo "NOTICE: numcpu=1, skipping the >=${MIN_SPEEDUP}x scaling assertion (three backends time-slice one core); routed/batch counters and per-backend cache hit rates above are the fleet evidence"
+fi
+
+{
+	echo "{"
+	echo "  \"benchmark\": \"pdegw fleet throughput, 1/2/3 pdeserved backends\","
+	echo "  \"numcpu\": $NUMCPU,"
+	echo "  \"offered_rate_rps_per_shape\": $RATE,"
+	echo "  \"shapes\": 3,"
+	echo "  \"min_speedup\": $MIN_SPEEDUP,"
+	echo "  \"speedup_checked\": $CHECKED,"
+	echo "  \"speedup_3v1\": $SPEEDUP,"
+	echo "  \"stages\": ["
+	sed 's/^/  /;$ s/$/,/' "$TMP/stage1.json"
+	sed 's/^/  /;$ s/$/,/' "$TMP/stage2.json"
+	sed 's/^/  /' "$TMP/stage3.json"
+	echo "  ]"
+	echo "}"
+} >"$OUT"
+
+echo "wrote $OUT (speedup 3v1 = ${SPEEDUP}x, checked=$CHECKED)"
