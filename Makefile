@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint lint-baseline fuzz check bench bench-core serve serve-smoke chaos-smoke cache-smoke cluster-smoke bench-serve bench-cluster
+.PHONY: all build test race vet fmt lint lint-baseline fuzz check bench bench-core serve serve-smoke chaos-smoke cache-smoke cluster-smoke scale-smoke bench-serve bench-cluster
 
 all: build
 
@@ -83,6 +83,14 @@ chaos-smoke:
 # warm per-backend caches, and a clean gateway drain.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Scale smoke: boot pdeserved with an autoscaler range, ramp open-loop load
+# through it, and assert the worker pool provably adapts — the workers
+# gauge rises off the floor and settles back, scale-ups are counted,
+# Workers×SolveProcs stays within GOMAXPROCS, responses stay bit-identical
+# to a fixed-size server, zero 5xx, and a clean SIGTERM drain.
+scale-smoke:
+	./scripts/scale_smoke.sh
 
 # Regenerate the committed fleet benchmark (BENCH_cluster.json): gateway
 # throughput with 1, 2 and 3 backends plus the routed/batch counters and

@@ -7,6 +7,9 @@
 //	      [-addr :8090] [-vnodes 64] [-max-grid N] [-probe-interval D]
 //	      [-probe-timeout D] [-evict-after N] [-backoff-max N]
 //	      [-batch-window D] [-max-batch N] [-drain-timeout D]
+//	      [-breaker-threshold N] [-breaker-open-probes N]
+//	      [-retry-budget F] [-retry-budget-max F]
+//	      [-timeout D] [-max-timeout D]
 //
 // The gateway serves POST /v1/solve (shape-affine consistent-hash routed,
 // same-shape batched, ring-successor failover), GET /v1/problems (proxied
@@ -17,6 +20,14 @@
 // relays every admitted request to completion, and exits 0; requests
 // still in flight past -drain-timeout are abandoned and the exit code
 // is 1. Backends are never drained by the gateway — kill them directly.
+//
+// Failure isolation: each backend has a circuit breaker (closed → open
+// after -breaker-threshold consecutive failures → half-open trial after
+// -breaker-open-probes prober sweeps), and failover retries draw from a
+// token bucket refilled at -retry-budget tokens per primary dispatch
+// (negative disables refill). An exhausted budget answers 429, never a
+// 5xx. The remaining request deadline is forwarded to backends per
+// attempt via the X-Pde-Deadline-Budget header.
 package main
 
 import (
@@ -47,6 +58,13 @@ func main() {
 		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "same-shape coalescing window (negative disables batching)")
 		maxBatch      = flag.Int("max-batch", 8, "largest same-shape batch; a full window flushes early")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		breakerThreshold  = flag.Int("breaker-threshold", 0, "consecutive failures that open a backend's circuit breaker (0 = default 3)")
+		breakerOpenProbes = flag.Int("breaker-open-probes", 0, "prober sweeps an open breaker waits before its half-open trial (0 = default 2)")
+		retryBudget       = flag.Float64("retry-budget", 0, "retry tokens deposited per primary dispatch (0 = default 0.1, negative disables refill)")
+		retryBudgetMax    = flag.Float64("retry-budget-max", 0, "retry token bucket cap and starting balance (0 = default 32)")
+		timeout           = flag.Duration("timeout", 0, "default request deadline when the body carries no deadline_ms (0 = default 5s)")
+		maxTimeout        = flag.Duration("max-timeout", 0, "clamp on client-supplied deadlines (0 = default 30s)")
 	)
 	flag.Parse()
 
@@ -66,6 +84,13 @@ func main() {
 		BackoffMaxProbes: *backoffMax,
 		BatchWindow:      *batchWindow,
 		MaxBatch:         *maxBatch,
+
+		BreakerThreshold:  *breakerThreshold,
+		BreakerOpenProbes: *breakerOpenProbes,
+		RetryBudgetRatio:  *retryBudget,
+		RetryBudgetMax:    *retryBudgetMax,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdegw:", err)

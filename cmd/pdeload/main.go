@@ -5,9 +5,17 @@
 // Usage:
 //
 //	pdeload [-url http://127.0.0.1:8080] [-rate 200] [-duration 10s]
-//	        [-concurrency 64] [-problem burgers-steady] [-n 5] [-analog]
+//	        [-ramp START:END:STEPS] [-concurrency 64]
+//	        [-problem burgers-steady] [-n 5] [-analog]
 //	        [-seed-spread 16] [-re 1] [-re-step 0] [-re-count 1]
 //	        [-targets URL1,URL2,...] [-out BENCH_serve.json]
+//
+// -ramp replaces the flat -rate with an open-loop ramp profile: -duration
+// is split evenly into STEPS stages whose offered rates interpolate
+// linearly from START to END requests per second. The report gains a
+// ramp_steps array (per-step sent/2xx/429/5xx and p50) and a per-step
+// summary line on stderr — the shape an autoscaler smoke test reads its
+// evidence from.
 //
 // -targets replaces -url with a comma-separated list of base URLs:
 // launches round-robin across them and the report adds a per-target
@@ -57,6 +65,19 @@ import (
 	"hybridpde/internal/serve"
 	"hybridpde/internal/stats"
 )
+
+// RampStepReport is one stage of a -ramp run.
+type RampStepReport struct {
+	Step         int     `json:"step"`
+	RateRPS      float64 `json:"offered_rate_rps"`
+	Sent         int     `json:"sent"`
+	LocalDrops   int     `json:"local_drops"`
+	OK           int     `json:"ok_2xx"`
+	Shed         int     `json:"shed_429"`
+	ServerErr    int     `json:"server_5xx"`
+	TransportEr  int     `json:"transport_errors"`
+	LatencyP50Ms float64 `json:"latency_p50_ms,omitempty"`
+}
 
 // TargetReport is one target's share of a multi-target run.
 type TargetReport struct {
@@ -120,6 +141,9 @@ type Report struct {
 	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
 	MetricsScraped bool    `json:"metrics_scraped,omitempty"`
 
+	// Per-step breakdown of a -ramp run.
+	RampSteps []RampStepReport `json:"ramp_steps,omitempty"`
+
 	// Per-target breakdown of a -targets run.
 	Targets []TargetReport `json:"targets,omitempty"`
 
@@ -139,6 +163,7 @@ func main() {
 		url        = flag.String("url", "http://127.0.0.1:8080", "pdeserved base URL")
 		rate       = flag.Float64("rate", 200, "offered load in requests per second")
 		duration   = flag.Duration("duration", 10*time.Second, "how long to offer load")
+		ramp       = flag.String("ramp", "", "open-loop ramp profile START:END:STEPS — split -duration into STEPS stages interpolating the rate from START to END rps (overrides -rate)")
 		conc       = flag.Int("concurrency", 64, "max outstanding requests before the client drops locally")
 		problem    = flag.String("problem", serve.KindBurgersSteady, "problem kind to request")
 		n          = flag.Int("n", 5, "grid size of the requested problem")
@@ -184,6 +209,12 @@ func main() {
 	}
 	client := &http.Client{Timeout: 60 * time.Second}
 
+	profile, err := rampProfile(*ramp, *rate, *duration)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdeload:", err)
+		os.Exit(2)
+	}
+
 	type result struct {
 		code     int
 		seconds  float64
@@ -192,6 +223,7 @@ func main() {
 		warm     bool
 		iters    int
 		target   int
+		step     int
 		err      error
 	}
 	results := make(chan result, 4096)
@@ -207,85 +239,95 @@ func main() {
 	gwBefore, gwScraped := scrapeGatewayCounters(client, targets[0])
 
 	var wg sync.WaitGroup
-	interval := time.Duration(float64(time.Second) / *rate)
-	if interval <= 0 {
-		interval = time.Microsecond
-	}
-	ticker := time.NewTicker(interval)
-	stop := time.After(*duration)
 	begin := time.Now()
 
 	type identity struct {
 		seed int64
 		re   float64
 	}
-	seen := map[identity]bool{} // touched only by the launch loop
+	seen := map[identity]bool{}                       // touched only by the launch loop
+	stepStats := make([]RampStepReport, len(profile)) // LocalDrops/Sent from the launch loop, the rest from the drain
 
-launch:
-	for i := int64(0); ; i++ {
-		select {
-		case <-stop:
-			break launch
-		case <-ticker.C:
+	i := int64(0)
+	for stepIdx, st := range profile {
+		stepStats[stepIdx] = RampStepReport{Step: stepIdx + 1, RateRPS: st.rate}
+		interval := time.Duration(float64(time.Second) / st.rate)
+		if interval <= 0 {
+			interval = time.Microsecond
 		}
-		select {
-		case slots <- struct{}{}:
-		default:
-			rep.LocalDrops++ // open loop: never block the schedule
-			continue
-		}
-		rep.Sent++
-		seed := 1 + i%*seedSpread
-		re := *reBase + float64(i%int64(*reCount))**reStep
-		id := identity{seed, re}
-		first := !seen[id]
-		seen[id] = true
-		target := int(i % int64(len(targets)))
-		wg.Add(1)
-		go func(seed int64, re float64, first bool, target int) {
-			defer wg.Done()
-			defer func() { <-slots }()
-			start := time.Now()
-			hr, err := client.Post(targets[target]+"/v1/solve", "application/json",
-				bytes.NewReader(body(seed, re)))
-			if err != nil {
-				results <- result{err: err, target: target}
-				return
+		ticker := time.NewTicker(interval)
+		stop := time.After(st.dur)
+	launch:
+		for ; ; i++ {
+			select {
+			case <-stop:
+				break launch
+			case <-ticker.C:
 			}
-			degraded, warm, iters := false, false, 0
-			if hr.StatusCode >= 200 && hr.StatusCode < 300 {
-				var sr struct {
-					Degraded bool   `json:"degraded"`
-					Rung     string `json:"rung"`
-					Iters    int    `json:"newton_iterations"`
+			select {
+			case slots <- struct{}{}:
+			default:
+				rep.LocalDrops++ // open loop: never block the schedule
+				stepStats[stepIdx].LocalDrops++
+				continue
+			}
+			rep.Sent++
+			stepStats[stepIdx].Sent++
+			seed := 1 + i%*seedSpread
+			re := *reBase + float64(i%int64(*reCount))**reStep
+			id := identity{seed, re}
+			first := !seen[id]
+			seen[id] = true
+			target := int(i % int64(len(targets)))
+			wg.Add(1)
+			go func(seed int64, re float64, first bool, target, step int) {
+				defer wg.Done()
+				defer func() { <-slots }()
+				start := time.Now()
+				hr, err := client.Post(targets[target]+"/v1/solve", "application/json",
+					bytes.NewReader(body(seed, re)))
+				if err != nil {
+					results <- result{err: err, target: target, step: step}
+					return
 				}
-				json.NewDecoder(hr.Body).Decode(&sr)
-				degraded = sr.Degraded
-				warm = sr.Rung == "warm-start"
-				iters = sr.Iters
-			}
-			io.Copy(io.Discard, hr.Body)
-			hr.Body.Close()
-			results <- result{code: hr.StatusCode, seconds: time.Since(start).Seconds(),
-				degraded: degraded, first: first, warm: warm, iters: iters, target: target}
-		}(seed, re, first, target)
+				degraded, warm, iters := false, false, 0
+				if hr.StatusCode >= 200 && hr.StatusCode < 300 {
+					var sr struct {
+						Degraded bool   `json:"degraded"`
+						Rung     string `json:"rung"`
+						Iters    int    `json:"newton_iterations"`
+					}
+					json.NewDecoder(hr.Body).Decode(&sr)
+					degraded = sr.Degraded
+					warm = sr.Rung == "warm-start"
+					iters = sr.Iters
+				}
+				io.Copy(io.Discard, hr.Body)
+				hr.Body.Close()
+				results <- result{code: hr.StatusCode, seconds: time.Since(start).Seconds(),
+					degraded: degraded, first: first, warm: warm, iters: iters, target: target, step: step}
+			}(seed, re, first, target, stepIdx)
+		}
+		ticker.Stop()
 	}
-	ticker.Stop()
 	go func() { wg.Wait(); close(results) }()
 
 	var latencies, cold, repeat []float64
 	var coldIters, warmIters, coldN, warmN int
 	perTarget := make([]TargetReport, len(targets))
 	perTargetLat := make([][]float64, len(targets))
+	perStepLat := make([][]float64, len(profile))
 	for i, u := range targets {
 		perTarget[i].URL = u
 	}
 	for r := range results {
 		tr := &perTarget[r.target]
 		tr.Sent++
+		ss := &stepStats[r.step]
 		if r.err != nil {
 			rep.TransportEr++
 			tr.TransportEr++
+			ss.TransportEr++
 			continue
 		}
 		rep.Codes[fmt.Sprintf("%d", r.code)]++
@@ -293,11 +335,13 @@ launch:
 		case r.code >= 200 && r.code < 300:
 			rep.OK++
 			tr.OK++
+			ss.OK++
 			if r.degraded {
 				rep.Degraded++
 			}
 			latencies = append(latencies, r.seconds)
 			perTargetLat[r.target] = append(perTargetLat[r.target], r.seconds)
+			perStepLat[r.step] = append(perStepLat[r.step], r.seconds)
 			if r.first {
 				cold = append(cold, r.seconds)
 			} else {
@@ -316,12 +360,14 @@ launch:
 		case r.code == http.StatusTooManyRequests:
 			rep.Shed++
 			tr.Shed++
+			ss.Shed++
 		case r.code >= 400 && r.code < 500:
 			rep.ClientErr++
 			tr.ClientErr++
 		default:
 			rep.ServerErr++
 			tr.ServerErr++
+			ss.ServerErr++
 		}
 	}
 	elapsed := time.Since(begin).Seconds()
@@ -348,6 +394,14 @@ launch:
 	}
 	if warmN > 0 {
 		rep.WarmMeanIters = float64(warmIters) / float64(warmN)
+	}
+	if *ramp != "" {
+		for i := range stepStats {
+			if lat := perStepLat[i]; len(lat) > 0 {
+				stepStats[i].LatencyP50Ms = 1000 * stats.Percentile(lat, 50)
+			}
+		}
+		rep.RampSteps = stepStats
 	}
 	if len(targets) > 1 || *targetList != "" {
 		for i := range perTarget {
@@ -400,6 +454,10 @@ launch:
 	}
 	fmt.Fprintf(os.Stderr, "pdeload: status breakdown: 2xx=%d (degraded=%d) 429=%d other-4xx=%d 5xx=%d transport=%d local-drops=%d\n",
 		rep.OK, rep.Degraded, rep.Shed, rep.ClientErr, rep.ServerErr, rep.TransportEr, rep.LocalDrops)
+	for _, ss := range rep.RampSteps {
+		fmt.Fprintf(os.Stderr, "pdeload: ramp step %d/%d: rate=%.1frps sent=%d 2xx=%d 429=%d 5xx=%d transport=%d local-drops=%d p50=%.2fms\n",
+			ss.Step, len(rep.RampSteps), ss.RateRPS, ss.Sent, ss.OK, ss.Shed, ss.ServerErr, ss.TransportEr, ss.LocalDrops, ss.LatencyP50Ms)
+	}
 	for _, tr := range rep.Targets {
 		fmt.Fprintf(os.Stderr, "pdeload: target %s: sent=%d 2xx=%d 429=%d 4xx=%d 5xx=%d transport=%d p50=%.2fms\n",
 			tr.URL, tr.Sent, tr.OK, tr.Shed, tr.ClientErr, tr.ServerErr, tr.TransportEr, tr.LatencyP50Ms)
@@ -417,6 +475,46 @@ launch:
 		fmt.Fprintln(os.Stderr, "pdeload: no successful responses")
 		os.Exit(1)
 	}
+}
+
+// rampStage is one stage of the resolved load profile: a flat -rate run is
+// a single stage spanning the whole duration.
+type rampStage struct {
+	rate float64
+	dur  time.Duration
+}
+
+// rampProfile resolves -ramp START:END:STEPS (or, when empty, the flat
+// -rate) into the staged schedule the launch loop walks: total split
+// evenly across the steps, rates interpolated linearly from START to END
+// so the final stage offers exactly END rps.
+func rampProfile(spec string, rate float64, total time.Duration) ([]rampStage, error) {
+	if spec == "" {
+		return []rampStage{{rate: rate, dur: total}}, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-ramp %q: want START:END:STEPS", spec)
+	}
+	start, err1 := strconv.ParseFloat(parts[0], 64)
+	end, err2 := strconv.ParseFloat(parts[1], 64)
+	steps, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("-ramp %q: want numeric START:END:STEPS", spec)
+	}
+	if start <= 0 || end <= 0 || steps < 1 {
+		return nil, fmt.Errorf("-ramp %q: rates must be positive and STEPS at least 1", spec)
+	}
+	stages := make([]rampStage, steps)
+	dur := total / time.Duration(steps)
+	for k := range stages {
+		r := start
+		if steps > 1 {
+			r = start + (end-start)*float64(k)/float64(steps-1)
+		}
+		stages[k] = rampStage{rate: r, dur: dur}
+	}
+	return stages, nil
 }
 
 // cacheCounters is the subset of /metrics pdeload understands.

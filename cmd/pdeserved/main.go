@@ -3,6 +3,8 @@
 // Usage:
 //
 //	pdeserved [-addr :8080] [-debug-addr 127.0.0.1:8081] [-workers N]
+//	          [-min-workers N] [-max-workers N] [-scale-interval D]
+//	          [-scale-up-queue N] [-scale-idle-ticks N]
 //	          [-queue N] [-max-grid N] [-timeout D] [-max-timeout D]
 //	          [-seed N] [-drain-timeout D] [-chaos] [-chaos-spec SPEC]
 //	          [-retries N] [-seed-gate F] [-cache-size N] [-cache-off]
@@ -20,6 +22,13 @@
 // with an inline spec text or, with an @ prefix, a spec file. Faulty seeds
 // are caught by the degradation ladder and served from a lower rung with
 // the degraded flag set, never a 5xx.
+//
+// -max-workers above -min-workers arms the autoscaler (internal/adapt): a
+// tick-driven controller samples queue depth, shed rate and solve latency
+// every -scale-interval and resizes the worker pool inside
+// [-min-workers, -max-workers], rebalancing per-solve parallelism so
+// Workers×SolveProcs stays within the GOMAXPROCS budget. Responses are
+// bit-identical at every pool size.
 package main
 
 import (
@@ -33,29 +42,35 @@ import (
 	"syscall"
 	"time"
 
+	"hybridpde/internal/adapt"
 	"hybridpde/internal/fault"
 	"hybridpde/internal/serve"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "API listen address")
-		debugAddr    = flag.String("debug-addr", "127.0.0.1:8081", "pprof/debug listen address (empty disables)")
-		workers      = flag.Int("workers", 0, "solve workers (0 = GOMAXPROCS)")
-		queue        = flag.Int("queue", 64, "admission queue depth beyond the worker count")
-		maxGrid      = flag.Int("max-grid", 12, "largest 2-D grid size a request may ask for")
-		timeout      = flag.Duration("timeout", 5*time.Second, "default per-request deadline")
-		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp on client-supplied deadlines")
-		seed         = flag.Int64("seed", 1, "base seed for worker fabrics and accelerators")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
-		chaos        = flag.Bool("chaos", false, "inject the built-in fault spec into every worker accelerator")
-		chaosSpec    = flag.String("chaos-spec", "", "fault spec text, or @file to load one (implies -chaos)")
-		retries      = flag.Int("retries", 0, "per-request retries of transient-fault solves (0 = default 2, negative disables)")
-		seedGate     = flag.Float64("seed-gate", 0, "seed-quality gate factor (0 = default 1: reject seeds worse than the start)")
-		solveProcs   = flag.Int("solve-procs", 0, "per-solve parallel workers (0 = GOMAXPROCS/workers, negative disables)")
-		cacheSize    = flag.Int("cache-size", 0, "solve-cache entry bound (0 = default 4096)")
-		cacheOff     = flag.Bool("cache-off", false, "disable the content-addressed solve cache")
-		warmRadius   = flag.Float64("warm-radius", 0, "parameter distance within which a cached neighbour warm-starts a solve (0 = default 0.25, negative disables)")
+		addr           = flag.String("addr", ":8080", "API listen address")
+		debugAddr      = flag.String("debug-addr", "127.0.0.1:8081", "pprof/debug listen address (empty disables)")
+		workers        = flag.Int("workers", 0, "initial solve workers (0 = -min-workers if set, else GOMAXPROCS)")
+		minWorkers     = flag.Int("min-workers", 0, "autoscaler floor on the worker pool (0 = pin at -workers)")
+		maxWorkers     = flag.Int("max-workers", 0, "autoscaler ceiling on the worker pool (0 = pin at -workers)")
+		scaleInterval  = flag.Duration("scale-interval", 250*time.Millisecond, "autoscaler controller tick period (0 disables the autoscaler)")
+		scaleUpQueue   = flag.Int("scale-up-queue", 0, "queue depth that triggers a scale-up (0 = default 4)")
+		scaleIdleTicks = flag.Int("scale-idle-ticks", 0, "consecutive idle ticks before scaling down one worker (0 = default 20)")
+		queue          = flag.Int("queue", 64, "admission queue depth beyond the worker count")
+		maxGrid        = flag.Int("max-grid", 12, "largest 2-D grid size a request may ask for")
+		timeout        = flag.Duration("timeout", 5*time.Second, "default per-request deadline")
+		maxTimeout     = flag.Duration("max-timeout", 30*time.Second, "clamp on client-supplied deadlines")
+		seed           = flag.Int64("seed", 1, "base seed for worker fabrics and accelerators")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
+		chaos          = flag.Bool("chaos", false, "inject the built-in fault spec into every worker accelerator")
+		chaosSpec      = flag.String("chaos-spec", "", "fault spec text, or @file to load one (implies -chaos)")
+		retries        = flag.Int("retries", 0, "per-request retries of transient-fault solves (0 = default 2, negative disables)")
+		seedGate       = flag.Float64("seed-gate", 0, "seed-quality gate factor (0 = default 1: reject seeds worse than the start)")
+		solveProcs     = flag.Int("solve-procs", 0, "per-solve parallel workers (0 = GOMAXPROCS/workers, negative disables)")
+		cacheSize      = flag.Int("cache-size", 0, "solve-cache entry bound (0 = default 4096)")
+		cacheOff       = flag.Bool("cache-off", false, "disable the content-addressed solve cache")
+		warmRadius     = flag.Float64("warm-radius", 0, "parameter distance within which a cached neighbour warm-starts a solve (0 = default 0.25, negative disables)")
 	)
 	flag.Parse()
 
@@ -72,8 +87,16 @@ func main() {
 	if *cacheOff {
 		cacheEntries = -1
 	}
+	initialWorkers := *workers
+	if initialWorkers == 0 && *minWorkers > 0 {
+		// With an autoscaler range configured, start at the floor and let
+		// load earn the extra workers.
+		initialWorkers = *minWorkers
+	}
 	s := serve.NewServer(serve.Config{
-		Workers:        *workers,
+		Workers:        initialWorkers,
+		MinWorkers:     *minWorkers,
+		MaxWorkers:     *maxWorkers,
 		QueueDepth:     *queue,
 		MaxGridN:       *maxGrid,
 		DefaultTimeout: *timeout,
@@ -86,6 +109,23 @@ func main() {
 		CacheEntries:   cacheEntries,
 		WarmRadius:     *warmRadius,
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *maxWorkers > *minWorkers && *maxWorkers > 1 && *scaleInterval > 0 {
+		ctrl := adapt.New(adapt.Config{
+			Min:          *minWorkers,
+			Max:          *maxWorkers,
+			ScaleUpQueue: *scaleUpQueue,
+			IdleTicks:    *scaleIdleTicks,
+		})
+		ticker := time.NewTicker(*scaleInterval)
+		defer ticker.Stop()
+		go adapt.Run(ctx, ticker.C, ctrl, s)
+		fmt.Fprintf(os.Stderr, "pdeserved: autoscaler armed: %d..%d workers, tick %s\n",
+			*minWorkers, *maxWorkers, *scaleInterval)
+	}
 
 	api := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 2)
@@ -102,8 +142,6 @@ func main() {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case <-ctx.Done():
 	case err := <-errc:

@@ -1,0 +1,202 @@
+// Package adapt is the serving stack's capacity controller: a tick-driven
+// autoscaler that grows and shrinks a solve worker pool between a
+// configured floor and ceiling, reacting to the overload signals the
+// metrics plane already measures (queue depth, shed rate, solve latency)
+// with explicit hysteresis so the pool never flaps.
+//
+// The controller owns no clock. Like serve/clock.go quarantines the
+// serving stack's wall-time reads, adapt quarantines *pacing*: callers
+// hand Run an externally-owned tick channel (a time.Ticker in pdeserved, a
+// plain channel in tests), and Tick itself is a pure function of the
+// observed signals and the controller's state. That keeps the package
+// walltime-clean under pdevet, deterministic under test, and honest about
+// what a scaling decision depends on — signal deltas between ticks, never
+// elapsed seconds.
+package adapt
+
+import (
+	"context"
+	"time"
+)
+
+// Signals is one observation of the pool, taken at a tick. Counter-shaped
+// fields (Sheds, LatencySum, LatencyCount) are cumulative since process
+// start; the controller differentiates them across ticks itself, so
+// observers can hand over raw metric values.
+type Signals struct {
+	// Workers is the current pool size.
+	Workers int
+	// QueueDepth is the number of admitted requests waiting for a worker.
+	QueueDepth int
+	// Inflight is the number of solves executing right now.
+	Inflight int
+	// Sheds is the cumulative count of requests rejected with 429 because
+	// the admission queue was full.
+	Sheds uint64
+	// LatencySum and LatencyCount are the cumulative solve-latency
+	// histogram sum (seconds) and observation count; their per-tick deltas
+	// give the mean solve latency of the interval.
+	LatencySum   float64
+	LatencyCount uint64
+}
+
+// Config tunes the controller's hysteresis. The zero value is usable: every
+// field has a default chosen for the tick cadence pdeserved runs (250ms).
+type Config struct {
+	// Min and Max bound the worker pool. Defaults: 1 and Min.
+	Min, Max int
+	// ScaleUpQueue is the queue depth at or above which a tick votes to
+	// scale up. Default 4.
+	ScaleUpQueue int
+	// LatencyHigh, when positive, is the per-tick mean solve latency (in
+	// seconds) at or above which a tick votes to scale up. Default 0
+	// (disabled): queue depth and sheds are direct overload evidence,
+	// latency is workload-dependent and opt-in.
+	LatencyHigh float64
+	// UpStep is how many workers one scale-up adds. Default 1.
+	UpStep int
+	// CooldownTicks is the minimum number of ticks between scale-ups, so
+	// one burst cannot ratchet the pool straight to Max before the added
+	// capacity has had a tick to absorb it. Default 2.
+	CooldownTicks int
+	// IdleTicks is how many consecutive idle ticks (empty queue, no new
+	// sheds, spare workers) it takes to retire one worker. Scale-down is
+	// deliberately an order of magnitude slower than scale-up: capacity is
+	// cheap, cold queues are not. Default 20.
+	IdleTicks int
+}
+
+func (c *Config) defaults() {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.ScaleUpQueue <= 0 {
+		c.ScaleUpQueue = 4
+	}
+	if c.UpStep <= 0 {
+		c.UpStep = 1
+	}
+	if c.CooldownTicks <= 0 {
+		c.CooldownTicks = 2
+	}
+	if c.IdleTicks <= 0 {
+		c.IdleTicks = 20
+	}
+}
+
+// Reasons a Decision carries; they become the reason label of the server's
+// resize counter.
+const (
+	ReasonShed    = "shed"    // requests were 429-shed since the last tick
+	ReasonQueue   = "queue"   // queue depth at or above the scale-up threshold
+	ReasonLatency = "latency" // per-tick mean solve latency above LatencyHigh
+	ReasonIdle    = "idle"    // the idle window elapsed with spare capacity
+)
+
+// Decision is the outcome of one tick. A zero Reason means hold.
+type Decision struct {
+	Target int
+	Reason string
+}
+
+// Controller is the autoscaler state machine. Not safe for concurrent use;
+// Run (or any single goroutine) must own it.
+type Controller struct {
+	cfg      Config
+	prev     Signals
+	havePrev bool
+	cooldown int // ticks left before the next scale-up is allowed
+	idle     int // consecutive idle ticks observed
+}
+
+// New builds a controller.
+func New(cfg Config) *Controller {
+	cfg.defaults()
+	return &Controller{cfg: cfg}
+}
+
+// Tick consumes one observation and decides. Scale-up evidence (sheds,
+// queue depth, latency) wins over the idle countdown and resets it; a hold
+// is returned while the cooldown runs or the pool is already at a bound.
+func (c *Controller) Tick(s Signals) Decision {
+	shedDelta := uint64(0)
+	latCount := uint64(0)
+	latSum := 0.0
+	if c.havePrev {
+		shedDelta = s.Sheds - c.prev.Sheds
+		latCount = s.LatencyCount - c.prev.LatencyCount
+		latSum = s.LatencySum - c.prev.LatencySum
+	}
+	c.prev = s
+	c.havePrev = true
+	if c.cooldown > 0 {
+		c.cooldown--
+	}
+
+	reason := ""
+	switch {
+	case shedDelta > 0:
+		reason = ReasonShed
+	case s.QueueDepth >= c.cfg.ScaleUpQueue:
+		reason = ReasonQueue
+	case c.cfg.LatencyHigh > 0 && latCount > 0 && latSum/float64(latCount) >= c.cfg.LatencyHigh:
+		reason = ReasonLatency
+	}
+	if reason != "" {
+		c.idle = 0
+		if s.Workers >= c.cfg.Max || c.cooldown > 0 {
+			return Decision{}
+		}
+		c.cooldown = c.cfg.CooldownTicks
+		target := s.Workers + c.cfg.UpStep
+		if target > c.cfg.Max {
+			target = c.cfg.Max
+		}
+		return Decision{Target: target, Reason: reason}
+	}
+
+	if s.QueueDepth == 0 && shedDelta == 0 && s.Inflight < s.Workers {
+		c.idle++
+	} else {
+		c.idle = 0
+	}
+	if c.idle >= c.cfg.IdleTicks && s.Workers > c.cfg.Min {
+		c.idle = 0
+		return Decision{Target: s.Workers - 1, Reason: ReasonIdle}
+	}
+	return Decision{}
+}
+
+// Pool is the resizable worker pool the controller drives. serve.Server
+// implements it.
+type Pool interface {
+	// Observe samples the pool's current signals.
+	Observe() Signals
+	// Resize moves the pool toward target workers (clamped to the pool's
+	// own bounds) and returns the achieved size. The reason tags the
+	// pool's resize accounting.
+	Resize(target int, reason string) int
+}
+
+// Run drives the controller from an externally-owned tick source until ctx
+// is cancelled. The caller owns the ticker (and its Stop), so adapt itself
+// never touches a clock:
+//
+//	ticker := time.NewTicker(interval)
+//	defer ticker.Stop()
+//	go adapt.Run(ctx, ticker.C, adapt.New(cfg), server)
+func Run(ctx context.Context, ticks <-chan time.Time, c *Controller, p Pool) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticks:
+			if d := c.Tick(p.Observe()); d.Reason != "" {
+				p.Resize(d.Target, d.Reason)
+			}
+		}
+	}
+}

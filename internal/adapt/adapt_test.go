@@ -1,0 +1,174 @@
+package adapt
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tick is a shorthand for driving the controller with explicit signals.
+func tick(t *testing.T, c *Controller, s Signals) Decision {
+	t.Helper()
+	return c.Tick(s)
+}
+
+func TestScaleUpOnQueueDepth(t *testing.T) {
+	c := New(Config{Min: 1, Max: 4, ScaleUpQueue: 4, CooldownTicks: 2})
+	if d := tick(t, c, Signals{Workers: 1, QueueDepth: 3}); d.Reason != "" {
+		t.Fatalf("queue below threshold scaled: %+v", d)
+	}
+	d := tick(t, c, Signals{Workers: 1, QueueDepth: 4})
+	if d.Reason != ReasonQueue || d.Target != 2 {
+		t.Fatalf("queue at threshold: got %+v, want target 2 reason queue", d)
+	}
+}
+
+func TestScaleUpOnShedDelta(t *testing.T) {
+	c := New(Config{Min: 1, Max: 4})
+	// First tick establishes the baseline; a pre-existing cumulative shed
+	// count is history, not evidence.
+	if d := tick(t, c, Signals{Workers: 1, Sheds: 100}); d.Reason != "" {
+		t.Fatalf("baseline tick scaled: %+v", d)
+	}
+	d := tick(t, c, Signals{Workers: 1, Sheds: 101})
+	if d.Reason != ReasonShed || d.Target != 2 {
+		t.Fatalf("shed delta: got %+v, want target 2 reason shed", d)
+	}
+	// No new sheds: no more scaling.
+	tick(t, c, Signals{Workers: 2, Sheds: 101})
+	tick(t, c, Signals{Workers: 2, Sheds: 101})
+	if d := tick(t, c, Signals{Workers: 2, Sheds: 101}); d.Reason != "" {
+		t.Fatalf("stale shed count kept scaling: %+v", d)
+	}
+}
+
+func TestScaleUpOnLatency(t *testing.T) {
+	c := New(Config{Min: 1, Max: 4, LatencyHigh: 0.100})
+	tick(t, c, Signals{Workers: 1})
+	// 5 solves at 200ms mean in one tick.
+	d := tick(t, c, Signals{Workers: 1, LatencySum: 1.0, LatencyCount: 5})
+	if d.Reason != ReasonLatency || d.Target != 2 {
+		t.Fatalf("high latency: got %+v, want target 2 reason latency", d)
+	}
+	// Next interval is fast again.
+	tick(t, c, Signals{Workers: 2, LatencySum: 1.0, LatencyCount: 5})
+	if d := tick(t, c, Signals{Workers: 2, LatencySum: 1.05, LatencyCount: 10}); d.Reason != "" {
+		t.Fatalf("fast interval scaled: %+v", d)
+	}
+}
+
+func TestCooldownBlocksConsecutiveScaleUps(t *testing.T) {
+	c := New(Config{Min: 1, Max: 8, ScaleUpQueue: 2, CooldownTicks: 3})
+	if d := tick(t, c, Signals{Workers: 1, QueueDepth: 10}); d.Reason == "" {
+		t.Fatal("first overload tick held")
+	}
+	// Cooldown: the next two overloaded ticks hold.
+	for i := 0; i < 2; i++ {
+		if d := tick(t, c, Signals{Workers: 2, QueueDepth: 10}); d.Reason != "" {
+			t.Fatalf("tick %d inside cooldown scaled: %+v", i, d)
+		}
+	}
+	if d := tick(t, c, Signals{Workers: 2, QueueDepth: 10}); d.Reason == "" {
+		t.Fatal("tick after cooldown held")
+	}
+}
+
+func TestMaxClamp(t *testing.T) {
+	c := New(Config{Min: 1, Max: 2, ScaleUpQueue: 1, CooldownTicks: 1, UpStep: 4})
+	d := tick(t, c, Signals{Workers: 1, QueueDepth: 5})
+	if d.Target != 2 {
+		t.Fatalf("UpStep overshot Max: %+v", d)
+	}
+	tick(t, c, Signals{Workers: 2, QueueDepth: 5})
+	if d := tick(t, c, Signals{Workers: 2, QueueDepth: 5}); d.Reason != "" {
+		t.Fatalf("scaled past Max: %+v", d)
+	}
+}
+
+func TestIdleWindowScalesDownOneAtATime(t *testing.T) {
+	c := New(Config{Min: 1, Max: 4, IdleTicks: 3})
+	for i := 0; i < 2; i++ {
+		if d := tick(t, c, Signals{Workers: 3}); d.Reason != "" {
+			t.Fatalf("idle tick %d scaled early: %+v", i, d)
+		}
+	}
+	d := tick(t, c, Signals{Workers: 3})
+	if d.Reason != ReasonIdle || d.Target != 2 {
+		t.Fatalf("idle window: got %+v, want target 2 reason idle", d)
+	}
+	// The countdown restarts after each down-step.
+	for i := 0; i < 2; i++ {
+		if d := tick(t, c, Signals{Workers: 2}); d.Reason != "" {
+			t.Fatalf("post-shrink idle tick %d scaled early: %+v", i, d)
+		}
+	}
+	if d := tick(t, c, Signals{Workers: 2}); d.Reason != ReasonIdle || d.Target != 1 {
+		t.Fatalf("second idle window: got %+v", d)
+	}
+	// At Min the idle window never fires.
+	for i := 0; i < 5; i++ {
+		if d := tick(t, c, Signals{Workers: 1}); d.Reason != "" {
+			t.Fatalf("scaled below Min: %+v", d)
+		}
+	}
+}
+
+func TestBusyTicksResetIdleWindow(t *testing.T) {
+	c := New(Config{Min: 1, Max: 4, ScaleUpQueue: 100, IdleTicks: 3})
+	tick(t, c, Signals{Workers: 2})
+	tick(t, c, Signals{Workers: 2})
+	// Fully-utilised tick (inflight == workers) is not idle.
+	tick(t, c, Signals{Workers: 2, Inflight: 2})
+	for i := 0; i < 2; i++ {
+		if d := tick(t, c, Signals{Workers: 2}); d.Reason != "" {
+			t.Fatalf("idle window survived a busy tick: %+v", d)
+		}
+	}
+	if d := tick(t, c, Signals{Workers: 2}); d.Reason != ReasonIdle {
+		t.Fatalf("idle window never refired: %+v", d)
+	}
+}
+
+// fakePool records Resize calls and plays back scripted signals.
+type fakePool struct {
+	mu      sync.Mutex
+	signals Signals
+	calls   []Decision
+}
+
+func (p *fakePool) Observe() Signals {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.signals
+}
+
+func (p *fakePool) Resize(target int, reason string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls = append(p.calls, Decision{Target: target, Reason: reason})
+	p.signals.Workers = target
+	return target
+}
+
+// TestRunDrivesPoolFromFakeTicker pins the whole loop — observe, decide,
+// resize — against a hand-fed tick channel: no clock, no sleeps.
+func TestRunDrivesPoolFromFakeTicker(t *testing.T) {
+	pool := &fakePool{signals: Signals{Workers: 1, QueueDepth: 10}}
+	ticks := make(chan time.Time)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Run(ctx, ticks, New(Config{Min: 1, Max: 2, ScaleUpQueue: 2, CooldownTicks: 1}), pool)
+	}()
+	ticks <- time.Time{}
+	cancel()
+	<-done
+
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if len(pool.calls) != 1 || pool.calls[0] != (Decision{Target: 2, Reason: ReasonQueue}) {
+		t.Fatalf("Run resize calls = %+v, want one queue-driven resize to 2", pool.calls)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybridpde/internal/cache"
@@ -43,6 +44,10 @@ type pendingEntry struct {
 	identity cache.Key
 	body     []byte
 	done     chan dispatchResult // buffered 1: broadcast never blocks
+	// abandoned is set by a follower whose client disconnected while
+	// waiting in the window; flush skips such entries — and skips the
+	// whole upstream call when every waiter of an identity is gone.
+	abandoned atomic.Bool
 }
 
 // batchWindow collects same-shape entries until the leader flushes.
@@ -107,6 +112,11 @@ func (b *batcher) submit(ctx context.Context, shape, identity cache.Key, body []
 		case r := <-e.done:
 			return r
 		case <-ctx.Done():
+			// The client hung up (or its deadline passed) while the window
+			// was still open: mark the slot abandoned so the flush does not
+			// dispatch on this waiter's behalf, and leave immediately.
+			e.abandoned.Store(true)
+			b.m.batchAbandoned.Inc()
 			return dispatchResult{err: ctx.Err()}
 		}
 	}
@@ -158,7 +168,19 @@ func (b *batcher) flush(ctx context.Context, shape cache.Key, entries []*pending
 	}
 	for _, id := range order {
 		g := groups[id]
-		r := dispatch(ctx, shape, g[0].body)
+		lead := -1
+		for i, e := range g {
+			if !e.abandoned.Load() {
+				lead = i
+				break
+			}
+		}
+		if lead < 0 {
+			// Every waiter of this identity hung up before the flush:
+			// skip the upstream call — nobody is left to read the answer.
+			continue
+		}
+		r := dispatch(ctx, shape, g[lead].body)
 		for _, e := range g {
 			e.done <- r
 		}

@@ -1,0 +1,14 @@
+// This file is the gateway's single sanctioned wall-clock consumer, the
+// cluster-side twin of serve/clock.go: deadline-budget propagation has to
+// convert a context deadline into "milliseconds remaining", and remaining
+// time is a measured quantity — real time the client has left — not a
+// modeled one. Everything else in the package times itself in prober
+// ticks precisely so that this is the only clock read.
+//
+//pdevet:allow walltime remaining deadline budget is a measured quantity; this file is the gateway's only clock reader
+package cluster
+
+import "time"
+
+// untilDeadline returns how long remains before the instant d.
+func untilDeadline(d time.Time) time.Duration { return time.Until(d) }

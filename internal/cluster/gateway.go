@@ -52,6 +52,28 @@ type Config struct {
 	// FailoverAttempts bounds how many distinct backends one request may
 	// try. Default: every ring member.
 	FailoverAttempts int
+	// BreakerThreshold is how many consecutive failures (dispatch or
+	// probe) open a backend's circuit breaker. Default 3.
+	BreakerThreshold int
+	// BreakerOpenProbes is the initial open window of a tripped breaker,
+	// measured in prober sweeps before the half-open trial; it doubles per
+	// failed trial up to BreakerMaxProbes. Defaults 2 and 16.
+	BreakerOpenProbes int
+	BreakerMaxProbes  int
+	// RetryBudgetRatio is how many retry tokens each primary dispatch
+	// deposits (the Envoy-style budget: failovers stay a bounded fraction
+	// of primary traffic). 0 uses the default 0.1; negative disables
+	// refill entirely, leaving only the initial RetryBudgetMax tokens.
+	RetryBudgetRatio float64
+	// RetryBudgetMax caps the token bucket (and is its starting balance).
+	// Default 32.
+	RetryBudgetMax float64
+	// DefaultTimeout bounds a gateway request when it carries no
+	// deadline_ms; MaxTimeout clamps client-supplied deadlines. The
+	// remaining budget is forwarded to backends per attempt via the
+	// X-Pde-Deadline-Budget header. Defaults mirror serve: 5s and 30s.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
 	// Client is the upstream HTTP client. Default: a dedicated client
 	// with keep-alive (so a flushed batch rides one connection) and no
 	// overall timeout — per-request contexts bound each call.
@@ -89,6 +111,27 @@ func (c *Config) defaults() {
 	if c.FailoverAttempts <= 0 {
 		c.FailoverAttempts = len(c.Backends)
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerOpenProbes <= 0 {
+		c.BreakerOpenProbes = 2
+	}
+	if c.BreakerMaxProbes <= 0 {
+		c.BreakerMaxProbes = 16
+	}
+	if c.RetryBudgetRatio == 0 { //pdevet:allow floateq zero is the config-absent sentinel (never computed)
+		c.RetryBudgetRatio = 0.1
+	}
+	if c.RetryBudgetMax <= 0 {
+		c.RetryBudgetMax = 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 16,
@@ -102,12 +145,14 @@ func (c *Config) defaults() {
 // own metrics plane. Create with New, expose via Handler, stop with
 // Close (or BeginDrain + Drain + Close for graceful shutdown).
 type Gateway struct {
-	cfg    Config
-	ring   *Ring
-	ms     *membership
-	m      *gwMetrics
-	client *http.Client
-	b      *batcher
+	cfg      Config
+	ring     *Ring
+	ms       *membership
+	m        *gwMetrics
+	client   *http.Client
+	b        *batcher
+	breakers *breakerSet
+	budget   *retryBudget
 
 	drainMu  sync.Mutex
 	draining bool
@@ -134,6 +179,13 @@ func New(cfg Config) (*Gateway, error) {
 		probeDone: make(chan struct{}),
 	}
 	g.b = newBatcher(cfg.BatchWindow, cfg.MaxBatch, g.m)
+	g.breakers = newBreakerSet(ring.Members(), cfg.BreakerThreshold,
+		cfg.BreakerOpenProbes, cfg.BreakerMaxProbes, g.m)
+	ratio := cfg.RetryBudgetRatio
+	if ratio < 0 {
+		ratio = 0
+	}
+	g.budget = newRetryBudget(ratio, cfg.RetryBudgetMax)
 	g.m.ringMembers.Set(int64(ring.Len()))
 	g.m.healthyBackends.Set(int64(ring.Len()))
 	ctx, cancel := context.WithCancel(context.Background())
@@ -232,13 +284,19 @@ func (g *Gateway) probeLoop(ctx context.Context) {
 }
 
 // probeSweep probes every due member once and refreshes the health gauge.
+// Each sweep is also one tick of the breaker clock, and every probe
+// outcome feeds the breaker state machine — so a recovered backend closes
+// its breaker from the prober's evidence alone, without live traffic
+// having to gamble on it first.
 func (g *Gateway) probeSweep(ctx context.Context) {
+	g.breakers.tick()
 	for _, url := range g.ring.Members() {
 		if !g.ms.dueForProbe(url) {
 			continue
 		}
 		pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
 		ready := probeBackend(pctx, g.client, url)
+		g.breakers.record(url, ready)
 		if ready {
 			if g.ms.markSuccess(url) {
 				g.m.readds.Inc()
@@ -298,7 +356,12 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res := g.b.submit(r.Context(), shape, identity, body, g.dispatch)
+	// The gateway resolves the request deadline with the same rules the
+	// backends use; forward propagates whatever remains of it per attempt,
+	// so backends never start work the gateway has already abandoned.
+	ctx, cancel := context.WithTimeout(r.Context(), g.timeout(&req))
+	defer cancel()
+	res := g.b.submit(ctx, shape, identity, body, g.dispatch)
 	code := resultStatus(res)
 	g.m.requests.With(strconv.Itoa(code)).Inc()
 	if res.err != nil {
@@ -317,7 +380,12 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 // ring's successor order when backends are evicted or fail mid-request.
 // Healthy candidates are tried first in ring order; if every healthy
 // candidate fails (or none exists), the remaining members are tried
-// anyway — probe state is advisory, the request is the ground truth.
+// anyway — probe state is advisory, the request is the ground truth. Two
+// guards bound the walk beyond FailoverAttempts: backends with an open
+// circuit breaker are skipped outright (no attempt, no token), and every
+// attempt after the first must withdraw a retry-budget token — an empty
+// bucket turns the failover into an explicit 429 backpressure answer
+// instead of amplified load on a browning-out fleet.
 func (g *Gateway) dispatch(ctx context.Context, shape cache.Key, body []byte) dispatchResult {
 	order := g.ring.Successors(shape)
 	candidates := make([]string, 0, len(order))
@@ -335,13 +403,29 @@ func (g *Gateway) dispatch(ctx context.Context, shape cache.Key, body []byte) di
 		candidates = candidates[:g.cfg.FailoverAttempts]
 	}
 
+	g.budget.deposit()
+	attempts := 0
 	var last dispatchResult
 	last.err = errors.New("no backend available")
-	for i, url := range candidates {
-		if i > 0 {
+	for _, url := range candidates {
+		if !g.breakers.allow(url) {
+			continue
+		}
+		if attempts > 0 {
+			if !g.budget.withdraw() {
+				g.m.retryBudgetDenied.Inc()
+				return dispatchResult{
+					status:     http.StatusTooManyRequests,
+					body:       mustJSON(errorBody("retry budget exhausted: backend failed and failover retries are capped")),
+					retryAfter: "1",
+				}
+			}
+			g.m.retryBudgetSpent.Inc()
 			g.m.failovers.Inc()
 		}
+		attempts++
 		res, transient := g.forward(ctx, url, body)
+		g.breakers.record(url, !transient)
 		if !transient {
 			if g.ms.markSuccess(url) {
 				g.m.readds.Inc()
@@ -362,6 +446,28 @@ func (g *Gateway) dispatch(ctx context.Context, shape cache.Key, body []byte) di
 	return last
 }
 
+// timeout resolves the effective deadline of a gateway request, with the
+// same rules serve.Server.timeout applies on the backends.
+func (g *Gateway) timeout(req *serve.Request) time.Duration {
+	if req.DeadlineMillis <= 0 {
+		return g.cfg.DefaultTimeout
+	}
+	d := time.Duration(req.DeadlineMillis) * time.Millisecond
+	if d > g.cfg.MaxTimeout {
+		return g.cfg.MaxTimeout
+	}
+	return d
+}
+
+// mustJSON marshals a gateway-originated body; errorBody cannot fail.
+func mustJSON(v errorBody) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"error":"gateway encoding failure"}`)
+	}
+	return b
+}
+
 // forward performs one upstream solve call. transient=true means the
 // failure class is worth a failover (transport error, 500/502/503);
 // anything else — including 429 backpressure and 504 deadline expiry —
@@ -376,6 +482,17 @@ func (g *Gateway) forward(ctx context.Context, url string, body []byte) (res dis
 		return dispatchResult{err: err}, true
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Deadline-budget propagation: tell the backend how much of the
+	// request's deadline this attempt actually has left (failover attempts
+	// see progressively smaller budgets), so it can refuse doomed work at
+	// admission instead of burning Newton iterations on it.
+	if d, ok := ctx.Deadline(); ok {
+		ms := untilDeadline(d).Milliseconds()
+		if ms <= 0 {
+			return dispatchResult{err: context.DeadlineExceeded}, false
+		}
+		req.Header.Set(serve.DeadlineBudgetHeader, strconv.FormatInt(ms, 10))
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		g.m.backendFailures.With(url).Inc()

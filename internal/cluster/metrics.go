@@ -18,16 +18,24 @@ type gwMetrics struct {
 	failovers       promtext.Counter     // requests retried on a ring successor
 	evictions       promtext.Counter     // membership healthy→evicted transitions
 	readds          promtext.Counter     // membership evicted→healthy transitions
-	ringMembers     promtext.Gauge       // configured ring size
-	healthyBackends promtext.Gauge       // members currently receiving traffic
-	draining        promtext.Gauge       // 1 while the gateway refuses new work
-	inflight        promtext.Gauge       // requests inside the gateway
+
+	// Failure-isolation plane: per-backend circuit breakers and the
+	// fleet-wide retry budget.
+	breakerState       *promtext.GaugeVec   // labels: backend — 0 closed, 1 open, 2 half-open
+	breakerTransitions *promtext.CounterVec // labels: backend, to — state transitions
+	retryBudgetSpent   promtext.Counter     // failover attempts paid for by the budget
+	retryBudgetDenied  promtext.Counter     // failovers refused (429) on an empty budget
+	ringMembers        promtext.Gauge       // configured ring size
+	healthyBackends    promtext.Gauge       // members currently receiving traffic
+	draining           promtext.Gauge       // 1 while the gateway refuses new work
+	inflight           promtext.Gauge       // requests inside the gateway
 
 	// Batching plane.
-	batches      promtext.Counter    // windows flushed (or direct dispatches)
-	batchSize    *promtext.Histogram // requests per flushed window
-	coalesced    promtext.Counter    // requests that joined an existing window
-	batchDeduped promtext.Counter    // requests served by another identical upstream call
+	batches        promtext.Counter    // windows flushed (or direct dispatches)
+	batchSize      *promtext.Histogram // requests per flushed window
+	coalesced      promtext.Counter    // requests that joined an existing window
+	batchDeduped   promtext.Counter    // requests served by another identical upstream call
+	batchAbandoned promtext.Counter    // followers whose client hung up before the flush
 
 	// Probe-scraped backend degradation signal (snapshots of remote
 	// counters, hence gauges).
@@ -39,11 +47,13 @@ type gwMetrics struct {
 
 func newGwMetrics() *gwMetrics {
 	return &gwMetrics{
-		requests:        promtext.NewCounterVec("code"),
-		backendRouted:   promtext.NewCounterVec("backend"),
-		backendRequests: promtext.NewCounterVec("backend", "code"),
-		backendFailures: promtext.NewCounterVec("backend"),
-		backendInflight: promtext.NewGaugeVec("backend"),
+		requests:           promtext.NewCounterVec("code"),
+		backendRouted:      promtext.NewCounterVec("backend"),
+		backendRequests:    promtext.NewCounterVec("backend", "code"),
+		backendFailures:    promtext.NewCounterVec("backend"),
+		backendInflight:    promtext.NewGaugeVec("backend"),
+		breakerState:       promtext.NewGaugeVec("backend"),
+		breakerTransitions: promtext.NewCounterVec("backend", "to"),
 		// Window sizes are small by design; 1 means batching bought nothing.
 		batchSize:        promtext.NewHistogram(1, 2, 4, 8, 16, 32),
 		backendDegraded:  promtext.NewGaugeVec("backend"),
@@ -62,6 +72,10 @@ func (m *gwMetrics) writeProm(w io.Writer) {
 	promtext.WriteCounterVec(w, "pdegw_backend_failures_total", "Upstream transport errors and failover-class statuses, by backend.", m.backendFailures)
 	promtext.WriteGaugeVec(w, "pdegw_backend_inflight", "Upstream requests currently in flight, by backend.", m.backendInflight)
 	promtext.WriteCounter(w, "pdegw_failovers_total", "Requests retried on the next ring successor after a backend failure.", &m.failovers)
+	promtext.WriteGaugeVec(w, "pdegw_breaker_state", "Per-backend circuit-breaker state: 0 closed, 1 open, 2 half-open.", m.breakerState)
+	promtext.WriteCounterVec(w, "pdegw_breaker_transitions_total", "Circuit-breaker state transitions, by backend and target state.", m.breakerTransitions)
+	promtext.WriteCounter(w, "pdegw_retry_budget_spent_total", "Failover attempts paid for by the retry budget.", &m.retryBudgetSpent)
+	promtext.WriteCounter(w, "pdegw_retry_budget_denied_total", "Failover attempts refused with 429 because the retry budget was exhausted.", &m.retryBudgetDenied)
 	promtext.WriteCounter(w, "pdegw_evictions_total", "Membership transitions from healthy to evicted.", &m.evictions)
 	promtext.WriteCounter(w, "pdegw_readds_total", "Membership transitions from evicted back to healthy.", &m.readds)
 	promtext.WriteGauge(w, "pdegw_ring_members", "Configured consistent-hash ring size (virtual nodes excluded).", &m.ringMembers)
@@ -72,6 +86,7 @@ func (m *gwMetrics) writeProm(w io.Writer) {
 	promtext.WriteHistogram(w, "pdegw_batch_size", "Requests per flushed same-shape window.", m.batchSize)
 	promtext.WriteCounter(w, "pdegw_batch_coalesced_total", "Requests that joined an already-open same-shape window.", &m.coalesced)
 	promtext.WriteCounter(w, "pdegw_batch_deduped_total", "Requests served by another identical in-batch upstream call.", &m.batchDeduped)
+	promtext.WriteCounter(w, "pdegw_batch_abandoned_total", "Batch followers whose client disconnected before the window flushed.", &m.batchAbandoned)
 	promtext.WriteGaugeVec(w, "pdegw_backend_degraded", "Backend pdeserve_degraded_total, as last scraped by the health prober.", m.backendDegraded)
 	promtext.WriteGaugeVec(w, "pdegw_backend_cache_hits", "Backend pdeserve_cache_hits_total, as last scraped by the health prober.", m.backendCacheHits)
 	promtext.WriteGaugeVec(w, "pdegw_backend_cache_warm_hits", "Backend pdeserve_cache_warm_hits_total, as last scraped by the health prober.", m.backendCacheWarm)

@@ -69,6 +69,17 @@ func intAccounting() int64 {
 	return ops
 }
 
+// procsRebalance is the autoscaler's Workers×SolveProcs budget math
+// (internal/serve.rebalanceProcs): pure integer division over the core
+// budget, exact at any pool width, so it is exempt by construction.
+func procsRebalance(workers int) int {
+	p := runtime.GOMAXPROCS(0) / workers
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
 // allowedFold is a deliberate exception with its justification attached.
 func allowedFold(pool *par.Pool, partial []float64) float64 {
 	s := 0.0

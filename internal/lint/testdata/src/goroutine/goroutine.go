@@ -60,6 +60,25 @@ func drain(tasks chan func()) {
 	}
 }
 
+// controllerLoop is the autoscaler spawn idiom (internal/adapt.Run): the
+// goroutine selects on the context and exits when the tick channel closes,
+// so both lifecycle paths are observable.
+func controllerLoop(ctx context.Context, ticks chan struct{}, onTick func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case _, ok := <-ticks:
+				if !ok {
+					return
+				}
+				onTick()
+			}
+		}
+	}()
+}
+
 // daemon is a deliberate process-lifetime goroutine; the annotation is the
 // written justification.
 //

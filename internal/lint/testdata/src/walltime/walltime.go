@@ -20,3 +20,23 @@ func elapsed(t0 time.Time) time.Duration {
 }
 
 func pause() { time.Sleep(time.Millisecond) }
+
+// tickDriven is the injected-clock controller idiom (internal/adapt): the
+// loop consumes a tick channel the caller owns, so the controller itself
+// never reads the wall clock and stays clean under this analyzer.
+func tickDriven(ticks <-chan time.Time, onTick func()) {
+	for range ticks {
+		onTick()
+	}
+}
+
+// countdownTicks is the breaker's open-window idiom (internal/cluster):
+// recovery timing is counted in prober sweeps, not wall-clock reads.
+func countdownTicks(remaining *int, reopen func()) {
+	if *remaining > 0 {
+		*remaining--
+		if *remaining == 0 {
+			reopen()
+		}
+	}
+}

@@ -79,6 +79,14 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Sum returns the running sum of all observations. Together with Count it
+// lets a controller derive per-interval means from cumulative deltas.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // HistogramVec is a histogram family with one label; children are created
 // on first use and rendered in sorted label order under one family header.
 type HistogramVec struct {

@@ -16,6 +16,30 @@ import (
 	"hybridpde/internal/nonlin"
 )
 
+// DeadlineBudgetHeader carries the milliseconds of deadline a gateway has
+// left for a forwarded request. The server treats it as a clamp on the
+// request's own deadline resolution: there is no point admitting (or
+// burning Newton iterations on) work whose caller will hang up first.
+const DeadlineBudgetHeader = "X-Pde-Deadline-Budget"
+
+// deadlineBudget parses the gateway's remaining-deadline header. budget 0
+// means no (or an unparseable) header; ok=false means the header says the
+// budget is already spent.
+func deadlineBudget(r *http.Request) (budget time.Duration, ok bool) {
+	h := r.Header.Get(DeadlineBudgetHeader)
+	if h == "" {
+		return 0, true
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		return 0, true
+	}
+	if ms <= 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
 // handleSolve is POST /v1/solve: decode → validate → admit (or shed) →
 // acquire a worker → execute under the request deadline → account → encode.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -35,6 +59,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, req.Problem, http.StatusBadRequest, err.Error())
 		return
 	}
+	budget, budgetOK := deadlineBudget(r)
+	if !budgetOK {
+		s.m.budgetRejects.Inc()
+		s.reject(w, req.Problem, http.StatusGatewayTimeout, "deadline budget exhausted before admission")
+		return
+	}
 
 	release, ok := s.admit()
 	if !ok {
@@ -50,7 +80,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	enqueued := now()
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&req))
+	to := s.timeout(&req)
+	if budget > 0 && budget < to {
+		to = budget
+		s.m.budgetClamped.Inc()
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), to)
 	defer cancel()
 
 	// Singleflight: identical in-flight solves collapse to one. The leader

@@ -18,8 +18,10 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"hybridpde/internal/adapt"
 	"hybridpde/internal/cache"
 	"hybridpde/internal/core"
 	"hybridpde/internal/fault"
@@ -28,9 +30,16 @@ import (
 // Config tunes the service. The zero value is usable: every field has a
 // production-shaped default.
 type Config struct {
-	// Workers is the solve concurrency. Default: runtime.GOMAXPROCS(0),
-	// the sizing that keeps one CPU-bound solve per core.
+	// Workers is the initial solve concurrency. Default:
+	// runtime.GOMAXPROCS(0), the sizing that keeps one CPU-bound solve per
+	// core.
 	Workers int
+	// MinWorkers and MaxWorkers bound Resize (the adaptive controller's
+	// range). Both default to Workers, which pins the pool at a fixed size
+	// — exactly the pre-autoscaling behaviour. Workers is clamped into
+	// [MinWorkers, MaxWorkers].
+	MinWorkers int
+	MaxWorkers int
 	// QueueDepth bounds requests admitted but not yet executing. Beyond
 	// Workers+QueueDepth outstanding requests the service sheds load with
 	// 429. Default 64.
@@ -98,6 +107,21 @@ func (c *Config) defaults() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = c.Workers
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = c.Workers
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		c.MaxWorkers = c.MinWorkers
+	}
+	if c.Workers < c.MinWorkers {
+		c.Workers = c.MinWorkers
+	}
+	if c.Workers > c.MaxWorkers {
+		c.Workers = c.MaxWorkers
+	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
@@ -148,12 +172,27 @@ type Server struct {
 	cfg Config
 	m   *metrics
 	// workers is the pool: checking a worker out grants the right to
-	// execute one solve. Capacity Workers.
+	// execute one solve. Capacity MaxWorkers; only curWorkers of them
+	// circulate, the rest sit parked.
 	workers chan *worker
 	// queueSlots bounds outstanding (waiting + executing) requests at
-	// Workers+QueueDepth; a failed non-blocking acquire is the load-shed
-	// signal.
+	// MaxWorkers+QueueDepth; a failed non-blocking acquire is the
+	// load-shed signal. The bound is sized for the pool's ceiling so a
+	// scale-up immediately has admitted work to absorb.
 	queueSlots chan struct{}
+	// resizeMu serialises Resize; curWorkers, parked and seedSeq are
+	// guarded by it. Parked workers keep their warm per-shape caches and
+	// their stable seed, so a shrink→grow cycle restores exactly the
+	// workers it retired (LIFO) instead of paying cold caches twice.
+	resizeMu   sync.Mutex
+	curWorkers int
+	parked     []*worker
+	seedSeq    int64
+	// solveProcs is the per-solve parallelism every worker reads at solve
+	// time; Resize rebalances it (when SolveProcs was defaulted) so
+	// Workers×SolveProcs stays within the GOMAXPROCS budget at every step.
+	solveProcs atomic.Int32
+	autoProcs  bool
 	// draining is set by BeginDrain; the admission gate then sheds
 	// everything new while in-flight requests finish.
 	drainMu  sync.Mutex
@@ -172,24 +211,32 @@ type Server struct {
 // with its pooled Workspace) so the first request of each worker pays no
 // setup beyond its problem-shape cache fill.
 func NewServer(cfg Config) *Server {
+	autoProcs := cfg.SolveProcs == 0
 	cfg.defaults()
 	s := &Server{
 		cfg:        cfg,
 		m:          newServeMetrics(),
-		workers:    make(chan *worker, cfg.Workers),
-		queueSlots: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		workers:    make(chan *worker, cfg.MaxWorkers),
+		queueSlots: make(chan struct{}, cfg.MaxWorkers+cfg.QueueDepth),
 		pool:       core.NewWorkspacePool(),
+		curWorkers: cfg.Workers,
+		seedSeq:    int64(cfg.Workers),
+		autoProcs:  autoProcs,
 	}
+	s.solveProcs.Store(int32(cfg.SolveProcs))
 	if cfg.CacheEntries > 0 && cfg.Faults == nil {
 		s.cache = cache.New(cfg.CacheEntries)
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		s.workers <- newWorker(&s.cfg, s.pool, cfg.Seed+int64(i), s.cache)
+		s.workers <- newWorker(&s.cfg, s.pool, cfg.Seed+int64(i), s.cache, &s.solveProcs)
 	}
 	if cfg.Faults != nil {
 		s.transientFaults = cfg.Faults.Transient()
 		s.m.faultsActive.Set(int64(len(cfg.Faults.Faults)))
 	}
+	s.m.workers.Set(int64(cfg.Workers))
+	s.m.solveProcsGauge.Set(int64(cfg.SolveProcs))
+	s.m.gomaxprocs.Set(int64(runtime.GOMAXPROCS(0)))
 	return s
 }
 
@@ -306,6 +353,99 @@ func (s *Server) acquireWorker(ctx context.Context) (*worker, error) {
 func (s *Server) releaseWorker(wk *worker) {
 	s.m.inflight.Dec()
 	s.workers <- wk
+}
+
+// Workers returns the current worker-pool size.
+func (s *Server) Workers() int {
+	s.resizeMu.Lock()
+	defer s.resizeMu.Unlock()
+	return s.curWorkers
+}
+
+// Resize moves the pool to target workers (clamped to
+// [MinWorkers, MaxWorkers]) and returns the achieved size; it implements
+// adapt.Pool. Growth is immediate: parked workers are revived first (warm
+// caches, original seeds), then fresh workers are created with the next
+// unused seeds, so the seed sequence Seed+i is append-only across any
+// resize history. Shrink retires only idle workers — each removal is a
+// blocking receive from the pool channel, so a worker is never interrupted
+// mid-solve — and composes with BeginDrain, whose in-flight requests
+// return their workers as they finish.
+//
+// The SolveProcs budget (when defaulted) is rebalanced around the pool
+// change in the order that preserves Workers×SolveProcs ≤ GOMAXPROCS at
+// every intermediate step: growth lowers the per-solve budget before
+// adding workers; shrink removes workers before raising it.
+func (s *Server) Resize(target int, reason string) int {
+	s.resizeMu.Lock()
+	defer s.resizeMu.Unlock()
+	if target < s.cfg.MinWorkers {
+		target = s.cfg.MinWorkers
+	}
+	if target > s.cfg.MaxWorkers {
+		target = s.cfg.MaxWorkers
+	}
+	switch {
+	case target > s.curWorkers:
+		s.rebalanceProcs(target)
+		for target > s.curWorkers {
+			s.workers <- s.reviveWorker()
+			s.curWorkers++
+		}
+		s.m.resizes.With("up", reason).Inc()
+	case target < s.curWorkers:
+		for target < s.curWorkers {
+			wk := <-s.workers // idle worker: retired between requests, never mid-solve
+			s.parked = append(s.parked, wk)
+			s.curWorkers--
+		}
+		s.rebalanceProcs(target)
+		s.m.resizes.With("down", reason).Inc()
+	}
+	s.m.workers.Set(int64(s.curWorkers))
+	return s.curWorkers
+}
+
+// reviveWorker returns the most recently parked worker, or builds a fresh
+// one with the next unused seed. Callers hold resizeMu.
+func (s *Server) reviveWorker() *worker {
+	if n := len(s.parked); n > 0 {
+		wk := s.parked[n-1]
+		s.parked = s.parked[:n-1]
+		return wk
+	}
+	wk := newWorker(&s.cfg, s.pool, s.cfg.Seed+s.seedSeq, s.cache, &s.solveProcs)
+	s.seedSeq++
+	return wk
+}
+
+// rebalanceProcs recomputes the defaulted per-solve parallelism for a pool
+// of n workers: max(1, GOMAXPROCS/n), the same rule Config.defaults
+// applies at construction. An explicit SolveProcs setting is the
+// operator's budget and is left alone. Callers hold resizeMu.
+func (s *Server) rebalanceProcs(n int) {
+	if !s.autoProcs {
+		return
+	}
+	p := runtime.GOMAXPROCS(0) / n
+	if p < 1 {
+		p = 1
+	}
+	s.solveProcs.Store(int32(p))
+	s.m.solveProcsGauge.Set(int64(p))
+}
+
+// Observe samples the autoscaler's input signals from the metrics plane;
+// it implements adapt.Pool.
+func (s *Server) Observe() adapt.Signals {
+	return adapt.Signals{
+		Workers:      s.Workers(),
+		QueueDepth:   int(s.m.queueDepth.Value()),
+		Inflight:     int(s.m.inflight.Value()),
+		Sheds:        s.m.queueRejects.Value(),
+		LatencySum:   s.m.solveLatency.Sum(),
+		LatencyCount: s.m.solveLatency.Count(),
+	}
 }
 
 // timeout resolves the effective solve deadline of a request.

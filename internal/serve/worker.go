@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"hybridpde/internal/analog"
 	"hybridpde/internal/cache"
@@ -44,9 +45,10 @@ type worker struct {
 	// faults, when non-nil, is attached (salted) to every accelerator this
 	// worker builds.
 	faults *fault.Spec
-	// procs is the per-solve worker count (Config.SolveProcs); the
-	// workspace's sparse solver owns the actual pool.
-	procs int
+	// procs is the shared per-solve worker count, read at solve time so
+	// Resize's rebalancing reaches workers already in the pool; the
+	// workspace's sparse solver owns the actual goroutine pool.
+	procs *atomic.Int32
 	// store is the server-shared solve cache (nil when disabled); bind
 	// adapts it to the ladder's cache rungs one request at a time, and kb
 	// builds content keys without allocating.
@@ -78,7 +80,7 @@ type gridEntry struct {
 	f       []float64          // residual scratch
 }
 
-func newWorker(cfg *Config, pool *core.WorkspacePool, seed int64, store *cache.Store) *worker {
+func newWorker(cfg *Config, pool *core.WorkspacePool, seed int64, store *cache.Store, procs *atomic.Int32) *worker {
 	wk := &worker{
 		ws:      pool.Get(),
 		rng:     rand.New(rand.NewSource(seed)),
@@ -88,7 +90,7 @@ func newWorker(cfg *Config, pool *core.WorkspacePool, seed int64, store *cache.S
 		lopts:   core.LadderOptions{GateFactor: cfg.SeedGate},
 		gate:    cfg.SeedGate,
 		faults:  cfg.Faults,
-		procs:   cfg.SolveProcs,
+		procs:   procs,
 		store:   store,
 		radius:  cfg.WarmRadius,
 	}
@@ -253,7 +255,7 @@ func (wk *worker) solveGrid(ctx context.Context, req *Request, e *gridEntry, see
 	var opts core.Options
 	opts.Workspace = wk.ws
 	opts.Perf = backendFor(req.Backend)
-	opts.Procs = wk.procs
+	opts.Procs = int(wk.procs.Load())
 	if seeder != nil {
 		opts.Seeder = seeder
 	} else {

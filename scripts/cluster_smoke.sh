@@ -2,10 +2,13 @@
 # Cluster smoke: boot three pdeserved backends and a pdegw gateway, drive
 # load through the gateway, SIGKILL one backend mid-run, and assert the
 # fleet plane actually worked — zero 5xx across the whole run, a recorded
-# failover and eviction, the ring re-adding the restarted backend, batch
-# metrics moving, warm cache hits on the pinned backends, and a clean
-# SIGTERM drain of the gateway. Run from the repository root; also
-# available as `make cluster-smoke`.
+# failover and eviction, the killed backend's circuit breaker walking
+# open → half-open → closed around the kill and restart, the ring
+# re-adding the restarted backend, batch metrics moving, warm cache hits
+# on the pinned backends, a bounded retry budget refusing failovers with
+# 429 (never 5xx) once exhausted, and a clean SIGTERM drain of the
+# gateway. Run from the repository root; also available as
+# `make cluster-smoke`.
 #
 # Env knobs (defaults are CI-sized):
 #   SMOKE_GW_ADDR    gateway address    (default 127.0.0.1:18090)
@@ -24,7 +27,10 @@ TMP="$(mktemp -d)"
 B1_PORT="$BASE_PORT"
 B2_PORT=$((BASE_PORT + 1))
 B3_PORT=$((BASE_PORT + 2))
-trap 'kill "$GW_PID" "$B1_PID" "$B2_PID" "$B3_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+GW2_ADDR="127.0.0.1:$((BASE_PORT + 8))"
+DEAD_URL="http://127.0.0.1:$((BASE_PORT + 9))" # nothing ever listens here
+trap 'kill "$GW_PID" "$GW2_PID" "$B1_PID" "$B2_PID" "$B3_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+GW2_PID=""
 
 echo "== build"
 go build -o "$TMP/pdeserved" ./cmd/pdeserved
@@ -58,7 +64,8 @@ wait_healthy "http://127.0.0.1:$B3_PORT" "$TMP/b3.log"
 BACKENDS="http://127.0.0.1:$B1_PORT,http://127.0.0.1:$B2_PORT,http://127.0.0.1:$B3_PORT"
 echo "== boot pdegw on $GW_ADDR fronting $BACKENDS"
 "$TMP/pdegw" -addr "$GW_ADDR" -backends "$BACKENDS" \
-	-probe-interval 200ms >"$TMP/gw.log" 2>&1 &
+	-probe-interval 200ms -breaker-threshold 1 -breaker-open-probes 1 \
+	>"$TMP/gw.log" 2>&1 &
 GW_PID=$!
 wait_healthy "http://$GW_ADDR" "$TMP/gw.log"
 
@@ -126,6 +133,13 @@ echo "$METRICS" | grep -q '^pdegw_batches_total [1-9]' || {
 }
 echo "$METRICS" | grep '^pdegw_failovers_total\|^pdegw_evictions_total\|^pdegw_readds_total\|^pdegw_batches_total\|^pdegw_batch_deduped_total\|^pdegw_healthy_backends'
 
+echo "== breaker: the killed backend's circuit opened"
+echo "$METRICS" | grep 'pdegw_breaker_transitions_total{.*to="open"' | grep -q ' [1-9]' || {
+	echo "no breaker opened after the backend kill" >&2
+	echo "$METRICS" | grep 'pdegw_breaker' >&2
+	exit 1
+}
+
 echo "== ring re-add: restart the killed backend on the same port"
 "$TMP/pdeserved" -addr "127.0.0.1:$OWNER_PORT" -debug-addr "" >"$TMP/b2b.log" 2>&1 &
 OWNER_PID=$!
@@ -150,6 +164,26 @@ curl -fsS "http://$GW_ADDR/metrics" | grep -q '^pdegw_readds_total [1-9]' || {
 	exit 1
 }
 
+echo "== breaker: open -> half-open trial -> closed after the restart"
+i=0
+until curl -fsS "http://$GW_ADDR/metrics" |
+	grep 'pdegw_breaker_transitions_total{.*to="closed"' | grep -q ' [1-9]'; do
+	i=$((i + 1))
+	if [ "$i" -ge 100 ]; then
+		echo "breaker never reclosed after the backend restart" >&2
+		curl -fsS "http://$GW_ADDR/metrics" | grep 'pdegw_breaker' >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+BREAKER="$(curl -fsS "http://$GW_ADDR/metrics" | grep 'pdegw_breaker_transitions_total')"
+echo "$BREAKER" | grep 'to="half_open"' | grep -q ' [1-9]' || {
+	echo "breaker closed without a half-open trial" >&2
+	echo "$BREAKER" >&2
+	exit 1
+}
+echo "$BREAKER"
+
 echo "== warm cache: pinned backends served repeats from their caches"
 HOT=0
 for PORT in "$B1_PORT" "$B2_PORT" "$B3_PORT"; do
@@ -163,6 +197,48 @@ if [ "$HOT" -lt 1 ]; then
 	exit 1
 fi
 echo "backends with warm caches: $HOT"
+
+echo "== retry budget: an aux gateway fronting a dead backend spends, then denies"
+# Half the shapes pin to the dead URL; each such request burns one failover
+# token. With refill disabled and a two-token bucket, the third dead-pinned
+# request must be refused with 429 backpressure — never a 5xx.
+"$TMP/pdegw" -addr "$GW2_ADDR" \
+	-backends "http://127.0.0.1:$B1_PORT,$DEAD_URL" \
+	-probe-interval 1h -evict-after 1000000 -breaker-threshold 1000000 \
+	-retry-budget -1 -retry-budget-max 2 >"$TMP/gw2.log" 2>&1 &
+GW2_PID=$!
+wait_healthy "http://$GW2_ADDR" "$TMP/gw2.log"
+CODES=""
+for N in 4 5 6 7 8 9 10 11 12; do
+	CODE="$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+		-H 'Content-Type: application/json' \
+		-d "{\"problem\":\"burgers-steady\",\"n\":$N,\"seed\":2}" \
+		"http://$GW2_ADDR/v1/solve")"
+	CODES="$CODES $CODE"
+	case "$CODE" in
+	200 | 429) ;;
+	*)
+		echo "budget sweep surfaced status $CODE (want only 200/429):$CODES" >&2
+		cat "$TMP/gw2.log" >&2
+		exit 1
+		;;
+	esac
+done
+echo "sweep codes:$CODES"
+GW2_METRICS="$(curl -fsS "http://$GW2_ADDR/metrics")"
+echo "$GW2_METRICS" | grep -q '^pdegw_retry_budget_spent_total [1-9]' || {
+	echo "no retry-budget token was ever spent" >&2
+	echo "$GW2_METRICS" | grep '^pdegw_retry_budget' >&2
+	exit 1
+}
+echo "$GW2_METRICS" | grep -q '^pdegw_retry_budget_denied_total [1-9]' || {
+	echo "the exhausted budget never denied a failover" >&2
+	echo "$GW2_METRICS" | grep '^pdegw_retry_budget' >&2
+	exit 1
+}
+echo "$GW2_METRICS" | grep '^pdegw_retry_budget'
+kill "$GW2_PID" 2>/dev/null || true
+GW2_PID=""
 
 echo "== SIGTERM drain of the gateway"
 kill -TERM "$GW_PID"
