@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint lint-baseline fuzz check bench bench-core serve serve-smoke chaos-smoke cache-smoke cluster-smoke scale-smoke bench-serve bench-cluster
+.PHONY: all build test race vet fmt lint lint-baseline fuzz check bench bench-core serve serve-smoke chaos-smoke cache-smoke cluster-smoke scale-smoke stream-smoke bench-serve bench-cluster bench-stream
 
 all: build
 
@@ -56,12 +56,14 @@ bench:
 
 # Regenerate the committed core benchmark baseline (BENCH_core.json):
 # warm Newton solves and time loops across grid sizes and worker counts,
-# with the cross-procs checksum gate and the parallel-speedup floor (the
-# floor is skipped with a visible notice on single-CPU machines, where a
-# speedup is unmeasurable). Short mode keeps it CI-sized; run
-# `go run ./cmd/pdebench` directly for the full size sweep.
+# with the cross-procs checksum gate, the parallel-speedup floor (skipped
+# with a visible notice on single-CPU machines, where a speedup is
+# unmeasurable) and the chord-mode factorization-reuse floor (machine-
+# independent: it compares two configurations on the same machine). Short
+# mode keeps it CI-sized; run `go run ./cmd/pdebench` directly for the
+# full size sweep.
 bench-core:
-	$(GO) run ./cmd/pdebench -short -min-speedup 1.1 -out BENCH_core.json
+	$(GO) run ./cmd/pdebench -short -min-speedup 1.1 -min-reuse-speedup 1.3 -out BENCH_core.json
 
 # Run the solve service locally (Ctrl-C drains in-flight solves).
 serve:
@@ -99,6 +101,16 @@ scale-smoke:
 bench-cluster:
 	./scripts/bench_cluster.sh
 
+# Streaming smoke: boot pdeserved behind pdegw, drive 256-step NDJSON
+# trajectories through the gateway with pdeload -stream, and assert the
+# streaming plane end to end — every stream completes with a done summary,
+# the first frame lands well before the trajectory finishes (TTFF share
+# < 25%), the frames-streamed and factorization-reuse counters move, zero
+# 5xx, and both processes drain cleanly on SIGTERM while a stream is in
+# flight.
+stream-smoke:
+	./scripts/stream_smoke.sh
+
 # Cache smoke: boot pdeserved with the solve cache on, replay identical and
 # near-identical load, assert nonzero cache/warm hits, byte-identical
 # bodies on exact repeats, and a clean drain.
@@ -118,4 +130,19 @@ bench-serve:
 	/tmp/pdeload -url http://127.0.0.1:18080 -rate 400 -duration 8s \
 		-problem burgers-steady -n 5 -seed-spread 3 \
 		-re 1.0 -re-step 0.01 -re-count 4 -out BENCH_serve.json; \
+	RC=$$?; kill -TERM $$SRV; wait $$SRV; exit $$RC
+
+# Regenerate the committed streaming benchmark (BENCH_stream.json):
+# 256-step transient trajectories streamed as NDJSON from a freshly-booted
+# local server. The headline numbers are time-to-first-frame (p50/p99)
+# against the total-trajectory percentiles — the TTFF share is the
+# streaming win — plus frames/sec throughput.
+bench-stream:
+	$(GO) build -o /tmp/pdeserved ./cmd/pdeserved
+	$(GO) build -o /tmp/pdeload ./cmd/pdeload
+	/tmp/pdeserved -addr 127.0.0.1:18080 -debug-addr "" & \
+	SRV=$$!; sleep 1; \
+	/tmp/pdeload -url http://127.0.0.1:18080 -stream -steps 256 \
+		-problem burgers2d -n 10 -rate 4 -duration 8s -seed-spread 8 \
+		-out BENCH_stream.json; \
 	RC=$$?; kill -TERM $$SRV; wait $$SRV; exit $$RC

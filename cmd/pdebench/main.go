@@ -1,12 +1,15 @@
 // Command pdebench runs the committed core benchmark baseline: the warm
-// repeated sparse-Newton solve and the Crank–Nicolson time loop, each at a
-// range of grid sizes and per-solve worker counts, reporting best/mean
-// wall-clock seconds plus an FNV-64 checksum of the solution bits.
+// repeated sparse-Newton solve and the Crank–Nicolson time loop — the
+// latter both with classical Newton (time-loop) and with chord-mode
+// factorization reuse (time-loop-reuse) — each at a range of grid sizes
+// and per-solve worker counts, reporting best/mean wall-clock seconds plus
+// an FNV-64 checksum of the solution bits.
 //
 // Usage:
 //
 //	pdebench [-sizes 8,16,32,48] [-procs 1,2,4] [-reps 5] [-steps 4]
 //	         [-short] [-seed 80] [-out BENCH_core.json]
+//	         [-min-speedup F] [-min-reuse-speedup F]
 //
 // The checksum is the determinism gate: for a given benchmark and grid
 // size, every worker count must produce bit-identical solutions and
@@ -50,13 +53,24 @@ type Case struct {
 	BestSeconds float64 `json:"best_seconds"`
 	MeanSeconds float64 `json:"mean_seconds"`
 	Iterations  int     `json:"iterations"`
-	Checksum    string  `json:"checksum"`
+	// LinearSolves and Refactorizations are reported by the time-loop
+	// benches; chord mode (time-loop-reuse) keeps Refactorizations far
+	// below LinearSolves, which is where its speedup comes from.
+	LinearSolves     int    `json:"linear_solves,omitempty"`
+	Refactorizations int    `json:"refactorizations,omitempty"`
+	Checksum         string `json:"checksum"`
 	// SpeedupVsSerial is best-of-serial / best-of-this-procs for the same
 	// bench and size; 0 when no serial case ran.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// ReuseSpeedup is best-of-time-loop / best-of-time-loop-reuse for the
+	// same size and procs: the factorization-reuse payoff, an algorithmic
+	// win that holds on any machine.
+	ReuseSpeedup float64 `json:"reuse_speedup,omitempty"`
 }
 
-// Report is the machine-readable result (schema hybridpde-bench-core/v1).
+// Report is the machine-readable result (schema hybridpde-bench-core/v2:
+// v1 plus the time-loop-reuse bench and its linear-solve/refactorization
+// and reuse-speedup fields).
 type Report struct {
 	Schema     string `json:"schema"`
 	Go         string `json:"go"`
@@ -77,6 +91,7 @@ func main() {
 		seed     = flag.Int64("seed", 80, "fixture seed (fields, planted roots, starts)")
 		out      = flag.String("out", "", "write the JSON report to this file as well as stdout")
 		minSpeed = flag.Float64("min-speedup", 0, "fail unless some parallel case beats serial by this factor (0 disables; skipped with a notice on single-CPU machines)")
+		minReuse = flag.Float64("min-reuse-speedup", 0, "fail unless some time-loop-reuse case beats plain time-loop by this factor (0 disables; never machine-gated — the win is algorithmic)")
 	)
 	flag.Parse()
 
@@ -99,7 +114,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:     "hybridpde-bench-core/v1",
+		Schema:     "hybridpde-bench-core/v2",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -110,12 +125,15 @@ func main() {
 		for _, procs := range procsList {
 			rep.Cases = append(rep.Cases, runNewtonSteady(n, procs, *reps, *seed))
 			rep.Cases = append(rep.Cases, runTimeLoop(n, procs, *reps, *steps, *seed))
+			rep.Cases = append(rep.Cases, runTimeLoopReuse(n, procs, *reps, *steps, *seed))
 		}
 	}
 	fillSpeedups(rep.Cases)
+	fillReuseSpeedups(rep.Cases)
 
 	ok := checkDeterminism(rep.Cases)
 	ok = checkSpeedup(rep.Cases, *minSpeed, rep.NumCPU) && ok
+	ok = checkReuseSpeedup(rep.Cases, *minReuse) && ok
 	b, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fatalf("encode report: %v", err)
@@ -195,18 +213,20 @@ func runTimeLoop(n, procs, reps, steps int, seed int64) Case {
 	opts := core.Options{SkipAnalog: true, Workspace: core.NewWorkspace(), Procs: procs}
 
 	c := Case{Bench: "time-loop", N: n, Dim: burgers.Dim(), Procs: procs, Reps: reps}
-	var iters int
+	var iters, linSolves, refactors int
 	var final []float64
 	runOnce := func() {
 		copy(burgers.UPrev, u0)
 		copy(burgers.VPrev, v0)
-		iters = 0
+		iters, linSolves, refactors = 0, 0, 0
 		for s := 0; s < steps; s++ {
 			rep, err := core.Solve(nil, burgers, opts)
 			if err != nil {
 				fatalf("time-loop n=%d procs=%d: %v", n, procs, err)
 			}
 			iters += rep.Digital.TotalIters
+			linSolves += rep.Digital.LinearSolves
+			refactors += rep.Digital.Refactorizations
 			final = rep.U
 			if err := burgers.Advance(rep.U); err != nil {
 				fatalf("time-loop n=%d procs=%d: %v", n, procs, err)
@@ -216,7 +236,53 @@ func runTimeLoop(n, procs, reps, steps int, seed int64) Case {
 	runOnce() // warm the workspace and Jacobian caches
 	c.BestSeconds, c.MeanSeconds = timeReps(reps, runOnce)
 	c.Iterations = iters
+	c.LinearSolves = linSolves
+	c.Refactorizations = refactors
 	c.Checksum = checksum(final)
+	return c
+}
+
+// runTimeLoopReuse measures the same trajectory as runTimeLoop through
+// core.TimeLoop with chord-mode factorization reuse: the band-LU factors
+// persist across Newton iterations and time steps, refreshed only by the
+// residual-contraction gate. The fixture (seed, fields, Re, steps) is
+// identical to time-loop's, so the per-(n, procs) pairing is a clean A/B.
+func runTimeLoopReuse(n, procs, reps, steps int, seed int64) Case {
+	rng := rand.New(rand.NewSource(seed + 1))
+	burgers, err := pde.NewBurgers(n, 0.8)
+	if err != nil {
+		fatalf("time-loop-reuse n=%d: %v", n, err)
+	}
+	for i := range burgers.UPrev {
+		burgers.UPrev[i] = 0.5 * (2*rng.Float64() - 1)
+		burgers.VPrev[i] = 0.5 * (2*rng.Float64() - 1)
+	}
+	u0 := append([]float64(nil), burgers.UPrev...)
+	v0 := append([]float64(nil), burgers.VPrev...)
+	opts := core.Options{SkipAnalog: true, Workspace: core.NewWorkspace(), Procs: procs}
+	opts.Newton.Chord = true
+
+	c := Case{Bench: "time-loop-reuse", N: n, Dim: burgers.Dim(), Procs: procs, Reps: reps}
+	var tr core.TransientReport
+	var sum string
+	runOnce := func() {
+		copy(burgers.UPrev, u0)
+		copy(burgers.VPrev, v0)
+		tr, err = core.TimeLoop(nil, burgers, opts, core.TimeLoopOptions{Steps: steps},
+			func(f *core.Frame) error {
+				sum = checksum(f.U) // the final frame's digest survives the loop
+				return nil
+			})
+		if err != nil {
+			fatalf("time-loop-reuse n=%d procs=%d: %v", n, procs, err)
+		}
+	}
+	runOnce() // warm the workspace and Jacobian caches
+	c.BestSeconds, c.MeanSeconds = timeReps(reps, runOnce)
+	c.Iterations = tr.TotalIterations
+	c.LinearSolves = tr.LinearSolves
+	c.Refactorizations = tr.Refactorizations
+	c.Checksum = sum
 	return c
 }
 
@@ -271,6 +337,56 @@ func fillSpeedups(cases []Case) {
 			cases[i].SpeedupVsSerial = s / cases[i].BestSeconds
 		}
 	}
+}
+
+// fillReuseSpeedups sets ReuseSpeedup on every time-loop-reuse case that
+// has a time-loop sibling at the same size and procs.
+func fillReuseSpeedups(cases []Case) {
+	type key struct {
+		n     int
+		procs int
+	}
+	plain := map[key]float64{}
+	for _, c := range cases {
+		if c.Bench == "time-loop" {
+			plain[key{c.N, c.Procs}] = c.BestSeconds
+		}
+	}
+	for i := range cases {
+		if cases[i].Bench != "time-loop-reuse" {
+			continue
+		}
+		if p, ok := plain[key{cases[i].N, cases[i].Procs}]; ok && cases[i].BestSeconds > 0 {
+			cases[i].ReuseSpeedup = p / cases[i].BestSeconds
+		}
+	}
+}
+
+// checkReuseSpeedup asserts that chord-mode factorization reuse paid off:
+// the best time-loop-reuse speedup over its plain time-loop sibling must
+// reach minReuse. Unlike the parallel-speedup gate this is never skipped
+// by machine shape — skipping factorizations is an algorithmic win that a
+// single-CPU container measures just as well.
+func checkReuseSpeedup(cases []Case, minReuse float64) bool {
+	if minReuse <= 0 {
+		return true
+	}
+	best := 0.0
+	bestCase := ""
+	for _, c := range cases {
+		if c.ReuseSpeedup > best {
+			best = c.ReuseSpeedup
+			bestCase = fmt.Sprintf("%s n=%d procs=%d", c.Bench, c.N, c.Procs)
+		}
+	}
+	if best < minReuse {
+		fmt.Fprintf(os.Stderr,
+			"pdebench: REUSE VIOLATION: best factorization-reuse speedup %.3f (%s) below the required %.2f\n",
+			best, bestCase, minReuse)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "pdebench: best factorization-reuse speedup %.3f (%s) >= %.2f\n", best, bestCase, minReuse)
+	return true
 }
 
 // checkDeterminism verifies the tentpole contract on the measured data:

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	pdegw -backends http://127.0.0.1:18081,http://127.0.0.1:18082 \
-//	      [-addr :8090] [-vnodes 64] [-max-grid N] [-probe-interval D]
+//	      [-addr :8090] [-vnodes 64] [-max-grid N] [-max-steps N]
+//	      [-probe-interval D]
 //	      [-probe-timeout D] [-evict-after N] [-backoff-max N]
 //	      [-batch-window D] [-max-batch N] [-drain-timeout D]
 //	      [-breaker-threshold N] [-breaker-open-probes N]
@@ -12,7 +13,9 @@
 //	      [-timeout D] [-max-timeout D]
 //
 // The gateway serves POST /v1/solve (shape-affine consistent-hash routed,
-// same-shape batched, ring-successor failover), GET /v1/problems (proxied
+// same-shape batched, ring-successor failover), POST /v1/stream (same
+// routing, batching bypassed, flush-through NDJSON relay, failover only
+// before the first byte), GET /v1/problems (proxied
 // to a healthy backend), GET /healthz (readiness: not draining and at
 // least one healthy backend), GET /livez, GET /metrics (the pdegw_*
 // metrics plane) and GET /cluster (membership snapshot). On
@@ -51,6 +54,7 @@ func main() {
 		backends      = flag.String("backends", "", "comma-separated pdeserved base URLs (required)")
 		vnodes        = flag.Int("vnodes", 0, "virtual nodes per backend on the ring (0 = default 64)")
 		maxGrid       = flag.Int("max-grid", 12, "largest 2-D grid size a request may ask for (mirror the backends)")
+		maxSteps      = flag.Int("max-steps", 0, "cap on a stream's step count, mirroring the backends (0 = default 256)")
 		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "health probe period")
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe round-trip bound")
 		evictAfter    = flag.Int("evict-after", 1, "consecutive failures that evict a backend")
@@ -78,6 +82,7 @@ func main() {
 		Backends:         urls,
 		VNodes:           *vnodes,
 		MaxGridN:         *maxGrid,
+		MaxSteps:         *maxSteps,
 		ProbeInterval:    *probeInterval,
 		ProbeTimeout:     *probeTimeout,
 		EvictAfter:       *evictAfter,

@@ -9,6 +9,14 @@
 //	        [-problem burgers-steady] [-n 5] [-analog]
 //	        [-seed-spread 16] [-re 1] [-re-step 0] [-re-count 1]
 //	        [-targets URL1,URL2,...] [-out BENCH_serve.json]
+//	        [-stream -steps K]
+//
+// -stream switches to the NDJSON streaming scenario: POST /v1/stream
+// trajectories of -steps Crank–Nicolson steps against a transient
+// -problem (burgers2d or burgers1d), read frame by frame as the server
+// flushes them. The report adds time-to-first-frame percentiles,
+// frames/sec and the TTFF/total-latency share — the streaming claim is
+// that the first frame lands long before the trajectory completes.
 //
 // -ramp replaces the flat -rate with an open-loop ramp profile: -duration
 // is split evenly into STEPS stages whose offered rates interpolate
@@ -155,6 +163,22 @@ type Report struct {
 	GatewayCoalesced uint64 `json:"gateway_coalesced,omitempty"`
 	GatewayDeduped   uint64 `json:"gateway_deduped,omitempty"`
 
+	// Streaming scenario (-stream): NDJSON trajectories via POST
+	// /v1/stream. TTFF is time-to-first-frame — the latency a streaming
+	// client actually waits before results start arriving; the headline
+	// claim is TTFFShareP50 ≪ 1 (the first frame lands long before the
+	// trajectory completes). Total-latency percentiles reuse the latency_*
+	// fields above.
+	Stream       bool    `json:"stream,omitempty"`
+	Steps        int     `json:"steps,omitempty"`
+	StreamsDone  int     `json:"streams_done,omitempty"`
+	FramesTotal  int     `json:"frames_total,omitempty"`
+	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+	TTFFP50Ms    float64 `json:"ttff_p50_ms,omitempty"`
+	TTFFP90Ms    float64 `json:"ttff_p90_ms,omitempty"`
+	TTFFP99Ms    float64 `json:"ttff_p99_ms,omitempty"`
+	TTFFShareP50 float64 `json:"ttff_share_p50,omitempty"`
+
 	Codes map[string]int `json:"codes"`
 }
 
@@ -174,6 +198,8 @@ func main() {
 		reCount    = flag.Int("re-count", 1, "number of sweep points to cycle through")
 		targetList = flag.String("targets", "", "comma-separated base URLs to round-robin across (overrides -url)")
 		out        = flag.String("out", "", "write the JSON report to this file as well as stdout")
+		stream     = flag.Bool("stream", false, "drive POST /v1/stream NDJSON trajectories instead of buffered solves (use a transient -problem: burgers2d or burgers1d)")
+		steps      = flag.Int("steps", 64, "time steps per streamed trajectory (-stream only)")
 	)
 	flag.Parse()
 	if *rate <= 0 || *duration <= 0 || *conc <= 0 {
@@ -197,6 +223,14 @@ func main() {
 	if *reCount < 1 || *reBase <= 0 {
 		fmt.Fprintln(os.Stderr, "pdeload: -re must be positive and -re-count at least 1")
 		os.Exit(2)
+	}
+	if *stream {
+		runStream(streamConfig{
+			url: *url, rate: *rate, duration: *duration, conc: *conc,
+			problem: *problem, n: *n, steps: *steps, seedSpread: *seedSpread,
+			re: *reBase, out: *out,
+		})
+		return
 	}
 
 	body := func(seed int64, re float64) []byte {
@@ -428,30 +462,7 @@ func main() {
 		}
 	}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "pdeload:", err)
-		os.Exit(2)
-	}
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pdeload:", err)
-			os.Exit(2)
-		}
-		fenc := json.NewEncoder(f)
-		fenc.SetIndent("", "  ")
-		if err := fenc.Encode(rep); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "pdeload:", err)
-			os.Exit(2)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "pdeload:", err)
-			os.Exit(2)
-		}
-	}
+	writeReport(&rep, *out)
 	fmt.Fprintf(os.Stderr, "pdeload: status breakdown: 2xx=%d (degraded=%d) 429=%d other-4xx=%d 5xx=%d transport=%d local-drops=%d\n",
 		rep.OK, rep.Degraded, rep.Shed, rep.ClientErr, rep.ServerErr, rep.TransportEr, rep.LocalDrops)
 	for _, ss := range rep.RampSteps {
@@ -474,6 +485,210 @@ func main() {
 	if rep.OK == 0 {
 		fmt.Fprintln(os.Stderr, "pdeload: no successful responses")
 		os.Exit(1)
+	}
+}
+
+// streamConfig is the resolved flag set of a -stream run.
+type streamConfig struct {
+	url        string
+	rate       float64
+	duration   time.Duration
+	conc       int
+	problem    string
+	n          int
+	steps      int
+	seedSpread int64
+	re         float64
+	out        string
+}
+
+// runStream drives the -stream scenario: open-loop POST /v1/stream
+// trajectories, each read line by line as the server flushes it, measuring
+// time-to-first-frame separately from total latency. A stream counts as OK
+// when it answered 200; done additionally requires the terminal summary
+// line with "done":true (a 200 stream can still be truncated in-band).
+func runStream(cfg streamConfig) {
+	rep := Report{
+		URL: cfg.url, Problem: cfg.problem, N: cfg.n,
+		RateRPS: cfg.rate, Duration: cfg.duration.Seconds(), Concurrency: cfg.conc,
+		Stream: true, Steps: cfg.steps,
+		Codes: map[string]int{},
+	}
+	body := func(seed int64) []byte {
+		b, err := json.Marshal(serve.Request{Problem: cfg.problem, N: cfg.n, Seed: seed, Re: cfg.re, Steps: cfg.steps})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdeload:", err)
+			os.Exit(2)
+		}
+		return b
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	type result struct {
+		code    int
+		ttff    float64 // seconds to the first flushed frame line
+		total   float64 // seconds to stream end
+		frames  int
+		done    bool
+		err     error
+		errBody string
+	}
+	results := make(chan result, 4096)
+	slots := make(chan struct{}, cfg.conc)
+	var wg sync.WaitGroup
+	begin := time.Now()
+
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	stop := time.After(cfg.duration)
+	i := int64(0)
+launch:
+	for ; ; i++ {
+		select {
+		case <-stop:
+			break launch
+		case <-ticker.C:
+		}
+		select {
+		case slots <- struct{}{}:
+		default:
+			rep.LocalDrops++
+			continue
+		}
+		rep.Sent++
+		seed := 1 + i%cfg.seedSpread
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			start := time.Now()
+			hr, err := client.Post(cfg.url+"/v1/stream", "application/x-ndjson", bytes.NewReader(body(seed)))
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer hr.Body.Close()
+			if hr.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(io.LimitReader(hr.Body, 4096))
+				results <- result{code: hr.StatusCode, errBody: strings.TrimSpace(string(b))}
+				return
+			}
+			r := result{code: hr.StatusCode}
+			sc := bufio.NewScanner(hr.Body)
+			sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+			for sc.Scan() {
+				line := sc.Bytes()
+				if len(bytes.TrimSpace(line)) == 0 {
+					continue
+				}
+				if r.ttff == 0 { //pdevet:allow floateq zero is the unset sentinel; measured times are positive
+					r.ttff = time.Since(start).Seconds()
+				}
+				var sum struct {
+					Done *bool `json:"done"`
+				}
+				if json.Unmarshal(line, &sum) == nil && sum.Done != nil {
+					r.done = *sum.Done
+				} else {
+					r.frames++
+				}
+			}
+			if sc.Err() != nil {
+				r.err = sc.Err()
+			}
+			r.total = time.Since(start).Seconds()
+			results <- r
+		}(seed)
+	}
+	ticker.Stop()
+	go func() { wg.Wait(); close(results) }()
+
+	var ttffs, totals, shares []float64
+	for r := range results {
+		if r.err != nil && r.code == 0 {
+			rep.TransportEr++
+			continue
+		}
+		rep.Codes[fmt.Sprintf("%d", r.code)]++
+		switch {
+		case r.code == http.StatusOK:
+			rep.OK++
+			rep.FramesTotal += r.frames
+			if r.done {
+				rep.StreamsDone++
+			}
+			ttffs = append(ttffs, r.ttff)
+			totals = append(totals, r.total)
+			if r.total > 0 {
+				shares = append(shares, r.ttff/r.total)
+			}
+		case r.code == http.StatusTooManyRequests:
+			rep.Shed++
+		case r.code >= 400 && r.code < 500:
+			rep.ClientErr++
+			if r.errBody != "" {
+				fmt.Fprintf(os.Stderr, "pdeload: 4xx: %s\n", r.errBody)
+			}
+		default:
+			rep.ServerErr++
+		}
+	}
+	elapsed := time.Since(begin).Seconds()
+
+	if rep.OK > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / elapsed
+		rep.FramesPerSec = float64(rep.FramesTotal) / elapsed
+		rep.LatencyP50Ms = 1000 * stats.Percentile(totals, 50)
+		rep.LatencyP90Ms = 1000 * stats.Percentile(totals, 90)
+		rep.LatencyP99Ms = 1000 * stats.Percentile(totals, 99)
+		sort.Float64s(totals)
+		rep.LatencyMaxMs = 1000 * totals[len(totals)-1]
+		rep.TTFFP50Ms = 1000 * stats.Percentile(ttffs, 50)
+		rep.TTFFP90Ms = 1000 * stats.Percentile(ttffs, 90)
+		rep.TTFFP99Ms = 1000 * stats.Percentile(ttffs, 99)
+		rep.TTFFShareP50 = stats.Percentile(shares, 50)
+	}
+
+	writeReport(&rep, cfg.out)
+	fmt.Fprintf(os.Stderr, "pdeload: streams: 2xx=%d done=%d 429=%d 4xx=%d 5xx=%d transport=%d local-drops=%d\n",
+		rep.OK, rep.StreamsDone, rep.Shed, rep.ClientErr, rep.ServerErr, rep.TransportEr, rep.LocalDrops)
+	fmt.Fprintf(os.Stderr, "pdeload: frames=%d (%.1f/s); ttff p50=%.2fms p99=%.2fms; total p50=%.2fms p99=%.2fms; ttff/total p50=%.3f\n",
+		rep.FramesTotal, rep.FramesPerSec, rep.TTFFP50Ms, rep.TTFFP99Ms, rep.LatencyP50Ms, rep.LatencyP99Ms, rep.TTFFShareP50)
+	if rep.OK == 0 {
+		fmt.Fprintln(os.Stderr, "pdeload: no successful streams")
+		os.Exit(1)
+	}
+}
+
+// writeReport encodes the report to stdout and, when set, to out.
+func writeReport(rep *Report, out string) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "pdeload:", err)
+		os.Exit(2)
+	}
+	if out == "" {
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdeload:", err)
+		os.Exit(2)
+	}
+	fenc := json.NewEncoder(f)
+	fenc.SetIndent("", "  ")
+	if err := fenc.Encode(rep); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "pdeload:", err)
+		os.Exit(2)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pdeload:", err)
+		os.Exit(2)
 	}
 }
 

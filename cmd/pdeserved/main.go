@@ -8,10 +8,11 @@
 //	          [-queue N] [-max-grid N] [-timeout D] [-max-timeout D]
 //	          [-seed N] [-drain-timeout D] [-chaos] [-chaos-spec SPEC]
 //	          [-retries N] [-seed-gate F] [-cache-size N] [-cache-off]
-//	          [-warm-radius F]
+//	          [-warm-radius F] [-max-steps N] [-stream-buffer N]
 //
-// The API listener serves POST /v1/solve, GET /v1/problems, GET /healthz
-// and GET /metrics (Prometheus text exposition). The debug listener, bound
+// The API listener serves POST /v1/solve, POST /v1/stream (NDJSON transient
+// trajectories, one frame line per time step), GET /v1/problems,
+// GET /healthz and GET /metrics (Prometheus text exposition). The debug listener, bound
 // to loopback by default, adds net/http/pprof. On SIGINT/SIGTERM the
 // server stops admitting work (healthz flips to 503 so load balancers
 // de-route), finishes every admitted solve, and exits 0; solves still
@@ -71,6 +72,8 @@ func main() {
 		cacheSize      = flag.Int("cache-size", 0, "solve-cache entry bound (0 = default 4096)")
 		cacheOff       = flag.Bool("cache-off", false, "disable the content-addressed solve cache")
 		warmRadius     = flag.Float64("warm-radius", 0, "parameter distance within which a cached neighbour warm-starts a solve (0 = default 0.25, negative disables)")
+		maxSteps       = flag.Int("max-steps", 0, "cap on a POST /v1/stream trajectory's step count (0 = default 256)")
+		streamBuffer   = flag.Int("stream-buffer", 0, "frames buffered between a stream's solver and its network writer (0 = default 8)")
 	)
 	flag.Parse()
 
@@ -108,6 +111,8 @@ func main() {
 		SolveProcs:     *solveProcs,
 		CacheEntries:   cacheEntries,
 		WarmRadius:     *warmRadius,
+		MaxSteps:       *maxSteps,
+		StreamBuffer:   *streamBuffer,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -29,6 +29,10 @@ type Config struct {
 	// requests over the same identity the backends cache under.
 	// Default 12.
 	MaxGridN int
+	// MaxSteps mirrors the backends' stream step cap (-max-steps) so the
+	// gateway rejects over-long trajectories before routing them.
+	// Default 256.
+	MaxSteps int
 	// MaxBodyBytes bounds the request body. Default 1 MiB.
 	MaxBodyBytes int64
 	// ProbeInterval is the health-probe period. Default 500ms.
@@ -200,12 +204,14 @@ func (g *Gateway) Close() {
 	<-g.probeDone
 }
 
-// Handler returns the gateway mux: POST /v1/solve, GET /v1/problems
-// (proxied), GET /healthz (readiness), GET /livez (liveness),
-// GET /metrics, GET /cluster (membership snapshot).
+// Handler returns the gateway mux: POST /v1/solve, POST /v1/stream
+// (flush-through NDJSON proxy), GET /v1/problems (proxied), GET /healthz
+// (readiness), GET /livez (liveness), GET /metrics, GET /cluster
+// (membership snapshot).
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", g.handleSolve)
+	mux.HandleFunc("POST /v1/stream", g.handleStream)
 	mux.HandleFunc("GET /v1/problems", g.handleProblems)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /livez", g.handleLivez)
@@ -387,21 +393,7 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 // bucket turns the failover into an explicit 429 backpressure answer
 // instead of amplified load on a browning-out fleet.
 func (g *Gateway) dispatch(ctx context.Context, shape cache.Key, body []byte) dispatchResult {
-	order := g.ring.Successors(shape)
-	candidates := make([]string, 0, len(order))
-	for _, url := range order {
-		if g.ms.healthy(url) {
-			candidates = append(candidates, url)
-		}
-	}
-	for _, url := range order {
-		if !g.ms.healthy(url) {
-			candidates = append(candidates, url)
-		}
-	}
-	if len(candidates) > g.cfg.FailoverAttempts {
-		candidates = candidates[:g.cfg.FailoverAttempts]
-	}
+	candidates := g.failoverOrder(shape)
 
 	g.budget.deposit()
 	attempts := 0
@@ -444,6 +436,29 @@ func (g *Gateway) dispatch(ctx context.Context, shape cache.Key, body []byte) di
 		}
 	}
 	return last
+}
+
+// failoverOrder lists the backends a request pinned to shape may try, in
+// ring-successor order with healthy members first, capped at
+// FailoverAttempts. Probe state is advisory — unhealthy members are still
+// candidates of last resort, because the request is the ground truth.
+func (g *Gateway) failoverOrder(shape cache.Key) []string {
+	order := g.ring.Successors(shape)
+	candidates := make([]string, 0, len(order))
+	for _, url := range order {
+		if g.ms.healthy(url) {
+			candidates = append(candidates, url)
+		}
+	}
+	for _, url := range order {
+		if !g.ms.healthy(url) {
+			candidates = append(candidates, url)
+		}
+	}
+	if len(candidates) > g.cfg.FailoverAttempts {
+		candidates = candidates[:g.cfg.FailoverAttempts]
+	}
+	return candidates
 }
 
 // timeout resolves the effective deadline of a gateway request, with the

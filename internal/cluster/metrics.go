@@ -37,6 +37,12 @@ type gwMetrics struct {
 	batchDeduped   promtext.Counter    // requests served by another identical upstream call
 	batchAbandoned promtext.Counter    // followers whose client hung up before the flush
 
+	// Streaming plane (POST /v1/stream flush-through proxy).
+	streamsProxied  promtext.Counter // streams committed (200) to a backend
+	streamFrames    promtext.Counter // NDJSON lines relayed and flushed
+	streamFailovers promtext.Counter // stream attempts retried before the first byte
+	streamAborts    promtext.Counter // committed streams truncated (client gone or upstream failure)
+
 	// Probe-scraped backend degradation signal (snapshots of remote
 	// counters, hence gauges).
 	backendDegraded  *promtext.GaugeVec // labels: backend
@@ -87,6 +93,10 @@ func (m *gwMetrics) writeProm(w io.Writer) {
 	promtext.WriteCounter(w, "pdegw_batch_coalesced_total", "Requests that joined an already-open same-shape window.", &m.coalesced)
 	promtext.WriteCounter(w, "pdegw_batch_deduped_total", "Requests served by another identical in-batch upstream call.", &m.batchDeduped)
 	promtext.WriteCounter(w, "pdegw_batch_abandoned_total", "Batch followers whose client disconnected before the window flushed.", &m.batchAbandoned)
+	promtext.WriteCounter(w, "pdegw_streams_proxied_total", "Streams committed to a backend and relayed flush-on-write.", &m.streamsProxied)
+	promtext.WriteCounter(w, "pdegw_stream_frames_total", "NDJSON stream lines relayed and flushed to clients.", &m.streamFrames)
+	promtext.WriteCounter(w, "pdegw_stream_failovers_total", "Stream attempts retried on a ring successor before the first byte.", &m.streamFailovers)
+	promtext.WriteCounter(w, "pdegw_stream_aborts_total", "Committed streams truncated by a client disconnect or upstream failure.", &m.streamAborts)
 	promtext.WriteGaugeVec(w, "pdegw_backend_degraded", "Backend pdeserve_degraded_total, as last scraped by the health prober.", m.backendDegraded)
 	promtext.WriteGaugeVec(w, "pdegw_backend_cache_hits", "Backend pdeserve_cache_hits_total, as last scraped by the health prober.", m.backendCacheHits)
 	promtext.WriteGaugeVec(w, "pdegw_backend_cache_warm_hits", "Backend pdeserve_cache_warm_hits_total, as last scraped by the health prober.", m.backendCacheWarm)

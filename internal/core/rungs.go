@@ -248,8 +248,9 @@ func (homotopyRung) Try(ctx context.Context, st *RungState) (Report, bool, error
 	res := nonlin.Result{
 		U: hr.U, Converged: hr.Converged, Residual: hr.Residual,
 		Iterations: hr.NewtonIters, TotalIters: hr.NewtonIters,
-		LinearSolves: hr.NewtonIters, FactorOps: int64(hr.NewtonIters) * factorOpsDense(st.Dim),
-		Attempts: 1, DampingUsed: 1,
+		LinearSolves: hr.NewtonIters, Refactorizations: hr.NewtonIters,
+		FactorOps: int64(hr.NewtonIters) * factorOpsDense(st.Dim),
+		Attempts:  1, DampingUsed: 1,
 	}
 	rep := Report{
 		U: hr.U, Digital: res, FinalResidual: hr.Residual,

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hybridpde/internal/problem"
+)
+
+// TransientSystem is a sparse nonlinear system that marches in time: after
+// each converged implicit step, Advance installs the solved level as the new
+// previous level (and the next step's warm start). The Crank–Nicolson
+// Burgers systems implement it.
+type TransientSystem interface {
+	problem.SparseSystem
+	Advance(w []float64) error
+}
+
+// Frame is one time step of a transient solve, handed to the TimeLoop
+// callback as soon as the step converges — the unit of streaming.
+type Frame struct {
+	// Step is the 1-based step index; T = Step·Dt is the frame time.
+	Step int
+	T    float64
+	// U is the step's solution. It aliases solver workspace storage and is
+	// only valid during the callback: the next step overwrites it. Copy or
+	// serialize it before returning.
+	U []float64
+	// Residual is the step's certified final ‖F(u)‖₂ — the per-frame
+	// accuracy bound that makes a streamed partial trajectory trustworthy.
+	Residual float64
+	// Converged, Iterations and LinearSolves describe the step's digital
+	// polish; Refactorizations counts its Jacobian refresh events (chord
+	// mode reuses factorizations across iterations and steps, so this is
+	// usually far below LinearSolves).
+	Converged        bool
+	Iterations       int
+	LinearSolves     int
+	Refactorizations int
+	// Rung is the ladder rung that served the step ("" when the loop ran
+	// plain Solve), Degraded whether the step fell below its planned rung,
+	// and SeedRejections the step's gate rejections — the frame-level echo
+	// of the start-source accounting in Report.Fallback.
+	Rung           Rung
+	Degraded       bool
+	SeedRejections int
+	// Seconds and EnergyJ are the step's modelled cost.
+	Seconds float64
+	EnergyJ float64
+}
+
+// TimeLoopOptions configures a transient drive.
+type TimeLoopOptions struct {
+	// Steps is the number of Crank–Nicolson steps to march. Required ≥ 1.
+	Steps int
+	// Dt is the reported frame time spacing: frames carry T = Step·Dt. The
+	// isotropic discretization fixes the *numerical* step to the grid
+	// spacing, so Dt labels the trajectory's time axis without changing the
+	// computation. Default 1.
+	Dt float64
+	// Ladder, when set, runs every step through the degradation ladder with
+	// Lopts (cache rungs should be unbound or off: intermediate time levels
+	// are not content-addressable). When nil, steps run plain Solve.
+	Ladder *Ladder
+	Lopts  LadderOptions
+}
+
+// TransientReport is the whole-trajectory account of a TimeLoop drive.
+type TransientReport struct {
+	// Steps counts completed (emitted) frames; on an abort it is the number
+	// of frames the caller actually received.
+	Steps            int
+	TotalIterations  int
+	LinearSolves     int
+	Refactorizations int
+	// TotalSeconds and TotalEnergyJ are the summed modelled step costs.
+	TotalSeconds float64
+	TotalEnergyJ float64
+}
+
+// TimeLoop marches sys through opts.Steps Crank–Nicolson steps, emitting a
+// Frame to the callback as each step converges, and advancing the system's
+// previous time level afterwards. Each step starts from the system's own
+// warm start (the previous level), exactly as a buffered serial loop over
+// Solve would — a streamed trajectory is bit-identical to a buffered one.
+//
+// A cancelled ctx aborts between frames with an error wrapping the
+// context's error; an emit error aborts the loop and is returned verbatim
+// wrapped. Either way the returned report counts the frames delivered.
+//
+// When sopts.Newton.Chord is set, the loop resets the workspace solver's
+// factorization-reuse state first: a chord trajectory must produce the same
+// bits on a warm workspace as on a fresh one, so cross-step reuse starts
+// inside the trajectory, never from a previous request's factorization.
+func TimeLoop(ctx context.Context, sys TransientSystem, sopts Options, opts TimeLoopOptions, emit func(*Frame) error) (TransientReport, error) {
+	var tr TransientReport
+	if opts.Steps < 1 {
+		return tr, errors.New("core: time loop needs at least one step")
+	}
+	if opts.Dt <= 0 {
+		opts.Dt = 1
+	}
+	if sopts.InitialGuess != nil {
+		return tr, errors.New("core: time loop steps start from the previous time level; InitialGuess must be nil")
+	}
+	if sopts.Newton.Chord && sopts.Workspace != nil {
+		sopts.Workspace.Solver.ResetReuse()
+	}
+	var frame Frame
+	for step := 1; step <= opts.Steps; step++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return tr, fmt.Errorf("core: time loop aborted at step %d: %w", step, cerr)
+			}
+		}
+		var rep Report
+		var err error
+		if opts.Ladder != nil {
+			rep, err = opts.Ladder.Solve(ctx, sys, sopts, opts.Lopts)
+		} else {
+			rep, err = Solve(ctx, sys, sopts)
+		}
+		tr.TotalIterations += rep.Digital.TotalIters
+		tr.LinearSolves += rep.Digital.LinearSolves
+		tr.Refactorizations += rep.Digital.Refactorizations
+		tr.TotalSeconds += rep.TotalSeconds
+		tr.TotalEnergyJ += rep.TotalEnergyJ
+		if err != nil {
+			return tr, fmt.Errorf("core: time loop step %d: %w", step, err)
+		}
+		frame = Frame{
+			Step:             step,
+			T:                float64(step) * opts.Dt,
+			U:                rep.U,
+			Residual:         rep.FinalResidual,
+			Converged:        rep.Digital.Converged,
+			Iterations:       rep.Digital.TotalIters,
+			LinearSolves:     rep.Digital.LinearSolves,
+			Refactorizations: rep.Digital.Refactorizations,
+			Seconds:          rep.TotalSeconds,
+			EnergyJ:          rep.TotalEnergyJ,
+		}
+		if fb := rep.Fallback; fb != nil {
+			frame.Rung = fb.Final
+			frame.Degraded = fb.Degraded
+			frame.SeedRejections = fb.SeedRejections
+		}
+		if err := emit(&frame); err != nil {
+			return tr, fmt.Errorf("core: time loop emit at step %d: %w", step, err)
+		}
+		tr.Steps++
+		if err := sys.Advance(rep.U); err != nil {
+			return tr, fmt.Errorf("core: time loop advance at step %d: %w", step, err)
+		}
+	}
+	return tr, nil
+}

@@ -41,6 +41,26 @@ type NewtonOptions struct {
 	// partition into disjoint writes in serial order). The dense Newton path
 	// ignores it.
 	Procs int
+	// Chord enables modified-Newton (chord) iteration on the sparse path:
+	// the band-LU factorization is reused — and the sharded Jacobian
+	// refresh skipped entirely — across Newton iterations *and* across
+	// Solve calls of the same system (implicit time stepping, where
+	// consecutive steps differ by O(dt)). The factorization is refreshed
+	// only when the refresh gate fires: the observed residual contraction
+	// degrades past ChordContraction, or the factorization's age exceeds
+	// ChordMaxAge. Gate decisions depend only on residual values, which are
+	// bit-identical across worker counts, so chord solves keep the
+	// cross-procs bit-identity contract. The dense path ignores it.
+	Chord bool
+	// ChordContraction is the refresh-gate threshold ρ ∈ (0,1): an
+	// iteration under a reused factorization must contract the residual to
+	// at most ρ·previous, otherwise the Jacobian is refreshed and
+	// refactored before the next linear solve. Default 0.5.
+	ChordContraction float64
+	// ChordMaxAge is the hard bound on factorization reuse: after this many
+	// linear solves the Jacobian is refreshed regardless of contraction.
+	// Default 64.
+	ChordMaxAge int
 }
 
 func (o *NewtonOptions) defaults() {
@@ -59,6 +79,12 @@ func (o *NewtonOptions) defaults() {
 	if o.DivergeFactor <= 0 {
 		o.DivergeFactor = 1e6
 	}
+	if o.ChordContraction <= 0 || o.ChordContraction >= 1 {
+		o.ChordContraction = 0.5
+	}
+	if o.ChordMaxAge <= 0 {
+		o.ChordMaxAge = 64
+	}
 }
 
 // Result describes a Newton solve. The split between total and counted work
@@ -72,10 +98,15 @@ type Result struct {
 	Residual     float64 // final ‖F(u)‖₂
 	Iterations   int     // iterations of the successful (or last) attempt
 	TotalIters   int     // iterations across all damping attempts
-	LinearSolves int     // Jacobian factorizations+solves, successful attempt
-	FactorOps    int64   // multiply-adds spent factoring (sparse path)
-	DampingUsed  float64 // damping parameter of the successful attempt
-	Attempts     int     // damping attempts tried (AutoDamp)
+	LinearSolves int     // linear solves (back-substitutions), successful attempt
+	// Refactorizations counts Jacobian refresh + factorization events of the
+	// successful attempt. Classical Newton refactors every linear solve, so
+	// it equals LinearSolves there; chord mode reuses factorizations, so
+	// Refactorizations ≤ LinearSolves and the gap is the reuse win.
+	Refactorizations int
+	FactorOps        int64   // multiply-adds spent factoring (sparse path)
+	DampingUsed      float64 // damping parameter of the successful attempt
+	Attempts         int     // damping attempts tried (AutoDamp)
 }
 
 // ctxErr reports a pending cancellation wrapped so callers can test with
@@ -91,13 +122,30 @@ func ctxErr(ctx context.Context) error {
 	return nil
 }
 
+// stepWork accounts one linear solve: the factorization multiply-adds spent
+// (zero when a chord step reused an existing factorization) and whether the
+// Jacobian was refreshed and refactored.
+type stepWork struct {
+	ops        int64
+	refactored bool
+}
+
 // jacSolver abstracts the dense and sparse linear-solve kernels so both
 // Newton variants share one iteration loop.
 type jacSolver interface {
 	dim() int
 	eval(u, f []float64) error
-	// solveStep computes delta = J(u)⁻¹ f, returning factorization work.
-	solveStep(u, f, delta []float64) (int64, error)
+	// solveStep computes delta = J⁻¹ f, returning the factorization work
+	// performed. Chord-capable implementations may reuse a factorization
+	// from an earlier call, in which case work.refactored is false.
+	solveStep(u, f, delta []float64) (stepWork, error)
+}
+
+// attemptPrep is implemented by solvers that keep per-attempt state (the
+// chord refresh gate's residual history); newtonAttempt calls it before the
+// first iteration of every damping attempt.
+type attemptPrep interface {
+	beginAttempt()
 }
 
 type denseSolver struct {
@@ -107,16 +155,16 @@ type denseSolver struct {
 
 func (s *denseSolver) dim() int                  { return s.sys.Dim() }
 func (s *denseSolver) eval(u, f []float64) error { return s.sys.Eval(u, f) }
-func (s *denseSolver) solveStep(u, f, delta []float64) (int64, error) {
+func (s *denseSolver) solveStep(u, f, delta []float64) (stepWork, error) {
 	if err := s.sys.Jacobian(u, s.jac); err != nil {
-		return 0, err
+		return stepWork{}, err
 	}
 	lu, err := la.FactorLU(s.jac)
 	if err != nil {
-		return 0, err
+		return stepWork{}, err
 	}
 	n := int64(s.sys.Dim())
-	return n * n * n / 3, lu.Solve(delta, f)
+	return stepWork{ops: n * n * n / 3, refactored: true}, lu.Solve(delta, f)
 }
 
 // SparseSolver is a reusable workspace for repeated sparse Newton solves of
@@ -144,6 +192,23 @@ type SparseSolver struct {
 	pool  *par.Pool
 	procs int
 	sys   SparseSystem
+
+	// Chord-mode state (NewtonOptions.Chord): the refresh gate's view of the
+	// live factorization. chordValid marks that w.lu holds a usable
+	// factorization of this system; it survives across Solve calls on the
+	// same system so time-stepping reuses factorizations across steps.
+	// chordLastR is the residual norm observed before the previous linear
+	// solve of the current attempt (negative at attempt start: the first
+	// iteration of an attempt has no contraction history to judge).
+	// Every field is derived from residual values and iteration counts only
+	// — never wall time or worker counts — so gate decisions are
+	// bit-identical across procs.
+	chordOn     bool
+	chordValid  bool
+	chordAge    int
+	chordLastR  float64
+	chordRho    float64
+	chordMaxAge int
 }
 
 // NewSparseSolver returns an empty workspace. Equivalent to &SparseSolver{}.
@@ -162,10 +227,21 @@ func (w *SparseSolver) Solve(ctx context.Context, sys SparseSystem, u0 []float64
 		w.u = make([]float64, n)     //pdevet:allow noalloc grow-on-first-use
 		w.f = make([]float64, n)     //pdevet:allow noalloc grow-on-first-use
 		w.delta = make([]float64, n) //pdevet:allow noalloc grow-on-first-use
+		w.chordValid = false
 	}
 	w.setProcs(opts.Procs)
 	if pa, ok := sys.(PoolAware); ok {
 		pa.SetPool(w.pool)
+	}
+	opts.defaults()
+	w.chordOn = opts.Chord
+	w.chordRho = opts.ChordContraction
+	w.chordMaxAge = opts.ChordMaxAge
+	if w.sys != sys {
+		// A different system invalidates the live factorization: chord reuse
+		// across Solve calls is only sound while the Jacobian drifts by
+		// O(dt) along one system's trajectory.
+		w.chordValid = false
 	}
 	w.sys = sys
 	return newtonLoop(ctx, w, u0, opts, w.u, w.f, w.delta)
@@ -207,8 +283,33 @@ func (w *SparseSolver) Close() {
 func (w *SparseSolver) dim() int                  { return w.sys.Dim() }
 func (w *SparseSolver) eval(u, f []float64) error { return w.sys.Eval(u, f) }
 
+// ResetReuse discards the chord-mode factorization state, so the next chord
+// solve refreshes the Jacobian at its own first iterate regardless of what
+// the workspace solved before. Drivers call it at trajectory start: a chord
+// time loop must produce the same bits on a warm workspace as on a fresh
+// one, and a factorization left over from an unrelated request would
+// otherwise steer the first step's iterate sequence.
+func (w *SparseSolver) ResetReuse() {
+	w.chordValid = false
+	w.chordAge = 0
+	w.chordLastR = -1
+}
+
+// beginAttempt resets the refresh gate's residual history: the first
+// iteration of a damping attempt has no contraction to judge (the iterate
+// just jumped back to u0, so comparing its residual against the previous
+// attempt's tail would misread the restart as divergence).
+//
 //pdevet:noalloc
-func (w *SparseSolver) solveStep(u, f, delta []float64) (int64, error) {
+func (w *SparseSolver) beginAttempt() {
+	w.chordLastR = -1
+}
+
+// refactor refreshes the Jacobian at u and factors it into the band
+// workspace, returning the factorization work.
+//
+//pdevet:noalloc
+func (w *SparseSolver) refactor(u []float64) (int64, error) {
 	j, err := w.sys.JacobianCSR(u)
 	if err != nil {
 		return 0, err
@@ -229,7 +330,41 @@ func (w *SparseSolver) solveStep(u, f, delta []float64) (int64, error) {
 	if err := la.FactorBandLUInto(w.lu, j, w.kl, w.ku); err != nil {
 		return 0, err
 	}
-	return w.lu.FactorOps, w.lu.Solve(delta, f)
+	return w.lu.FactorOps, nil
+}
+
+//pdevet:noalloc
+func (w *SparseSolver) solveStep(u, f, delta []float64) (stepWork, error) {
+	if !w.chordOn {
+		ops, err := w.refactor(u)
+		if err != nil {
+			return stepWork{}, err
+		}
+		return stepWork{ops: ops, refactored: true}, w.lu.Solve(delta, f)
+	}
+	// Chord mode: reuse the live factorization until the refresh gate
+	// fires. The gate reads only residual norms (‖f‖ was just evaluated by
+	// the shared loop; recomputing it serially here is O(n) against the
+	// O(n·b²) factorization it may avoid) and the factorization age, so
+	// its decisions are bit-identical across worker counts.
+	r := la.Norm2(f)
+	refresh := !w.chordValid || w.lu == nil ||
+		w.chordAge >= w.chordMaxAge ||
+		(w.chordLastR >= 0 && r > w.chordRho*w.chordLastR)
+	var work stepWork
+	if refresh {
+		ops, err := w.refactor(u)
+		if err != nil {
+			return stepWork{}, err
+		}
+		work.ops = ops
+		work.refactored = true
+		w.chordValid = true
+		w.chordAge = 0
+	}
+	w.chordAge++
+	w.chordLastR = r
+	return work, w.lu.Solve(delta, f)
 }
 
 // Newton solves F(u) = 0 with the (optionally damped) Newton method starting
@@ -272,6 +407,7 @@ func newtonLoop(ctx context.Context, s jacSolver, u0 []float64, opts NewtonOptio
 			res.Residual = att.Residual
 			res.Iterations = att.Iterations
 			res.LinearSolves = att.LinearSolves
+			res.Refactorizations = att.Refactorizations
 			res.FactorOps = att.FactorOps
 			res.DampingUsed = h
 			return res, nil
@@ -282,6 +418,7 @@ func newtonLoop(ctx context.Context, s jacSolver, u0 []float64, opts NewtonOptio
 			res.Residual = att.Residual
 			res.Iterations = att.Iterations
 			res.LinearSolves = att.LinearSolves
+			res.Refactorizations = att.Refactorizations
 			res.FactorOps = att.FactorOps
 			res.DampingUsed = h
 			if err == nil {
@@ -308,18 +445,22 @@ func isCtxErr(err error) bool {
 }
 
 type attempt struct {
-	U            []float64
-	Converged    bool
-	Residual     float64
-	Iterations   int
-	LinearSolves int
-	FactorOps    int64
+	U                []float64
+	Converged        bool
+	Residual         float64
+	Iterations       int
+	LinearSolves     int
+	Refactorizations int
+	FactorOps        int64
 }
 
 //pdevet:noalloc
 func newtonAttempt(ctx context.Context, s jacSolver, u0 []float64, h float64, opts NewtonOptions, u, f, delta []float64) (attempt, error) {
 	copy(u, u0)
 	att := attempt{U: u}
+	if p, ok := s.(attemptPrep); ok {
+		p.beginAttempt()
+	}
 	if err := s.eval(u, f); err != nil {
 		return att, err
 	}
@@ -337,7 +478,7 @@ func newtonAttempt(ctx context.Context, s jacSolver, u0 []float64, h float64, op
 		if err := ctxErr(ctx); err != nil {
 			return att, err
 		}
-		ops, err := s.solveStep(u, f, delta)
+		work, err := s.solveStep(u, f, delta)
 		if err != nil {
 			if errors.Is(err, la.ErrSingular) {
 				// Failure path: the allocation happens once, on abort.
@@ -346,7 +487,10 @@ func newtonAttempt(ctx context.Context, s jacSolver, u0 []float64, h float64, op
 			return att, err
 		}
 		att.LinearSolves++
-		att.FactorOps += ops
+		if work.refactored {
+			att.Refactorizations++
+		}
+		att.FactorOps += work.ops
 		la.Axpy(-h, delta, u)
 		if !finite(u) {
 			return att, ErrDiverged

@@ -279,7 +279,7 @@ func queueFailureCode(ctx context.Context, err error) int {
 
 // handleProblems is GET /v1/problems: the registry listing.
 func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, Kinds(s.cfg.MaxGridN))
+	s.writeJSON(w, http.StatusOK, Kinds(s.cfg.MaxGridN, s.cfg.MaxSteps))
 }
 
 // Health is the GET /healthz (readiness) body. Gateways parse it: Ready

@@ -38,6 +38,15 @@ type metrics struct {
 	cacheFlightWaits promtext.Counter // requests that waited on an identical in-flight solve
 	cacheEntries     promtext.Gauge   // current entry count of the shared store
 
+	// Streaming plane (POST /v1/stream transient trajectories).
+	framesStreamed  promtext.Counter    // NDJSON frames written and flushed to clients
+	streamsInflight promtext.Gauge      // streams currently executing
+	frameSolveTime  *promtext.Histogram // seconds a single frame's step solve took
+	firstFrameTime  *promtext.Histogram // seconds from admission to the first flushed frame
+	jacRefactors    promtext.Counter    // Jacobian refresh+refactorization events (stream steps)
+	jacReuses       promtext.Counter    // linear solves served by a reused factorization (stream steps)
+	streamsAborted  promtext.Counter    // streams ended early (ctx cancel, client gone, step failure)
+
 	// Degradation-ladder plane (see internal/core ladder + internal/fault).
 	ladderAttempts *promtext.CounterVec // labels: rung — rungs attempted, converged or not
 	ladderServed   *promtext.CounterVec // labels: rung — final rung of each 200 response
@@ -55,7 +64,15 @@ func newServeMetrics() *metrics {
 		solveLatency: promtext.NewHistogram(0.00025, 0.0005, 0.001, 0.002, 0.004,
 			0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048,
 			4.096, 8.192),
-		newtonIters:    promtext.NewHistogramVec("start", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		newtonIters: promtext.NewHistogramVec("start", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		// Per-frame solves are one implicit step from a warm level: much
+		// faster than whole requests, so the buckets start at 50 µs.
+		frameSolveTime: promtext.NewHistogram(0.00005, 0.0001, 0.00025, 0.0005,
+			0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064, 0.128, 0.256,
+			0.512, 1.024),
+		firstFrameTime: promtext.NewHistogram(0.00025, 0.0005, 0.001, 0.002,
+			0.004, 0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024,
+			2.048, 4.096, 8.192),
 		ladderAttempts: promtext.NewCounterVec("rung"),
 		ladderServed:   promtext.NewCounterVec("rung"),
 		resizes:        promtext.NewCounterVec("direction", "reason"),
@@ -93,5 +110,12 @@ func (m *metrics) writeProm(w io.Writer) {
 	promtext.WriteCounter(w, "pdeserve_cache_stale_total", "Warm-start candidates rejected by the residual quality gate.", &m.cacheStale)
 	promtext.WriteCounter(w, "pdeserve_cache_flight_waits_total", "Requests that waited on an identical in-flight solve instead of duplicating it.", &m.cacheFlightWaits)
 	promtext.WriteGauge(w, "pdeserve_cache_entries", "Current entry count of the shared solve cache.", &m.cacheEntries)
+	promtext.WriteCounter(w, "pdeserve_frames_streamed_total", "NDJSON frames written and flushed to streaming clients.", &m.framesStreamed)
+	promtext.WriteGauge(w, "pdeserve_streams_in_flight", "Transient-trajectory streams currently executing.", &m.streamsInflight)
+	promtext.WriteHistogram(w, "pdeserve_frame_solve_seconds", "Wall-clock seconds one stream frame's time step took to solve.", m.frameSolveTime)
+	promtext.WriteHistogram(w, "pdeserve_first_frame_seconds", "Wall-clock seconds from stream admission to the first flushed frame.", m.firstFrameTime)
+	promtext.WriteCounter(w, "pdeserve_jacobian_refactorizations_total", "Jacobian refresh+refactorization events across stream time steps.", &m.jacRefactors)
+	promtext.WriteCounter(w, "pdeserve_jacobian_reuses_total", "Stream linear solves served by a reused (chord-mode) factorization.", &m.jacReuses)
+	promtext.WriteCounter(w, "pdeserve_streams_aborted_total", "Streams that ended before their final frame (cancel, disconnect or step failure).", &m.streamsAborted)
 	promtext.WriteGauge(w, "pdeserve_fault_injection_active", "Number of configured fault classes (0 outside chaos mode).", &m.faultsActive)
 }

@@ -55,6 +55,18 @@ type Request struct {
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 	// Netlist is the program text of the netlist kind.
 	Netlist string `json:"netlist,omitempty"`
+
+	// Stream fields (POST /v1/stream only; /v1/solve rejects them).
+	// Steps is the number of Crank–Nicolson steps to march, one NDJSON
+	// frame each. Default 16, capped by the server's -max-steps.
+	Steps int `json:"steps,omitempty"`
+	// Dt labels the trajectory's time axis: frames carry t = step·dt. The
+	// isotropic discretization fixes the numerical step to the grid
+	// spacing, so dt is reporting-only. Default 1.
+	Dt float64 `json:"dt,omitempty"`
+	// IncludeSolution asks for the full solution vector on every frame
+	// (frames carry only a checksum by default).
+	IncludeSolution bool `json:"include_solution,omitempty"`
 }
 
 // Response is the POST /v1/solve reply. Solve fields are set for grid
@@ -116,6 +128,10 @@ type KindInfo struct {
 	Description string `json:"description"`
 	MaxN        int    `json:"max_n,omitempty"`
 	DefaultN    int    `json:"default_n,omitempty"`
+	// Streamable marks transient kinds POST /v1/stream accepts; MaxSteps
+	// is the server-side cap on a stream's step count (-max-steps).
+	Streamable bool `json:"streamable,omitempty"`
+	MaxSteps   int  `json:"max_steps,omitempty"`
 }
 
 // maxNetlistBytes bounds the netlist program text; the fabric has a few
@@ -126,12 +142,16 @@ const maxNetlistBytes = 1 << 16
 // is still well under a millisecond.
 const maxBurgers1DNodes = 4096
 
-// Kinds lists the registry for a server configured with maxGridN.
-func Kinds(maxGridN int) []KindInfo {
+// Kinds lists the registry for a server configured with maxGridN and a
+// stream step cap of maxSteps.
+func Kinds(maxGridN, maxSteps int) []KindInfo {
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
 	return []KindInfo{
-		{Name: KindBurgers2D, Description: "one Crank–Nicolson step of 2-D viscous Burgers (2n² unknowns)", MaxN: maxGridN, DefaultN: defaultGridN},
+		{Name: KindBurgers2D, Description: "one Crank–Nicolson step of 2-D viscous Burgers (2n² unknowns); streamable as a trajectory via POST /v1/stream", MaxN: maxGridN, DefaultN: defaultGridN, Streamable: true, MaxSteps: maxSteps},
 		{Name: KindBurgersSteady, Description: "steady method-of-lines 2-D Burgers root system, rooted per request", MaxN: maxGridN, DefaultN: defaultGridN},
-		{Name: KindBurgers1D, Description: "one Crank–Nicolson step of 1-D viscous Burgers (tridiagonal)", MaxN: maxBurgers1DNodes, DefaultN: default1DN},
+		{Name: KindBurgers1D, Description: "one Crank–Nicolson step of 1-D viscous Burgers (tridiagonal); streamable as a trajectory via POST /v1/stream", MaxN: maxBurgers1DNodes, DefaultN: default1DN, Streamable: true, MaxSteps: maxSteps},
 		{Name: KindNetlist, Description: "parse + validate an analog program text against a calibrated fabric"},
 	}
 }
@@ -140,6 +160,12 @@ const (
 	defaultGridN = 6
 	default1DN   = 64
 	defaultBound = 0.5
+	// defaultSteps is a stream's step count when the request leaves it
+	// unset; defaultMaxSteps the server-side cap (-max-steps).
+	defaultSteps    = 16
+	defaultMaxSteps = 256
+	// maxDt bounds the reporting-only frame time spacing.
+	maxDt = 1e6
 )
 
 // Normalize fills request defaults and validates ranges exactly the way a
@@ -155,9 +181,69 @@ func Normalize(req *Request, maxGridN int) error {
 	return normalize(req, &cfg)
 }
 
-// normalize fills request defaults and validates ranges against the server
-// configuration. It returns a client-facing error for invalid requests.
+// NormalizeStream is Normalize for POST /v1/stream bodies: the gateway's
+// pre-routing validation with the same transient-kind, step-cap and dt
+// rules a backend configured with (maxGridN, maxSteps) applies.
+func NormalizeStream(req *Request, maxGridN, maxSteps int) error {
+	cfg := Config{MaxGridN: maxGridN, MaxSteps: maxSteps}
+	if cfg.MaxGridN <= 0 {
+		cfg.MaxGridN = 12
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	return normalizeStream(req, &cfg)
+}
+
+// normalize validates a POST /v1/solve body. Stream-only fields are
+// rejected up front — a buffered solve endpoint silently accepting steps
+// would pin a worker for the whole trajectory with no frames to show.
 func normalize(req *Request, cfg *Config) error {
+	if req.Steps != 0 {
+		return fmt.Errorf("serve: steps is a streaming field; POST /v1/stream serves transient trajectories")
+	}
+	if req.Dt != 0 { //pdevet:allow floateq zero is the JSON-absent sentinel (assigned by encoding/json, never computed)
+		return fmt.Errorf("serve: dt is a streaming field; POST /v1/stream serves transient trajectories")
+	}
+	if req.IncludeSolution {
+		return fmt.Errorf("serve: include_solution is a streaming field; POST /v1/stream serves transient trajectories")
+	}
+	return normalizeBase(req, cfg)
+}
+
+// normalizeStream validates a POST /v1/stream body: only the transient
+// grid kinds march in time, the step count is capped server-side
+// (-max-steps) so a hostile body cannot pin a worker for minutes, and dt
+// is a bounded positive label.
+func normalizeStream(req *Request, cfg *Config) error {
+	switch req.Problem {
+	case KindBurgers2D, KindBurgers1D:
+	case KindBurgersSteady, KindNetlist:
+		return fmt.Errorf("serve: problem %q has no time loop; streaming applies to the transient grid kinds (%s, %s)", req.Problem, KindBurgers2D, KindBurgers1D)
+	}
+	if req.Steps == 0 {
+		req.Steps = defaultSteps
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	if req.Steps < 1 || req.Steps > maxSteps {
+		return fmt.Errorf("serve: steps=%d outside [1, %d] (the server's -max-steps cap)", req.Steps, maxSteps)
+	}
+	if req.Dt == 0 { //pdevet:allow floateq zero is the JSON-absent sentinel (assigned by encoding/json, never computed)
+		req.Dt = 1
+	}
+	if !(req.Dt > 0) || req.Dt > maxDt {
+		return fmt.Errorf("serve: dt=%g outside (0, %g]", req.Dt, maxDt)
+	}
+	return normalizeBase(req, cfg)
+}
+
+// normalizeBase fills request defaults and validates ranges against the
+// server configuration. It returns a client-facing error for invalid
+// requests.
+func normalizeBase(req *Request, cfg *Config) error {
 	switch req.Problem {
 	case KindBurgers2D, KindBurgersSteady:
 		if req.N == 0 {

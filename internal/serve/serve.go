@@ -101,6 +101,14 @@ type Config struct {
 	// Default 0.25; negative disables warm starting while keeping exact
 	// hits.
 	WarmRadius float64
+	// MaxSteps caps the step count of a POST /v1/stream trajectory, so a
+	// hostile body cannot pin a worker for minutes. Default 256.
+	MaxSteps int
+	// StreamBuffer bounds the frames buffered between the solving worker
+	// and a stream's network writer: a slow client first consumes the
+	// buffer, then the worker blocks on it — bounded by the request
+	// deadline — instead of buffering the whole trajectory. Default 8.
+	StreamBuffer int
 }
 
 func (c *Config) defaults() {
@@ -163,6 +171,12 @@ func (c *Config) defaults() {
 	}
 	if c.WarmRadius == 0 { //pdevet:allow floateq zero is the config-absent sentinel (never computed)
 		c.WarmRadius = defaultWarmRadius
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = defaultMaxSteps
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 8
 	}
 }
 
@@ -240,11 +254,13 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the API mux: POST /v1/solve, GET /v1/problems,
-// GET /healthz (readiness), GET /livez (liveness), GET /metrics.
+// Handler returns the API mux: POST /v1/solve, POST /v1/stream (NDJSON
+// transient trajectories), GET /v1/problems, GET /healthz (readiness),
+// GET /livez (liveness), GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/problems", s.handleProblems)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /livez", s.handleLivez)
